@@ -1,0 +1,73 @@
+// Figure 8: scalability of FairGen on synthetic ER graphs.
+//
+// (a) runtime vs number of nodes at fixed edge density 0.005;
+// (b) runtime vs edge density at fixed n. The paper's claim is near-linear
+// growth in both; we report the full train+generate wall clock plus the
+// per-unit cost so linearity is visible in the table itself.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/trainer.h"
+#include "generators/er.h"
+
+namespace {
+
+using namespace fairgen;
+using namespace fairgen::bench;
+
+double RunOnce(uint32_t num_nodes, double density, const ZooConfig& zoo,
+               uint64_t seed) {
+  uint64_t max_edges = static_cast<uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  uint64_t edges = static_cast<uint64_t>(density * max_edges);
+  Rng rng(seed);
+  auto graph = SampleErdosRenyi(num_nodes, edges, rng);
+  graph.status().CheckOK();
+
+  FairGenConfig cfg = zoo.fairgen;
+  FairGenTrainer trainer(cfg);
+  Timer timer;
+  trainer.Fit(*graph, rng).CheckOK();
+  auto generated = trainer.Generate(rng);
+  generated.status().CheckOK();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(
+      argc, argv, "Fig. 8 — FairGen runtime vs graph size and density");
+  ZooConfig zoo = MakeZooConfig(options);
+
+  // (a) growing node count at fixed density (paper: 500..5000, 0.005).
+  std::vector<uint32_t> node_counts =
+      options.full ? std::vector<uint32_t>{500, 1000, 2000, 3000, 4000, 5000}
+                   : std::vector<uint32_t>{300, 600, 900, 1200};
+  Table by_nodes({"nodes", "density", "seconds", "us_per_node"});
+  for (uint32_t n : node_counts) {
+    double secs = RunOnce(n, 0.005, zoo, options.seed);
+    by_nodes.AddRow({std::to_string(n), "0.005", FormatDouble(secs, 3),
+                     FormatDouble(1e6 * secs / n, 1)});
+  }
+  EmitTable(by_nodes, options, "Fig. 8(a) — runtime vs number of nodes");
+
+  // (b) growing density at fixed node count (paper: n=5000, 0.005..0.05).
+  uint32_t fixed_n = options.full ? 5000 : 800;
+  std::vector<double> densities =
+      options.full
+          ? std::vector<double>{0.005, 0.01, 0.02, 0.03, 0.04, 0.05}
+          : std::vector<double>{0.005, 0.01, 0.02, 0.04};
+  Table by_density({"nodes", "density", "edges", "seconds",
+                    "us_per_edge"});
+  for (double d : densities) {
+    uint64_t max_edges =
+        static_cast<uint64_t>(fixed_n) * (fixed_n - 1) / 2;
+    uint64_t edges = static_cast<uint64_t>(d * max_edges);
+    double secs = RunOnce(fixed_n, d, zoo, options.seed);
+    by_density.AddRow({std::to_string(fixed_n), FormatDouble(d, 3),
+                       std::to_string(edges), FormatDouble(secs, 3),
+                       FormatDouble(1e6 * secs / edges, 2)});
+  }
+  EmitTable(by_density, options, "Fig. 8(b) — runtime vs edge density");
+  return 0;
+}

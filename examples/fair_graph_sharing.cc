@@ -1,0 +1,98 @@
+// Privacy-preserving graph sharing (the paper's introduction scenario).
+//
+// A financial institute wants to share its user network with partners
+// without releasing the real edges. A graph generative model produces a
+// synthetic stand-in — but an unsupervised generator systematically
+// degrades the protected minority's neighbourhood structure
+// (representation disparity). This example releases the same graph with
+// TagGen (unsupervised transformer) and with FairGen, then audits what
+// each release preserves, overall and for the protected group.
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/model_zoo.h"
+#include "generators/taggen.h"
+#include "stats/discrepancy.h"
+
+namespace {
+
+void Report(const char* label, const fairgen::Graph& original,
+            const fairgen::Graph& released,
+            const std::vector<fairgen::NodeId>& protected_set,
+            fairgen::Table& table) {
+  using namespace fairgen;
+  auto overall = OverallDiscrepancy(original, released);
+  overall.status().CheckOK();
+  auto prot = ProtectedDiscrepancy(original, released, protected_set);
+  prot.status().CheckOK();
+  table.AddRow(std::string(label) + " / overall",
+               std::vector<double>(overall->begin(), overall->end()));
+  table.AddRow(std::string(label) + " / protected",
+               std::vector<double>(prot->begin(), prot->end()));
+}
+
+}  // namespace
+
+int main() {
+  using namespace fairgen;
+  SetLogLevel(LogLevel::kWarning);
+
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 350;
+  cfg.num_edges = 2600;
+  cfg.num_classes = 4;
+  cfg.protected_size = 50;
+  Rng rng(11);
+  Result<LabeledGraph> data = GenerateSynthetic(cfg, rng);
+  data.status().CheckOK();
+  data->name = "USERNET";
+
+  // Unsupervised release: TagGen.
+  TagGenConfig taggen_cfg;
+  taggen_cfg.train.num_walks = 200;
+  taggen_cfg.train.epochs = 2;
+  taggen_cfg.train.gen_transition_multiplier = 4.0;
+  TagGenGenerator taggen(taggen_cfg);
+  taggen.Fit(data->graph, rng).CheckOK();
+  Result<Graph> taggen_release = taggen.Generate(rng);
+  taggen_release.status().CheckOK();
+
+  // Fairness-aware release: FairGen with few-shot labels.
+  ZooConfig zoo;
+  zoo.labels_per_class = 6;
+  zoo.fairgen.num_walks = 200;
+  zoo.fairgen.self_paced_cycles = 3;
+  zoo.fairgen.generator_epochs = 1;
+  zoo.fairgen.gen_transition_multiplier = 4.0;
+  auto fairgen_model = MakeFairGen(*data, zoo, FairGenVariant::kFull, 11);
+  fairgen_model.status().CheckOK();
+  (*fairgen_model)->Fit(data->graph, rng).CheckOK();
+  Result<Graph> fair_release = (*fairgen_model)->Generate(rng);
+  fair_release.status().CheckOK();
+
+  std::vector<std::string> header{"release / scope"};
+  for (const auto& name : MetricNames()) header.push_back(name);
+  Table table(header);
+  Report("TagGen", data->graph, *taggen_release, data->protected_set, table);
+  Report("FairGen", data->graph, *fair_release, data->protected_set, table);
+
+  std::printf(
+      "Privacy-preserving release audit — relative discrepancy of six\n"
+      "network statistics (smaller is better; 'protected' rows measure the\n"
+      "subgraph induced by the %zu protected users)\n\n%s\n",
+      data->protected_set.size(), table.ToAscii().c_str());
+
+  const AssemblyReport& report = (*fairgen_model)->last_assembly_report();
+  std::printf(
+      "FairGen assembly: %llu/%llu edges, protected volume %llu/%llu, "
+      "%u nodes given coverage edges\n",
+      static_cast<unsigned long long>(report.assembled_edges),
+      static_cast<unsigned long long>(report.target_edges),
+      static_cast<unsigned long long>(report.protected_volume_achieved),
+      static_cast<unsigned long long>(report.protected_volume_target),
+      report.isolated_nodes_fixed);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fraud-detection data augmentation (the paper's motivating scenario).
+//
+// An online transaction network has mostly normal accounts plus a small,
+// expensive-to-label group of red-flagged accounts (the protected minority
+// class, e.g. confirmed fraud rings). A downstream detector is trained on
+// node2vec embeddings. Each generator proposes 5% new "potential edges";
+// the table reports how the detector fares after the insertion and, in the
+// last column, what fraction of each model's proposals are actually
+// label-consistent. FairGen's label-informed edges keep the detector
+// intact while the unsupervised baselines inject cross-class noise — the
+// mechanism behind the paper's Fig. 6 augmentation gains (on real data,
+// where labels are only loosely tied to structure, the same mechanism
+// yields the reported up-to-17% lift; see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "eval/augmentation_eval.h"
+
+int main() {
+  using namespace fairgen;
+  SetLogLevel(LogLevel::kWarning);
+
+  // A transaction-like network: 4 behavioural account classes, where the
+  // smallest class doubles as the protected "red-flagged" group.
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 320;
+  cfg.num_edges = 2200;
+  cfg.num_classes = 4;
+  cfg.protected_size = 45;
+  cfg.intra_class_affinity = 7.0;
+  Rng rng(21);
+  Result<LabeledGraph> data = GenerateSynthetic(cfg, rng);
+  data.status().CheckOK();
+  data->name = "TRANSACTIONS";
+
+  ZooConfig zoo;
+  zoo.labels_per_class = 6;
+  zoo.include_ablations = false;  // compare FairGen vs the baselines only
+  zoo.walk_budget.num_walks = 500;
+  zoo.walk_budget.epochs = 3;
+  zoo.walk_budget.gen_transition_multiplier = 4.0;
+  zoo.fairgen.num_walks = 500;
+  zoo.fairgen.self_paced_cycles = 5;
+  zoo.fairgen.generator_epochs = 2;
+  zoo.fairgen.gen_transition_multiplier = 4.0;
+  zoo.gae.epochs = 40;
+
+  AugmentationConfig aug;
+  aug.edge_fraction = 0.05;
+  aug.folds = 5;
+  aug.embedding_seeds = 3;
+  aug.node2vec.epochs = 1;
+  aug.node2vec.walks_per_node = 4;
+  aug.classifier.lr = 0.3f;
+
+  auto results = EvaluateAugmentation(*data, zoo, aug, /*seed=*/3);
+  results.status().CheckOK();
+
+  Table table({"model", "accuracy", "std", "delta_vs_none",
+               "new_intra_frac"});
+  double base = (*results)[0].mean_accuracy;
+  for (const AugmentationResult& r : *results) {
+    table.AddRow(r.model, {r.mean_accuracy, r.std_accuracy,
+                           r.mean_accuracy - base,
+                           r.new_edge_intra_fraction});
+  }
+  std::printf(
+      "Fraud-detection augmentation: accuracy of node2vec + logistic\n"
+      "regression before/after inserting 5%% synthetic edges\n\n%s\n",
+      table.ToAscii().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: generate a fairness-aware synthetic graph from a labeled
+// input graph in ~40 lines.
+//
+// Pipeline: sample a labeled community graph -> reveal a few labels per
+// class -> train FairGen (Algorithm 1) -> generate a synthetic graph under
+// the Sec. II-D fairness criteria -> compare the six Table-II statistics
+// overall and on the protected subgraph.
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "stats/discrepancy.h"
+
+int main() {
+  using namespace fairgen;
+
+  // 1. A small labeled graph with a protected minority group.
+  SyntheticGraphConfig data_cfg;
+  data_cfg.num_nodes = 300;
+  data_cfg.num_edges = 1800;
+  data_cfg.num_classes = 3;
+  data_cfg.protected_size = 40;
+  Rng rng(7);
+  Result<LabeledGraph> data = GenerateSynthetic(data_cfg, rng);
+  data.status().CheckOK();
+
+  // 2. Few-shot supervision: 5 labels per class.
+  std::vector<int32_t> few_shot = FewShotLabels(*data, 5, rng);
+
+  // 3. Train FairGen.
+  FairGenConfig cfg;
+  cfg.num_walks = 120;
+  cfg.self_paced_cycles = 2;
+  cfg.generator_epochs = 1;
+  cfg.gen_transition_multiplier = 4.0;
+  FairGenTrainer fairgen(cfg);
+  fairgen.SetSupervision(few_shot, data->protected_set, data->num_classes)
+      .CheckOK();
+  fairgen.Fit(data->graph, rng).CheckOK();
+
+  // 4. Generate and evaluate.
+  Result<Graph> generated = fairgen.Generate(rng);
+  generated.status().CheckOK();
+
+  auto overall = OverallDiscrepancy(data->graph, *generated);
+  overall.status().CheckOK();
+  auto protected_disc =
+      ProtectedDiscrepancy(data->graph, *generated, data->protected_set);
+  protected_disc.status().CheckOK();
+
+  std::vector<std::string> header{"scope"};
+  for (const auto& name : MetricNames()) header.push_back(name);
+  Table table(header);
+  table.AddRow("overall R",
+               std::vector<double>(overall->begin(), overall->end()));
+  table.AddRow("protected R+", std::vector<double>(protected_disc->begin(),
+                                                   protected_disc->end()));
+  std::printf("FairGen quickstart — discrepancy vs the input graph\n");
+  std::printf("(input: n=%u, m=%llu, %u classes, |S+|=%zu; generated m=%llu)\n\n",
+              data->graph.num_nodes(),
+              static_cast<unsigned long long>(data->graph.num_edges()),
+              data->num_classes, data->protected_set.size(),
+              static_cast<unsigned long long>(generated->num_edges()));
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf("pseudo-labeled nodes after self-paced training: %u\n",
+              fairgen.num_pseudo_labeled());
+  std::printf("final losses: J=%.3f (J_G=%.3f J_P=%.3f J_F=%.3f J_L=%.3f J_S=%.3f)\n",
+              fairgen.losses().total(), fairgen.losses().j_g,
+              fairgen.losses().j_p, fairgen.losses().j_f,
+              fairgen.losses().j_l, fairgen.losses().j_s);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Train once, generate many: the production workflow for releasing
+// multiple synthetic graphs from one trained FairGen model.
+//
+// A data owner trains FairGen on the private graph, saves a checkpoint,
+// and later (possibly in another process — see the `fairgen` CLI's
+// --save-model/--load-model flags) restores it to mint any number of
+// independent synthetic releases, each with the same fairness guarantees
+// and without retraining.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "stats/discrepancy.h"
+
+int main() {
+  using namespace fairgen;
+  SetLogLevel(LogLevel::kWarning);
+
+  SyntheticGraphConfig data_cfg;
+  data_cfg.num_nodes = 260;
+  data_cfg.num_edges = 1600;
+  data_cfg.num_classes = 3;
+  data_cfg.protected_size = 35;
+  Rng rng(13);
+  Result<LabeledGraph> data = GenerateSynthetic(data_cfg, rng);
+  data.status().CheckOK();
+  std::vector<int32_t> few_shot = FewShotLabels(*data, 5, rng);
+
+  FairGenConfig cfg;
+  cfg.num_walks = 250;
+  cfg.self_paced_cycles = 3;
+  cfg.generator_epochs = 2;
+  cfg.gen_transition_multiplier = 4.0;
+
+  // --- Phase 1: train and checkpoint. --------------------------------------
+  const char* ckpt = "/tmp/fairgen_demo.ckpt";
+  {
+    FairGenTrainer trainer(cfg);
+    trainer.SetSupervision(few_shot, data->protected_set, data->num_classes)
+        .CheckOK();
+    trainer.Fit(data->graph, rng).CheckOK();
+    trainer.SaveCheckpoint(ckpt).CheckOK();
+    std::printf("trained FairGen and saved checkpoint to %s\n", ckpt);
+  }
+
+  // --- Phase 2: restore and mint several releases. -------------------------
+  FairGenTrainer minting(cfg);
+  minting.SetSupervision(few_shot, data->protected_set, data->num_classes)
+      .CheckOK();
+  Rng prep_rng(99);  // fresh init, overwritten by the checkpoint
+  minting.Prepare(data->graph, prep_rng).CheckOK();
+  minting.LoadCheckpoint(ckpt).CheckOK();
+
+  std::printf("\nrelease  edges  mean R  mean R+\n");
+  std::printf("--------------------------------\n");
+  for (int release = 1; release <= 3; ++release) {
+    Rng gen_rng(1000 + release);  // independent randomness per release
+    Result<Graph> generated = minting.Generate(gen_rng);
+    generated.status().CheckOK();
+    auto overall = OverallDiscrepancy(data->graph, *generated);
+    auto prot =
+        ProtectedDiscrepancy(data->graph, *generated, data->protected_set);
+    overall.status().CheckOK();
+    prot.status().CheckOK();
+    std::printf("#%d       %llu   %.4f  %.4f\n", release,
+                static_cast<unsigned long long>(generated->num_edges()),
+                MeanDiscrepancy(*overall), MeanDiscrepancy(*prot));
+  }
+  std::printf(
+      "\nEach release preserves the protected group (low R+) while being\n"
+      "an independent sample — no private edges are shared verbatim by\n"
+      "construction beyond what the model memorizes.\n");
+  return 0;
+}

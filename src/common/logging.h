@@ -1,0 +1,93 @@
+#ifndef FAIRGEN_COMMON_LOGGING_H_
+#define FAIRGEN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fairgen {
+
+/// \brief Severity levels for the lightweight logging facility.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the global minimum level below which messages are dropped.
+/// Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current global minimum log level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Stream-style log message; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Discards everything streamed into it (for disabled levels).
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+namespace log_severity {
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARNING = LogLevel::kWarning;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+inline constexpr LogLevel FATAL = LogLevel::kFatal;
+}  // namespace log_severity
+
+/// Usage: `FAIRGEN_LOG(INFO) << "epoch " << e << " loss " << loss;`
+#define FAIRGEN_LOG(severity)                                        \
+  (::fairgen::log_severity::severity < ::fairgen::GetLogLevel())     \
+      ? (void)0                                                      \
+      : ::fairgen::internal::LogVoidify() &                          \
+            ::fairgen::internal::LogMessage(                         \
+                ::fairgen::log_severity::severity, __FILE__, __LINE__)
+
+/// \brief Aborts with a message when `condition` is false. Active in all
+/// build types (invariants in a data system must not silently corrupt).
+#define FAIRGEN_CHECK(condition)                                       \
+  (condition) ? (void)0                                                \
+              : ::fairgen::internal::LogVoidify() &                    \
+                    ::fairgen::internal::LogMessage(                   \
+                        ::fairgen::LogLevel::kFatal, __FILE__,         \
+                        __LINE__)                                      \
+                        << "Check failed: " #condition " "
+
+namespace internal {
+/// Helper making FAIRGEN_LOG usable in expression position.
+struct LogVoidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace internal
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_LOGGING_H_

@@ -1,0 +1,98 @@
+#ifndef FAIRGEN_COMMON_RESULT_H_
+#define FAIRGEN_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fairgen {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// Mirrors `arrow::Result<T>`: a fallible function that produces a value
+/// returns `Result<T>`; the caller checks `ok()` and then takes the value
+/// with `ValueOrDie()` / `MoveValueUnsafe()`, or propagates the error with
+/// `FAIRGEN_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status. Passing an OK status
+  /// is a programming error and is converted to an Internal error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff this result holds a value.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when holding a value, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Const access to the value; aborts if this result holds an error.
+  const T& ValueOrDie() const {
+    DieIfError();
+    return *value_;
+  }
+
+  /// Mutable access to the value; aborts if this result holds an error.
+  T& ValueOrDie() {
+    DieIfError();
+    return *value_;
+  }
+
+  /// Moves the value out; aborts if this result holds an error.
+  T MoveValueUnsafe() {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  /// Dereference sugar matching std::optional.
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// \brief Evaluates an expression yielding `Result<T>`; on success binds the
+/// moved value to `lhs`, otherwise returns the error to the caller.
+///
+/// Usage: `FAIRGEN_ASSIGN_OR_RETURN(auto graph, LoadGraph(path));`
+#define FAIRGEN_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  FAIRGEN_ASSIGN_OR_RETURN_IMPL(                                        \
+      FAIRGEN_CONCAT(_fairgen_result_, __LINE__), lhs, rexpr)
+
+#define FAIRGEN_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = result_name.MoveValueUnsafe()
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_RESULT_H_

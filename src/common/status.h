@@ -1,0 +1,132 @@
+#ifndef FAIRGEN_COMMON_STATUS_H_
+#define FAIRGEN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fairgen {
+
+/// \brief Error categories used across the FairGen library.
+///
+/// Follows the RocksDB/Arrow convention: library code never throws across
+/// API boundaries; every fallible operation returns a `Status` (or a
+/// `Result<T>`, see result.h) that callers must inspect.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kFailedPrecondition = 8,
+};
+
+/// \brief Returns a short human-readable name for `code` ("OK",
+/// "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying an error message on failure.
+///
+/// The OK state is represented by a null internal state so that returning
+/// `Status::OK()` is free. `Status` is cheaply movable and copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be `StatusCode::kOk`; use the default constructor or `OK()` for that.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when `ok()`).
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty when `ok()`.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+
+  /// Renders "<code>: <message>" ("OK" for success).
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if this status is an error.
+  /// Intended for use in examples and benchmarks where an error is fatal.
+  void CheckOK() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  std::unique_ptr<State> state_;
+};
+
+/// \brief Propagates an error status from an expression to the caller.
+///
+/// Usage: `FAIRGEN_RETURN_NOT_OK(DoSomething());`
+#define FAIRGEN_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::fairgen::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define FAIRGEN_CONCAT_IMPL(x, y) x##y
+#define FAIRGEN_CONCAT(x, y) FAIRGEN_CONCAT_IMPL(x, y)
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_STATUS_H_

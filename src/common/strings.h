@@ -1,0 +1,31 @@
+#ifndef FAIRGEN_COMMON_STRINGS_H_
+#define FAIRGEN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fairgen {
+
+/// \brief Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// \brief Splits `text` on any run of whitespace, dropping empty fields.
+std::vector<std::string> StrSplitWhitespace(std::string_view text);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// \brief True iff `text` begins with `prefix`.
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// \brief Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_STRINGS_H_

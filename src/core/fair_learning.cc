@@ -1,0 +1,107 @@
+#include "core/fair_learning.h"
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace fairgen {
+
+using nn::Var;
+
+FairLearningModule::FairLearningModule(Var node_embeddings,
+                                       uint32_t num_classes,
+                                       uint32_t hidden_dim,
+                                       std::vector<uint8_t> protected_mask,
+                                       Rng& rng)
+    : embeddings_(std::move(node_embeddings)),
+      num_classes_(num_classes),
+      protected_mask_(std::move(protected_mask)),
+      head_({embeddings_->cols(), hidden_dim, num_classes}, rng) {
+  FAIRGEN_CHECK(num_classes_ >= 2);
+  FAIRGEN_CHECK(protected_mask_.size() == embeddings_->rows());
+  for (uint8_t is_protected : protected_mask_) {
+    if (is_protected) {
+      ++num_protected_;
+    } else {
+      ++num_unprotected_;
+    }
+  }
+}
+
+Var FairLearningModule::Logits(const std::vector<uint32_t>& nodes) const {
+  return head_.Forward(nn::GatherRows(embeddings_, nodes));
+}
+
+float FairLearningModule::CostRatio(NodeId v) const {
+  FAIRGEN_CHECK(v < protected_mask_.size());
+  if (protected_mask_[v]) {
+    return num_protected_ > 0 ? 1.0f / static_cast<float>(num_protected_)
+                              : 0.0f;
+  }
+  return num_unprotected_ > 0 ? 1.0f / static_cast<float>(num_unprotected_)
+                              : 0.0f;
+}
+
+Var FairLearningModule::PredictionLoss(const std::vector<uint32_t>& nodes,
+                                       const std::vector<uint32_t>& labels,
+                                       float alpha) const {
+  FAIRGEN_CHECK(nodes.size() == labels.size());
+  FAIRGEN_CHECK(!nodes.empty());
+  std::vector<float> weights(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    weights[i] = alpha * CostRatio(nodes[i]);
+  }
+  return nn::WeightedSoftmaxCrossEntropy(Logits(nodes), labels, weights);
+}
+
+Var FairLearningModule::ParityLoss(
+    const std::vector<uint32_t>& protected_nodes,
+    const std::vector<uint32_t>& unprotected_nodes, float gamma) const {
+  FAIRGEN_CHECK(!protected_nodes.empty());
+  FAIRGEN_CHECK(!unprotected_nodes.empty());
+  // m^± are the column means of the group's log-probability matrices.
+  auto group_mean = [this](const std::vector<uint32_t>& nodes) {
+    Var logp = nn::LogSoftmaxRows(Logits(nodes));  // [B, C]
+    Var ones = nn::MakeConstant(
+        nn::Tensor(1, nodes.size(), 1.0f / static_cast<float>(nodes.size())));
+    return nn::MatMulOp(ones, logp);  // [1, C]
+  };
+  Var diff = nn::Sub(group_mean(protected_nodes),
+                     group_mean(unprotected_nodes));
+  return nn::Scale(nn::SumAll(nn::AbsOp(diff)), gamma);
+}
+
+Var FairLearningModule::PropagationLoss(
+    const std::vector<uint32_t>& nodes,
+    const std::vector<uint32_t>& pseudo_labels, float beta) const {
+  FAIRGEN_CHECK(nodes.size() == pseudo_labels.size());
+  FAIRGEN_CHECK(!nodes.empty());
+  return nn::Scale(nn::SoftmaxCrossEntropy(Logits(nodes), pseudo_labels),
+                   beta);
+}
+
+nn::Tensor FairLearningModule::LogProbaAll() const {
+  const size_t n = embeddings_->rows();
+  nn::Tensor out(n, num_classes_);
+  // Batch the forward pass to bound the tape size.
+  const size_t batch = 1024;
+  for (size_t begin = 0; begin < n; begin += batch) {
+    size_t end = std::min(n, begin + batch);
+    std::vector<uint32_t> nodes(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      nodes[i - begin] = static_cast<uint32_t>(i);
+    }
+    Var logp = nn::LogSoftmaxRows(Logits(nodes));
+    for (size_t i = begin; i < end; ++i) {
+      const float* src = logp->value.row(i - begin);
+      std::copy(src, src + num_classes_, out.row(i));
+    }
+  }
+  return out;
+}
+
+std::vector<Var> FairLearningModule::HeadParameters() const {
+  return head_.Parameters();
+}
+
+}  // namespace fairgen

@@ -1,0 +1,78 @@
+#ifndef FAIRGEN_CORE_FAIR_LEARNING_H_
+#define FAIRGEN_CORE_FAIR_LEARNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "nn/layers.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// \brief The fair learning module M2: the prediction model d_θ with
+/// cost-sensitive weighting (Eq. 8–9) and the statistical-parity
+/// regularizer (Eq. 10–11).
+///
+/// d_θ is an MLP over the *generator's* node embeddings: the embedding
+/// table is shared with g_θ, so minimizing J_P + J_F + J_L shapes the same
+/// representation that the generator samples walks from — this is the
+/// "jointly trains ... in a mutually beneficial way" coupling of the
+/// framework.
+class FairLearningModule {
+ public:
+  /// `node_embeddings` is the shared [n, D] table (a parameter of g_θ).
+  /// `protected_mask[v]` != 0 iff v ∈ S+.
+  FairLearningModule(nn::Var node_embeddings, uint32_t num_classes,
+                     uint32_t hidden_dim, std::vector<uint8_t> protected_mask,
+                     Rng& rng);
+
+  /// Class logits for `nodes` -> [nodes.size(), C].
+  nn::Var Logits(const std::vector<uint32_t>& nodes) const;
+
+  /// J_P = α Σ_i ξ_{x_i} CE(d_θ(x_i), y_i) over the given labeled nodes,
+  /// with ξ from Eq. 9 (1/|S+| for protected nodes, 1/|S−| otherwise).
+  nn::Var PredictionLoss(const std::vector<uint32_t>& nodes,
+                         const std::vector<uint32_t>& labels,
+                         float alpha) const;
+
+  /// J_F = γ Σ_c ‖m_c^+ − m_c^−‖ with m_c^± the group means of
+  /// log P(ŷ=c | x) (Eq. 10–11) over the provided group samples.
+  nn::Var ParityLoss(const std::vector<uint32_t>& protected_nodes,
+                     const std::vector<uint32_t>& unprotected_nodes,
+                     float gamma) const;
+
+  /// J_L = β Σ_i CE(d_θ(x_i), ŷ_i) over pseudo-labeled nodes (the
+  /// v_i^{(c)} = 1 entries of Eq. 12, with the labels chosen by M3).
+  nn::Var PropagationLoss(const std::vector<uint32_t>& nodes,
+                          const std::vector<uint32_t>& pseudo_labels,
+                          float beta) const;
+
+  /// Log-probabilities log P(ŷ=c | x) for every node -> [n, C] tensor
+  /// (forward only; used by the self-paced update, Eq. 14).
+  nn::Tensor LogProbaAll() const;
+
+  /// Parameters of the MLP head (the shared embedding table is owned by
+  /// the generator and reported by FairGenModel).
+  std::vector<nn::Var> HeadParameters() const;
+
+  uint32_t num_classes() const { return num_classes_; }
+  uint32_t num_protected() const { return num_protected_; }
+  uint32_t num_unprotected() const { return num_unprotected_; }
+
+  /// The ξ cost-sensitive ratio of node `v` (Eq. 9).
+  float CostRatio(NodeId v) const;
+
+ private:
+  nn::Var embeddings_;
+  uint32_t num_classes_;
+  std::vector<uint8_t> protected_mask_;
+  uint32_t num_protected_ = 0;
+  uint32_t num_unprotected_ = 0;
+  nn::Mlp head_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_FAIR_LEARNING_H_

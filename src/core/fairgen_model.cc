@@ -1,0 +1,35 @@
+#include "core/fairgen_model.h"
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+FairGenModel::FairGenModel(const FairGenConfig& config, uint32_t num_nodes,
+                           uint32_t num_classes,
+                           std::vector<uint8_t> protected_mask, Rng& rng)
+    : num_nodes_(num_nodes), num_classes_(num_classes) {
+  FAIRGEN_CHECK(num_nodes > 0);
+  nn::TransformerConfig gen_cfg;
+  gen_cfg.vocab_size = num_nodes;
+  gen_cfg.dim = config.embedding_dim;
+  gen_cfg.num_heads = config.num_heads;
+  gen_cfg.num_layers = config.num_layers;
+  gen_cfg.ffn_dim = config.ffn_dim;
+  gen_cfg.max_len = std::max<size_t>(32, config.walk_length + 1);
+  generator_ = std::make_unique<nn::TransformerLM>(gen_cfg, rng);
+  fair_ = std::make_unique<FairLearningModule>(
+      generator_->node_embeddings(), num_classes,
+      config.discriminator_hidden, std::move(protected_mask), rng);
+}
+
+std::vector<nn::Var> FairGenModel::GeneratorParameters() const {
+  return generator_->Parameters();
+}
+
+std::vector<nn::Var> FairGenModel::DiscriminatorParameters() const {
+  std::vector<nn::Var> params = fair_->HeadParameters();
+  params.push_back(generator_->node_embeddings());
+  return params;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,51 @@
+#ifndef FAIRGEN_CORE_FAIRGEN_MODEL_H_
+#define FAIRGEN_CORE_FAIRGEN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fair_learning.h"
+#include "core/fairgen_config.h"
+#include "nn/transformer.h"
+
+namespace fairgen {
+
+/// \brief The joint FairGen model: the transformer walk generator g_θ (M1)
+/// and the fair prediction model d_θ (M2), coupled through a shared node
+/// embedding table.
+class FairGenModel {
+ public:
+  FairGenModel(const FairGenConfig& config, uint32_t num_nodes,
+               uint32_t num_classes, std::vector<uint8_t> protected_mask,
+               Rng& rng);
+
+  /// The walk generator g_θ.
+  nn::TransformerLM& generator() { return *generator_; }
+  const nn::TransformerLM& generator() const { return *generator_; }
+
+  /// The fair learning module around d_θ.
+  FairLearningModule& fair_module() { return *fair_; }
+  const FairLearningModule& fair_module() const { return *fair_; }
+
+  /// Parameters updated by the generator objective J_G (all of g_θ,
+  /// including the shared embedding table).
+  std::vector<nn::Var> GeneratorParameters() const;
+
+  /// Parameters updated by J_P + J_L + J_F (the d_θ head plus the shared
+  /// embedding table — Algorithm 1 step 10 updates the hidden parameters
+  /// θ shared by both modules).
+  std::vector<nn::Var> DiscriminatorParameters() const;
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t num_classes() const { return num_classes_; }
+
+ private:
+  uint32_t num_nodes_;
+  uint32_t num_classes_;
+  std::unique_ptr<nn::TransformerLM> generator_;
+  std::unique_ptr<FairLearningModule> fair_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_FAIRGEN_MODEL_H_

@@ -1,0 +1,55 @@
+#include "core/self_paced.h"
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+SelfPacedScheduler::SelfPacedScheduler(float lambda, float growth)
+    : lambda_(lambda), growth_(growth) {
+  FAIRGEN_CHECK(lambda > 0.0f);
+  FAIRGEN_CHECK(growth >= 1.0f);
+}
+
+SelfPacedUpdate SelfPacedScheduler::Update(
+    const nn::Tensor& log_proba, const std::vector<int32_t>& ground_truth,
+    float beta) const {
+  const size_t n = log_proba.rows();
+  const size_t num_classes = log_proba.cols();
+  FAIRGEN_CHECK(ground_truth.size() == n);
+
+  SelfPacedUpdate update;
+  update.labels.assign(n, kUnlabeled);
+
+  for (size_t v = 0; v < n; ++v) {
+    if (ground_truth[v] != kUnlabeled) {
+      // Observed labels stay fixed; their v entry is 1 by initialization
+      // (Algorithm 1, step 1).
+      update.labels[v] = ground_truth[v];
+      double logp = log_proba.at(v, static_cast<size_t>(ground_truth[v]));
+      update.j_l += -beta * logp;
+      update.j_s += -static_cast<double>(lambda_);
+      continue;
+    }
+    // Eq. 14: v_i^{(c)} = 1 iff −log P < λ.
+    int32_t best = kUnlabeled;
+    float best_logp = 0.0f;
+    for (size_t c = 0; c < num_classes; ++c) {
+      float logp = log_proba.at(v, c);
+      if (-logp < lambda_) {
+        update.j_l += -beta * static_cast<double>(logp);
+        update.j_s += -static_cast<double>(lambda_);
+        if (best == kUnlabeled || logp > best_logp) {
+          best = static_cast<int32_t>(c);
+          best_logp = logp;
+        }
+      }
+    }
+    if (best != kUnlabeled) {
+      update.labels[v] = best;
+      ++update.num_pseudo_labeled;
+    }
+  }
+  return update;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,58 @@
+#ifndef FAIRGEN_CORE_SELF_PACED_H_
+#define FAIRGEN_CORE_SELF_PACED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "walk/context_sampler.h"
+
+namespace fairgen {
+
+/// \brief Result of one self-paced vector update (Eq. 14).
+struct SelfPacedUpdate {
+  /// Merged label assignment: ground-truth labels are kept verbatim;
+  /// unlabeled nodes get the confident pseudo label (or kUnlabeled).
+  std::vector<int32_t> labels;
+  /// Number of nodes that received a pseudo label this cycle.
+  uint32_t num_pseudo_labeled = 0;
+  /// Value of J_L = −β Σ_i Σ_c v_i^{(c)} log P(ŷ_i=c|x_i).
+  double j_l = 0.0;
+  /// Value of J_S = −λ Σ_i Σ_c v_i^{(c)}.
+  double j_s = 0.0;
+};
+
+/// \brief The self-paced learning state of M3: tracks λ and applies the
+/// closed-form self-paced vector update of Eq. 13–14.
+class SelfPacedScheduler {
+ public:
+  /// `lambda` is the initial threshold; `growth` multiplies λ at every
+  /// Augment() call (Algorithm 1, step 7).
+  SelfPacedScheduler(float lambda, float growth);
+
+  /// Current threshold λ.
+  float lambda() const { return lambda_; }
+
+  /// Increases the learning difficulty: λ ← λ · growth.
+  void Augment() { lambda_ *= growth_; }
+
+  /// Applies Eq. 14: node i enters class c's self-paced vector
+  /// (v_i^{(c)} = 1) iff −log P(ŷ_i=c|x_i) < λ. A node confident for
+  /// several classes is pseudo-labeled with its argmax class. Nodes with a
+  /// ground-truth label always keep it (v fixed to the observed class).
+  ///
+  /// `log_proba` is the [n, C] matrix from
+  /// FairLearningModule::LogProbaAll(); `ground_truth[v]` is kUnlabeled or
+  /// the observed class; `beta` scales the reported J_L value.
+  SelfPacedUpdate Update(const nn::Tensor& log_proba,
+                         const std::vector<int32_t>& ground_truth,
+                         float beta) const;
+
+ private:
+  float lambda_;
+  float growth_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_SELF_PACED_H_

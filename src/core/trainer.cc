@@ -1,0 +1,455 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <string>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+#include "graph/subgraph.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "walk/node2vec_walk.h"
+
+namespace fairgen {
+
+FairGenTrainer::FairGenTrainer(FairGenConfig config)
+    : config_(std::move(config)) {}
+
+Status FairGenTrainer::SetSupervision(std::vector<int32_t> labels,
+                                      std::vector<NodeId> protected_set,
+                                      uint32_t num_classes) {
+  int32_t max_label = -1;
+  bool any = false;
+  for (int32_t y : labels) {
+    if (y == kUnlabeled) continue;
+    if (y < 0) {
+      return Status::InvalidArgument("negative label: " + std::to_string(y));
+    }
+    max_label = std::max(max_label, y);
+    any = true;
+  }
+  if (num_classes == 0) {
+    num_classes = static_cast<uint32_t>(max_label + 1);
+  } else if (max_label >= static_cast<int32_t>(num_classes)) {
+    return Status::InvalidArgument("label exceeds num_classes");
+  }
+  if (any && num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  ground_truth_ = std::move(labels);
+  protected_set_ = std::move(protected_set);
+  num_classes_ = num_classes;
+  has_labels_ = any;
+  return Status::OK();
+}
+
+std::vector<Walk> FairGenTrainer::SampleGeneratorWalks(size_t count,
+                                                       Rng& rng) const {
+  FAIRGEN_CHECK(model_ != nullptr && start_table_ != nullptr);
+  std::vector<Walk> walks;
+  walks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t start = start_table_->Sample(rng);
+    walks.push_back(model_->generator().SampleWalk(
+        start, config_.walk_length, rng, config_.temperature));
+  }
+  return walks;
+}
+
+double FairGenTrainer::TrainGenerator(Rng& rng) {
+  const float floor_logprob =
+      -config_.negative_floor_scale *
+      std::log(static_cast<float>(fitted_graph_.num_nodes()));
+  nn::Adam optim(model_->GeneratorParameters(), config_.generator_lr);
+
+  double loss_sum = 0.0;
+  uint64_t loss_count = 0;
+  for (uint32_t epoch = 0; epoch < config_.generator_epochs; ++epoch) {
+    std::vector<std::pair<bool, uint32_t>> order = dataset_.EpochOrder(rng);
+    optim.ZeroGrad();
+    uint32_t in_batch = 0;
+    for (const auto& [is_positive, idx] : order) {
+      const Walk& walk = is_positive ? dataset_.positives()[idx]
+                                     : dataset_.negatives()[idx];
+      if (walk.size() < 2) continue;
+      nn::Var loss;
+      if (is_positive) {
+        loss = model_->generator().WalkNll(walk);
+      } else {
+        std::vector<uint32_t> prefix(walk.begin(), walk.end() - 1);
+        std::vector<uint32_t> targets(walk.begin() + 1, walk.end());
+        loss = nn::NegativeWalkPenalty(model_->generator().Logits(prefix),
+                                       targets, floor_logprob);
+      }
+      nn::Backward(loss);
+      loss_sum += loss->value.ScalarValue();
+      ++loss_count;
+      if (++in_batch == config_.generator_batch) {
+        for (const nn::Var& p : optim.params()) {
+          p->grad.Scale(1.0f / static_cast<float>(in_batch));
+        }
+        optim.ClipGradNorm(config_.grad_clip);
+        optim.Step();
+        optim.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      for (const nn::Var& p : optim.params()) {
+        p->grad.Scale(1.0f / static_cast<float>(in_batch));
+      }
+      optim.ClipGradNorm(config_.grad_clip);
+      optim.Step();
+    }
+  }
+  return loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+}
+
+void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
+  if (!has_supervision()) return;
+
+  // L = all currently labeled vertices (ground truth + pseudo labels).
+  std::vector<uint32_t> gt_nodes;
+  std::vector<uint32_t> pseudo_nodes;
+  for (NodeId v = 0; v < labels_.size(); ++v) {
+    if (ground_truth_[v] != kUnlabeled) {
+      gt_nodes.push_back(v);
+    } else if (labels_[v] != kUnlabeled) {
+      pseudo_nodes.push_back(v);
+    }
+  }
+  if (gt_nodes.empty()) return;
+
+  FairLearningModule& fair = model_->fair_module();
+  const bool use_parity = config_.variant != FairGenVariant::kNoParity &&
+                          !protected_set_.empty() &&
+                          protected_set_.size() < fitted_graph_.num_nodes();
+  std::vector<NodeId> unprotected =
+      ComplementSet(fitted_graph_.num_nodes(), protected_set_);
+
+  nn::Adam optim(model_->DiscriminatorParameters(),
+                 config_.discriminator_lr);
+
+  double jp_sum = 0.0;
+  double jf_sum = 0.0;
+  double jl_sum = 0.0;
+  uint64_t steps = 0;
+  for (uint32_t t = 0; t < config_.batch_iterations; ++t) {
+    optim.ZeroGrad();
+
+    // Sample N1 labeled vertices from L (Algorithm 1, step 10), keeping
+    // ground-truth and pseudo-labeled nodes separate so that J_P and J_L
+    // can be weighted independently.
+    auto sample_nodes = [&](const std::vector<uint32_t>& pool,
+                            uint32_t count) {
+      std::vector<uint32_t> picked;
+      if (pool.empty() || count == 0) return picked;
+      std::vector<uint32_t> idx = SampleWithoutReplacement(
+          static_cast<uint32_t>(pool.size()),
+          std::min<uint32_t>(count, static_cast<uint32_t>(pool.size())),
+          rng);
+      picked.reserve(idx.size());
+      for (uint32_t i : idx) picked.push_back(pool[i]);
+      return picked;
+    };
+
+    std::vector<uint32_t> gt_batch =
+        sample_nodes(gt_nodes, config_.batch_size);
+    std::vector<uint32_t> gt_labels(gt_batch.size());
+    for (size_t i = 0; i < gt_batch.size(); ++i) {
+      gt_labels[i] = static_cast<uint32_t>(ground_truth_[gt_batch[i]]);
+    }
+    nn::Var loss = fair.PredictionLoss(gt_batch, gt_labels, config_.alpha);
+    jp_sum += loss->value.ScalarValue();
+
+    if (!pseudo_nodes.empty() &&
+        config_.variant != FairGenVariant::kNoSelfPaced) {
+      std::vector<uint32_t> ps_batch =
+          sample_nodes(pseudo_nodes, config_.batch_size);
+      std::vector<uint32_t> ps_labels(ps_batch.size());
+      for (size_t i = 0; i < ps_batch.size(); ++i) {
+        ps_labels[i] = static_cast<uint32_t>(labels_[ps_batch[i]]);
+      }
+      nn::Var jl = fair.PropagationLoss(ps_batch, ps_labels, config_.beta);
+      jl_sum += jl->value.ScalarValue();
+      loss = nn::Add(loss, jl);
+    }
+
+    if (use_parity) {
+      uint32_t sample = config_.parity_sample;
+      std::vector<uint32_t> prot = sample_nodes(
+          std::vector<uint32_t>(protected_set_.begin(), protected_set_.end()),
+          sample == 0 ? static_cast<uint32_t>(protected_set_.size())
+                      : sample);
+      std::vector<uint32_t> unprot = sample_nodes(
+          std::vector<uint32_t>(unprotected.begin(), unprotected.end()),
+          sample == 0 ? static_cast<uint32_t>(unprotected.size()) : sample);
+      if (!prot.empty() && !unprot.empty()) {
+        nn::Var jf = fair.ParityLoss(prot, unprot, config_.gamma);
+        jf_sum += jf->value.ScalarValue();
+        loss = nn::Add(loss, jf);
+      }
+    }
+
+    nn::Backward(loss);
+    optim.ClipGradNorm(config_.grad_clip);
+    optim.Step();
+    ++steps;
+  }
+  if (steps > 0) {
+    losses.j_p = jp_sum / static_cast<double>(steps);
+    losses.j_f = jf_sum / static_cast<double>(steps);
+    // j_l from minibatches is recorded here; the self-paced J_L/J_S values
+    // over the full vertex set are filled by the caller after Eq. 14.
+    if (losses.j_l == 0.0) {
+      losses.j_l = jl_sum / static_cast<double>(steps);
+    }
+  }
+}
+
+Status FairGenTrainer::Prepare(const Graph& graph, Rng& rng) {
+  FAIRGEN_RETURN_NOT_OK(config_.Validate());
+  if (graph.num_nodes() < 2 || graph.num_edges() == 0) {
+    return Status::InvalidArgument("FairGen requires a non-empty graph");
+  }
+  if (!ground_truth_.empty() &&
+      ground_truth_.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "supervision labels were set for a different node count");
+  }
+  fitted_graph_ = graph;
+  fitted_ = true;
+  if (ground_truth_.empty()) {
+    ground_truth_.assign(graph.num_nodes(), kUnlabeled);
+  }
+  for (NodeId v : protected_set_) {
+    if (v >= graph.num_nodes()) {
+      return Status::InvalidArgument("protected node out of range: " +
+                                     std::to_string(v));
+    }
+  }
+
+  const uint32_t model_classes = std::max<uint32_t>(2, num_classes_);
+  model_ = std::make_unique<FairGenModel>(
+      config_, graph.num_nodes(), model_classes,
+      NodeMask(graph.num_nodes(), protected_set_), rng);
+
+  // Step 1: initialize the self-paced vectors from the labeled vertices;
+  // FairGen-R replaces f_S by uniform sampling (general_ratio = 1).
+  ContextSamplerConfig sampler_cfg;
+  sampler_cfg.walk_length = config_.walk_length;
+  sampler_cfg.general_ratio = config_.variant == FairGenVariant::kRandom
+                                  ? 1.0
+                                  : config_.general_ratio;
+  ContextSampler sampler(graph, sampler_cfg, model_classes);
+  labels_ = ground_truth_;
+  FAIRGEN_RETURN_NOT_OK(sampler.SetLabels(labels_));
+  sampler_ = std::make_unique<ContextSampler>(std::move(sampler));
+
+  std::vector<double> deg(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    deg[v] = static_cast<double>(graph.Degree(v));
+  }
+  start_table_ = std::make_unique<AliasTable>(deg);
+  return Status::OK();
+}
+
+Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
+  FAIRGEN_RETURN_NOT_OK(Prepare(graph, rng));
+
+  // Step 2: initial N+ from f_S and N− from the biased second-order
+  // sampler [32].
+  dataset_ = WalkDataset();
+  dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
+  Node2VecWalker neg_walker(graph, config_.negative_walk);
+  dataset_.AddNegatives(
+      neg_walker.SampleWalks(config_.num_walks, config_.walk_length, rng));
+
+  SelfPacedScheduler scheduler(config_.lambda, config_.lambda_growth);
+  loss_history_.clear();
+  num_pseudo_labeled_ = 0;
+
+  // Steps 3–12: the self-paced cycles.
+  for (uint32_t cycle = 0; cycle < config_.self_paced_cycles; ++cycle) {
+    FairGenLosses losses;
+
+    // Step 4: update g_θ from N+ and N−.
+    losses.j_g = TrainGenerator(rng);
+
+    // Step 5: new positives with the updated self-paced vectors.
+    dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
+    // Step 6: new negatives from the current generator (skipped by the
+    // negative-refresh ablation, which keeps the static [32] negatives).
+    if (config_.refresh_negatives) {
+      dataset_.AddNegatives(SampleGeneratorWalks(config_.num_walks, rng));
+    }
+    dataset_.TrimTo(4 * config_.num_walks);
+
+    // Steps 7–8: augment λ and refresh the self-paced vectors / pseudo
+    // labels (skipped by the w/o-SPL ablation).
+    if (has_supervision() &&
+        config_.variant != FairGenVariant::kNoSelfPaced) {
+      scheduler.Augment();
+      SelfPacedUpdate update = scheduler.Update(
+          model_->fair_module().LogProbaAll(), ground_truth_, config_.beta);
+      labels_ = std::move(update.labels);
+      num_pseudo_labeled_ = update.num_pseudo_labeled;
+      losses.j_l = update.j_l / std::max<size_t>(1, labels_.size());
+      losses.j_s = update.j_s / std::max<size_t>(1, labels_.size());
+      FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(labels_));
+    }
+
+    // Steps 9–11: discriminator updates (J_P + J_L + J_F).
+    TrainDiscriminator(losses, rng);
+
+    loss_history_.push_back(losses);
+  }
+  return Status::OK();
+}
+
+EdgeScoreAccumulator FairGenTrainer::AccumulateWalks(Rng& rng) const {
+  const uint64_t target_transitions = static_cast<uint64_t>(
+      config_.gen_transition_multiplier *
+      static_cast<double>(fitted_graph_.num_edges()));
+
+  // Start nodes: with probability r degree-proportional (general
+  // structure), otherwise uniformly from a labeled class's vertices so
+  // that each group — including the scarce protected classes — seeds its
+  // share of synthetic context.
+  std::vector<std::vector<NodeId>> class_nodes;
+  if (has_supervision()) {
+    class_nodes.resize(num_classes_);
+    for (NodeId v = 0; v < labels_.size(); ++v) {
+      if (labels_[v] != kUnlabeled) {
+        class_nodes[static_cast<size_t>(labels_[v])].push_back(v);
+      }
+    }
+    class_nodes.erase(
+        std::remove_if(class_nodes.begin(), class_nodes.end(),
+                       [](const auto& c) { return c.empty(); }),
+        class_nodes.end());
+  }
+
+  auto sample_into = [this, &class_nodes](EdgeScoreAccumulator& acc,
+                                          uint64_t budget, Rng worker_rng) {
+    uint64_t transitions = 0;
+    while (transitions < budget) {
+      uint32_t start;
+      if (!class_nodes.empty() &&
+          !worker_rng.Bernoulli(config_.general_ratio)) {
+        const auto& members = class_nodes[worker_rng.UniformU32(
+            static_cast<uint32_t>(class_nodes.size()))];
+        start = members[worker_rng.UniformU32(
+            static_cast<uint32_t>(members.size()))];
+      } else {
+        start = start_table_->Sample(worker_rng);
+      }
+      Walk walk = model_->generator().SampleWalk(
+          start, config_.walk_length, worker_rng, config_.temperature);
+      acc.AddWalk(walk);
+      transitions += walk.size() - 1;
+    }
+  };
+
+  EdgeScoreAccumulator acc(fitted_graph_.num_nodes());
+  uint32_t threads = std::max<uint32_t>(1, config_.num_threads);
+  if (threads == 1) {
+    sample_into(acc, target_transitions, rng.Split());
+    return acc;
+  }
+  std::vector<EdgeScoreAccumulator> partials(
+      threads, EdgeScoreAccumulator(fitted_graph_.num_nodes()));
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  uint64_t per_thread = (target_transitions + threads - 1) / threads;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back(sample_into, std::ref(partials[t]), per_thread,
+                         rng.Split());
+  }
+  for (std::thread& w : workers) w.join();
+  for (const EdgeScoreAccumulator& partial : partials) {
+    acc.Merge(partial);
+  }
+  return acc;
+}
+
+namespace {
+
+// The checkpointed parameter set: generator (includes the shared
+// embedding table) plus the discriminator head.
+std::vector<nn::Var> CheckpointParams(const FairGenModel& model) {
+  std::vector<nn::Var> params = model.GeneratorParameters();
+  for (const nn::Var& p : model.fair_module().HeadParameters()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace
+
+Status FairGenTrainer::SaveCheckpoint(const std::string& path) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Prepare or Fit must run before SaveCheckpoint");
+  }
+  // The label assignment (ground truth + pseudo labels) is part of the
+  // generation state: it drives the class-informed start distribution.
+  // Serialize it as an extra [n, 1] tensor after the model parameters
+  // (labels are small integers, exactly representable in float32).
+  std::vector<nn::Var> params = CheckpointParams(*model_);
+  nn::Tensor label_tensor(labels_.size(), 1);
+  for (size_t v = 0; v < labels_.size(); ++v) {
+    label_tensor.at(v, 0) = static_cast<float>(labels_[v]);
+  }
+  params.push_back(nn::MakeConstant(std::move(label_tensor)));
+  return nn::SaveParameters(path, params);
+}
+
+Status FairGenTrainer::LoadCheckpoint(const std::string& path) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Prepare must run before LoadCheckpoint");
+  }
+  std::vector<nn::Var> params = CheckpointParams(*model_);
+  nn::Var label_tensor =
+      nn::MakeConstant(nn::Tensor(fitted_graph_.num_nodes(), 1));
+  params.push_back(label_tensor);
+  FAIRGEN_RETURN_NOT_OK(nn::LoadParameters(path, params));
+  std::vector<int32_t> labels(fitted_graph_.num_nodes());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    labels[v] = static_cast<int32_t>(label_tensor->value.at(v, 0));
+  }
+  FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(labels));
+  labels_ = std::move(labels);
+  return Status::OK();
+}
+
+Result<Graph> FairGenTrainer::Generate(Rng& rng) {
+  AssemblerCriteria criteria;
+  criteria.preserve_protected_volume = !protected_set_.empty();
+  criteria.ensure_min_degree = true;
+  return GenerateWithCriteria(criteria, rng);
+}
+
+Result<Graph> FairGenTrainer::GenerateWithCriteria(
+    const AssemblerCriteria& criteria, Rng& rng) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Fit must be called before Generate");
+  }
+  EdgeScoreAccumulator acc = AccumulateWalks(rng);
+  return AssembleFairGraph(acc, fitted_graph_, protected_set_, criteria, rng,
+                           &assembly_report_);
+}
+
+Result<std::vector<std::pair<Edge, double>>> FairGenTrainer::ScoreEdges(
+    Rng& rng) {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "Fit must be called before ScoreEdges");
+  }
+  return AccumulateWalks(rng).ScoredEdges();
+}
+
+}  // namespace fairgen

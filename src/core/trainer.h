@@ -1,0 +1,153 @@
+#ifndef FAIRGEN_CORE_TRAINER_H_
+#define FAIRGEN_CORE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/assembler.h"
+#include "core/fairgen_config.h"
+#include "core/fairgen_model.h"
+#include "core/self_paced.h"
+#include "core/walk_dataset.h"
+#include "generators/generator.h"
+#include "rng/sampling.h"
+#include "walk/context_sampler.h"
+
+namespace fairgen {
+
+/// \brief The components of the joint objective J (Eq. 3), recorded once
+/// per self-paced cycle. Values are empirical means over the cycle's
+/// minibatches.
+struct FairGenLosses {
+  double j_g = 0.0;  ///< label-informed generator loss (Eq. 4 + neg term)
+  double j_p = 0.0;  ///< cost-sensitive prediction loss (Eq. 8, 1st term)
+  double j_f = 0.0;  ///< statistical-parity loss (Eq. 8, 2nd term)
+  double j_l = 0.0;  ///< label-propagation loss (Eq. 12, 1st term)
+  double j_s = 0.0;  ///< self-paced regularizer (Eq. 12, 2nd term)
+
+  /// J = J_G + J_P + J_F + J_L + J_S.
+  double total() const { return j_g + j_p + j_f + j_l + j_s; }
+  /// The discriminator-side losses J_P + J_L + J_F + J_S (Fig. 7c).
+  double discriminator() const { return j_p + j_f + j_l + j_s; }
+};
+
+/// \brief FairGen's training driver: Algorithm 1 of the paper, plus
+/// fairness-aware generation (Sec. II-D). Implements the common
+/// `GraphGenerator` protocol so it can run in the evaluation zoo next to
+/// the baselines.
+///
+/// Supply label information and the protected-group membership with
+/// `SetSupervision` before `Fit`. Without supervision (the paper's
+/// unlabeled datasets Email/FB/GNU/CA), FairGen degrades gracefully to a
+/// structure-only walk generator with the fair assembler's minimum-degree
+/// criterion.
+class FairGenTrainer : public GraphGenerator {
+ public:
+  explicit FairGenTrainer(FairGenConfig config = {});
+
+  /// Registers supervision: `labels[v]` is kUnlabeled or a class id, and
+  /// `protected_set` lists the vertices of S+. `num_classes` == 0 infers
+  /// C = max(label) + 1.
+  Status SetSupervision(std::vector<int32_t> labels,
+                        std::vector<NodeId> protected_set,
+                        uint32_t num_classes = 0);
+
+  std::string name() const override {
+    return FairGenVariantName(config_.variant);
+  }
+
+  /// Builds the model, sampler, and start distribution for `graph`
+  /// without training — the setup half of Fit. Use together with
+  /// LoadCheckpoint to restore a previously trained model.
+  Status Prepare(const Graph& graph, Rng& rng);
+
+  /// Runs Algorithm 1 (Prepare + the self-paced training cycles).
+  Status Fit(const Graph& graph, Rng& rng) override;
+
+  /// Saves all trained parameters (g_θ including the shared embeddings,
+  /// plus the d_θ head) to a binary checkpoint. Requires Fit or Prepare.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores parameters saved by SaveCheckpoint into a model prepared
+  /// with the same config and graph size.
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Generates synthetic walks from g_θ and assembles them under the
+  /// fairness criteria of Sec. II-D.
+  Result<Graph> Generate(Rng& rng) override;
+
+  /// Candidate-edge scores from freshly sampled synthetic walks (the B
+  /// matrix entries), for ranking potential edges in augmentation.
+  Result<std::vector<std::pair<Edge, double>>> ScoreEdges(Rng& rng) override;
+
+  /// Like Generate(), but with explicit assembly criteria — used by the
+  /// assembler ablation study (disable criterion 1 and/or 2 of Sec. II-D).
+  Result<Graph> GenerateWithCriteria(const AssemblerCriteria& criteria,
+                                     Rng& rng);
+
+  /// Losses of the final self-paced cycle.
+  const FairGenLosses& losses() const { return loss_history_.back(); }
+
+  /// Losses per self-paced cycle l = 1..p.
+  const std::vector<FairGenLosses>& loss_history() const {
+    return loss_history_;
+  }
+
+  /// The joint model (null before Fit).
+  const FairGenModel* model() const { return model_.get(); }
+
+  /// Current label assignment (ground truth + pseudo labels).
+  const std::vector<int32_t>& current_labels() const { return labels_; }
+
+  /// Number of pseudo-labeled nodes after the last cycle.
+  uint32_t num_pseudo_labeled() const { return num_pseudo_labeled_; }
+
+  /// Assembly diagnostics of the last Generate() call.
+  const AssemblyReport& last_assembly_report() const {
+    return assembly_report_;
+  }
+
+  const FairGenConfig& config() const { return config_; }
+
+ private:
+  /// Whether supervision with at least one labeled node was provided.
+  bool has_supervision() const { return num_classes_ > 0 && has_labels_; }
+
+  /// One generator-training pass over the current N+/N− pools; returns the
+  /// mean generator loss.
+  double TrainGenerator(Rng& rng);
+
+  /// T1 discriminator steps on N1-node minibatches; accumulates J_P/J_F/J_L
+  /// means into `losses`.
+  void TrainDiscriminator(FairGenLosses& losses, Rng& rng);
+
+  /// Samples K negative walks from the current generator.
+  std::vector<Walk> SampleGeneratorWalks(size_t count, Rng& rng) const;
+
+  /// Samples generation walks into a score accumulator (Sec. II-D).
+  EdgeScoreAccumulator AccumulateWalks(Rng& rng) const;
+
+  FairGenConfig config_;
+  Graph fitted_graph_{Graph::Empty(0)};
+  bool fitted_ = false;
+
+  // Supervision.
+  std::vector<int32_t> ground_truth_;
+  std::vector<NodeId> protected_set_;
+  uint32_t num_classes_ = 0;
+  bool has_labels_ = false;
+
+  // Training state.
+  std::unique_ptr<FairGenModel> model_;
+  std::unique_ptr<ContextSampler> sampler_;
+  std::unique_ptr<AliasTable> start_table_;
+  WalkDataset dataset_;
+  std::vector<int32_t> labels_;
+  uint32_t num_pseudo_labeled_ = 0;
+  std::vector<FairGenLosses> loss_history_;
+  AssemblyReport assembly_report_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_TRAINER_H_

@@ -1,0 +1,44 @@
+#include "core/walk_dataset.h"
+
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+void WalkDataset::AddPositives(std::vector<Walk> walks) {
+  positives_.insert(positives_.end(),
+                    std::make_move_iterator(walks.begin()),
+                    std::make_move_iterator(walks.end()));
+}
+
+void WalkDataset::AddNegatives(std::vector<Walk> walks) {
+  negatives_.insert(negatives_.end(),
+                    std::make_move_iterator(walks.begin()),
+                    std::make_move_iterator(walks.end()));
+}
+
+void WalkDataset::TrimTo(size_t max_size) {
+  auto trim = [max_size](std::vector<Walk>& pool) {
+    if (pool.size() > max_size) {
+      pool.erase(pool.begin(),
+                 pool.begin() + static_cast<int64_t>(pool.size() - max_size));
+    }
+  };
+  trim(positives_);
+  trim(negatives_);
+}
+
+std::vector<std::pair<bool, uint32_t>> WalkDataset::EpochOrder(
+    Rng& rng) const {
+  std::vector<std::pair<bool, uint32_t>> order;
+  order.reserve(positives_.size() + negatives_.size());
+  for (uint32_t i = 0; i < positives_.size(); ++i) {
+    order.emplace_back(true, i);
+  }
+  for (uint32_t i = 0; i < negatives_.size(); ++i) {
+    order.emplace_back(false, i);
+  }
+  Shuffle(order, rng);
+  return order;
+}
+
+}  // namespace fairgen

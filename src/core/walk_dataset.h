@@ -1,0 +1,49 @@
+#ifndef FAIRGEN_CORE_WALK_DATASET_H_
+#define FAIRGEN_CORE_WALK_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+
+/// \brief The positive/negative walk pools N+ and N− of Algorithm 1.
+///
+/// Positive walks come from the context sampler f_S; negative walks come
+/// from the biased second-order sampler in cycle 0 and from the generator
+/// itself in later cycles (Algorithm 1, steps 2, 5, 6), which gradually
+/// raises the discrimination difficulty for g_θ.
+class WalkDataset {
+ public:
+  WalkDataset() = default;
+
+  /// Appends walks to the positive pool N+.
+  void AddPositives(std::vector<Walk> walks);
+
+  /// Appends walks to the negative pool N−.
+  void AddNegatives(std::vector<Walk> walks);
+
+  /// Caps each pool at `max_size` walks, keeping the most recent ones
+  /// (bounds memory across many self-paced cycles).
+  void TrimTo(size_t max_size);
+
+  const std::vector<Walk>& positives() const { return positives_; }
+  const std::vector<Walk>& negatives() const { return negatives_; }
+
+  size_t num_positives() const { return positives_.size(); }
+  size_t num_negatives() const { return negatives_.size(); }
+
+  /// A random shuffled epoch order of (is_positive, index) pairs covering
+  /// both pools.
+  std::vector<std::pair<bool, uint32_t>> EpochOrder(Rng& rng) const;
+
+ private:
+  std::vector<Walk> positives_;
+  std::vector<Walk> negatives_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_WALK_DATASET_H_

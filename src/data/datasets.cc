@@ -1,0 +1,106 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+namespace {
+
+DatasetSpec MakeSpec(std::string name, uint32_t nodes, uint64_t edges,
+                     uint32_t classes, uint32_t protected_size) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.config.num_nodes = nodes;
+  spec.config.num_edges = edges;
+  spec.config.num_classes = classes;
+  spec.config.protected_size = protected_size;
+  return spec;
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& TableIDatasets() {
+  static const auto* specs = new std::vector<DatasetSpec>{
+      MakeSpec("EMAIL", 1005, 25571, 0, 0),
+      MakeSpec("FB", 4039, 88234, 0, 0),
+      MakeSpec("BLOG", 5196, 360166, 6, 300),
+      MakeSpec("FLICKR", 7575, 501983, 9, 450),
+      MakeSpec("GNU", 6301, 20777, 0, 0),
+      MakeSpec("CA", 5242, 14496, 0, 0),
+      MakeSpec("ACM", 16484, 197560, 9, 597),
+  };
+  return *specs;
+}
+
+std::vector<DatasetSpec> LabeledTableIDatasets() {
+  std::vector<DatasetSpec> out;
+  for (const DatasetSpec& spec : TableIDatasets()) {
+    if (spec.config.num_classes > 0) out.push_back(spec);
+  }
+  return out;
+}
+
+DatasetSpec ScaleDataset(const DatasetSpec& spec, double scale) {
+  FAIRGEN_CHECK(scale > 0.0 && scale <= 1.0);
+  DatasetSpec scaled = spec;
+  scaled.config.num_nodes = std::max<uint32_t>(
+      16, static_cast<uint32_t>(spec.config.num_nodes * scale));
+  scaled.config.num_edges = std::max<uint64_t>(
+      scaled.config.num_nodes,
+      static_cast<uint64_t>(static_cast<double>(spec.config.num_edges) *
+                            scale));
+  // Preserving BLOG/FLICKR's average degree (~130) at a small node count
+  // would produce a near-complete graph, so additionally cap the density
+  // at 6%. The paper's real graphs are all sparse (BLOG, the densest, is
+  // 2.7%); keeping the scaled graphs sparse preserves the regime the
+  // paper's experiments operate in (in a dense graph there would be
+  // almost no intra-community non-edges left for the augmentation
+  // experiment to propose).
+  uint64_t max_edges = static_cast<uint64_t>(scaled.config.num_nodes) *
+                       (scaled.config.num_nodes - 1) / 2;
+  scaled.config.num_edges = std::min(
+      scaled.config.num_edges,
+      static_cast<uint64_t>(0.06 * static_cast<double>(max_edges)));
+  scaled.config.num_edges =
+      std::max(scaled.config.num_edges,
+               static_cast<uint64_t>(scaled.config.num_nodes));
+  if (spec.config.protected_size > 0) {
+    scaled.config.protected_size = std::max<uint32_t>(
+        8, static_cast<uint32_t>(spec.config.protected_size * scale));
+    scaled.config.protected_size = std::min(
+        scaled.config.protected_size, scaled.config.num_nodes / 4);
+  }
+  return scaled;
+}
+
+Result<LabeledGraph> MakeDataset(const DatasetSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  FAIRGEN_ASSIGN_OR_RETURN(LabeledGraph data,
+                           GenerateSynthetic(spec.config, rng));
+  data.name = spec.name;
+  return data;
+}
+
+Result<LabeledGraph> LoadDataset(const std::string& name, double scale,
+                                 uint64_t seed) {
+  std::string needle = ToLower(name);
+  for (const DatasetSpec& spec : TableIDatasets()) {
+    if (ToLower(spec.name) == needle) {
+      return MakeDataset(scale < 1.0 ? ScaleDataset(spec, scale) : spec,
+                         seed);
+    }
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace fairgen

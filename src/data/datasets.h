@@ -1,0 +1,45 @@
+#ifndef FAIRGEN_DATA_DATASETS_H_
+#define FAIRGEN_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+
+namespace fairgen {
+
+/// \brief One row of the paper's Table I, realized by the synthetic
+/// generator.
+struct DatasetSpec {
+  std::string name;
+  SyntheticGraphConfig config;
+};
+
+/// \brief The seven Table-I datasets at full size:
+/// Email (1005/25571), FB (4039/88234), BLOG (5196/360166, C=6, |S+|=300),
+/// FLICKR (7575/501983, C=9, |S+|=450), GNU (6301/20777),
+/// CA (5242/14496), ACM (16484/197560, C=9, |S+|=597).
+const std::vector<DatasetSpec>& TableIDatasets();
+
+/// \brief The three labeled datasets (BLOG, FLICKR, ACM) used for the
+/// protected-group and augmentation experiments.
+std::vector<DatasetSpec> LabeledTableIDatasets();
+
+/// \brief Scales node/edge/protected counts by `scale` in (0, 1], keeping
+/// class counts, so the full benchmark matrix fits a CPU budget. Edges
+/// scale linearly with nodes, preserving the average degree — the quantity
+/// walk-based models are sensitive to.
+DatasetSpec ScaleDataset(const DatasetSpec& spec, double scale);
+
+/// \brief Looks up a Table-I dataset by (case-insensitive) name and
+/// samples it with the given scale and seed.
+Result<LabeledGraph> LoadDataset(const std::string& name, double scale,
+                                 uint64_t seed);
+
+/// \brief Samples a dataset from its spec with the given seed.
+Result<LabeledGraph> MakeDataset(const DatasetSpec& spec, uint64_t seed);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_DATA_DATASETS_H_

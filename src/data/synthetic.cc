@@ -1,0 +1,188 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+Result<LabeledGraph> GenerateSynthetic(const SyntheticGraphConfig& config,
+                                       Rng& rng) {
+  const uint32_t n = config.num_nodes;
+  if (n < 4) {
+    return Status::InvalidArgument("need at least 4 nodes");
+  }
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (config.num_edges > max_edges) {
+    return Status::InvalidArgument("edge budget exceeds complete graph");
+  }
+  if (config.protected_size >= n) {
+    return Status::InvalidArgument("protected group must be a strict subset");
+  }
+
+  LabeledGraph out;
+  out.num_classes = config.num_classes;
+  out.labels.assign(n, kUnlabeled);
+
+  // Class assignment: contiguous blocks (relabeling is irrelevant to the
+  // model, and blocks make tests easy to reason about).
+  const uint32_t num_classes = std::max<uint32_t>(1, config.num_classes);
+  std::vector<std::vector<NodeId>> class_members(num_classes);
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t c = static_cast<uint32_t>(
+        (static_cast<uint64_t>(v) * num_classes) / n);
+    class_members[c].push_back(v);
+    if (config.num_classes > 0) out.labels[v] = static_cast<int32_t>(c);
+  }
+
+  // Protected group: a contiguous run inside the *last* class plus a tail
+  // spilling into the second-to-last (mirrors e.g. ACM's "topic with a
+  // small population" — mostly one community, not perfectly aligned).
+  std::vector<uint8_t> protected_mask(n, 0);
+  if (config.protected_size > 0) {
+    uint32_t take = config.protected_size;
+    uint32_t primary = static_cast<uint32_t>(take * 4 / 5);
+    const auto& last_class = class_members[num_classes - 1];
+    for (uint32_t i = 0; i < primary && i < last_class.size(); ++i) {
+      protected_mask[last_class[i]] = 1;
+    }
+    uint32_t placed = std::min<uint32_t>(primary, last_class.size());
+    const auto& prev_class = class_members[num_classes >= 2
+                                               ? num_classes - 2
+                                               : 0];
+    for (uint32_t i = 0; placed < take && i < prev_class.size(); ++i) {
+      if (!protected_mask[prev_class[i]]) {
+        protected_mask[prev_class[i]] = 1;
+        ++placed;
+      }
+    }
+    for (NodeId v = 0; v < n && placed < take; ++v) {
+      if (!protected_mask[v]) {
+        protected_mask[v] = 1;
+        ++placed;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (protected_mask[v]) out.protected_set.push_back(v);
+    }
+  }
+
+  // Power-law degree weights (Pareto tail, capped to bound hubs).
+  // Protected nodes are scaled down: the minority is under-represented in
+  // edge volume, which is what induces representation disparity.
+  std::vector<double> weight(n);
+  for (NodeId v = 0; v < n; ++v) {
+    double u = rng.UniformDouble();
+    u = std::max(u, 1e-9);
+    double w = std::pow(u, -1.0 / config.degree_exponent);
+    w = std::min(w, 1000.0);
+    if (protected_mask[v]) w *= config.protected_degree_scale;
+    weight[v] = w;
+  }
+
+  // Alias tables: global, per class, and protected-only.
+  AliasTable global_table(weight);
+  std::vector<std::unique_ptr<AliasTable>> class_tables(num_classes);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    std::vector<double> w(n, 0.0);
+    for (NodeId v : class_members[c]) w[v] = weight[v];
+    class_tables[c] = std::make_unique<AliasTable>(w);
+  }
+  std::unique_ptr<AliasTable> protected_table;
+  if (!out.protected_set.empty()) {
+    std::vector<double> w(n, 0.0);
+    for (NodeId v : out.protected_set) w[v] = weight[v];
+    protected_table = std::make_unique<AliasTable>(w);
+  }
+
+  const double affinity_p =
+      config.intra_class_affinity / (config.intra_class_affinity + 1.0);
+  const double cohesion_p =
+      config.protected_cohesion / (config.protected_cohesion + 1.0);
+
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(config.num_edges * 2);
+  uint64_t placed_edges = 0;
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 100 * config.num_edges + 10000;
+  while (placed_edges < config.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = global_table.Sample(rng);
+    NodeId v;
+    if (protected_mask[u] && protected_table != nullptr &&
+        rng.Bernoulli(cohesion_p)) {
+      v = protected_table->Sample(rng);
+    } else if (num_classes > 1 && rng.Bernoulli(affinity_p)) {
+      uint32_t c = static_cast<uint32_t>(
+          (static_cast<uint64_t>(u) * num_classes) / n);
+      v = class_tables[c]->Sample(rng);
+    } else {
+      v = global_table.Sample(rng);
+    }
+    if (u == v) continue;
+    NodeId a = std::min(u, v);
+    NodeId b = std::max(u, v);
+    uint64_t key = static_cast<uint64_t>(a) * n + b;
+    if (!seen.insert(key).second) continue;
+    FAIRGEN_RETURN_NOT_OK(builder.AddEdge(a, b));
+    ++placed_edges;
+  }
+
+  // Connect any leftover isolated nodes within their class.
+  FAIRGEN_ASSIGN_OR_RETURN(Graph draft, builder.Build());
+  for (NodeId v = 0; v < n; ++v) {
+    if (draft.Degree(v) > 0) continue;
+    uint32_t c = static_cast<uint32_t>(
+        (static_cast<uint64_t>(v) * num_classes) / n);
+    NodeId partner = v;
+    for (int tries = 0; tries < 32 && partner == v; ++tries) {
+      partner = class_tables[c]->Sample(rng);
+    }
+    if (partner == v) partner = (v + 1) % n;
+    FAIRGEN_RETURN_NOT_OK(builder.AddEdge(v, partner));
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  return out;
+}
+
+std::vector<int32_t> FewShotLabels(const LabeledGraph& data,
+                                   uint32_t per_class, Rng& rng) {
+  std::vector<int32_t> few(data.labels.size(), kUnlabeled);
+  if (!data.has_labels() || per_class == 0) return few;
+
+  // Score each node by its fraction of same-class neighbors, so the kept
+  // labels sit in well-connected class cores (Definition 1's assumption
+  // that labeled examples are representative).
+  std::vector<std::vector<std::pair<double, NodeId>>> ranked(
+      data.num_classes);
+  for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
+    int32_t y = data.labels[v];
+    if (y == kUnlabeled) continue;
+    auto nbrs = data.graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    uint32_t same = 0;
+    for (NodeId u : nbrs) {
+      if (data.labels[u] == y) ++same;
+    }
+    double score = static_cast<double>(same) +
+                   0.01 * static_cast<double>(nbrs.size()) +
+                   1e-3 * rng.UniformDouble();  // jitter to break ties
+    ranked[static_cast<size_t>(y)].push_back({score, v});
+  }
+  for (uint32_t c = 0; c < data.num_classes; ++c) {
+    auto& candidates = ranked[c];
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (uint32_t i = 0; i < per_class && i < candidates.size(); ++i) {
+      few[candidates[i].second] = static_cast<int32_t>(c);
+    }
+  }
+  return few;
+}
+
+}  // namespace fairgen

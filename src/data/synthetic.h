@@ -1,0 +1,69 @@
+#ifndef FAIRGEN_DATA_SYNTHETIC_H_
+#define FAIRGEN_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "rng/rng.h"
+#include "walk/context_sampler.h"
+
+namespace fairgen {
+
+/// \brief Parameters of the synthetic dataset generator: a
+/// degree-corrected planted-partition model with power-law degree weights,
+/// planted class communities, and a cohesive protected group.
+///
+/// This substitutes for the paper's downloaded real graphs (see DESIGN.md):
+/// every mechanism FairGen exercises — community structure for
+/// label-informed walks, heavy-tailed degrees for the six Table-II
+/// metrics, and a small structurally coherent protected group for the
+/// fairness evaluation — is present and controllable.
+struct SyntheticGraphConfig {
+  uint32_t num_nodes = 1000;
+  uint64_t num_edges = 5000;
+  /// 0 = unlabeled dataset (Email/FB/GNU/CA rows of Table I).
+  uint32_t num_classes = 0;
+  /// |S+|; 0 = no protected group.
+  uint32_t protected_size = 0;
+  /// Odds multiplier for intra-class over inter-class edges.
+  double intra_class_affinity = 6.0;
+  /// Pareto shape of the degree weights (≈ power-law exponent − 1).
+  double degree_exponent = 1.6;
+  /// Odds multiplier for edges internal to the protected group (makes S+
+  /// a low-conductance region, matching the diffusion-core assumption).
+  double protected_cohesion = 4.0;
+  /// Multiplier on the degree weights of protected nodes (< 1 makes the
+  /// group under-represented in edge volume — the scarcity that causes
+  /// representation disparity in the first place).
+  double protected_degree_scale = 0.4;
+};
+
+/// \brief A graph together with its supervision: full ground-truth labels
+/// (kUnlabeled everywhere for unlabeled datasets) and the protected set.
+struct LabeledGraph {
+  std::string name;
+  Graph graph{Graph::Empty(0)};
+  std::vector<int32_t> labels;       ///< per node; kUnlabeled if none
+  std::vector<NodeId> protected_set; ///< S+ (empty if none)
+  uint32_t num_classes = 0;
+
+  bool has_labels() const { return num_classes > 0; }
+  bool has_protected_group() const { return !protected_set.empty(); }
+};
+
+/// \brief Samples a synthetic labeled graph.
+Result<LabeledGraph> GenerateSynthetic(const SyntheticGraphConfig& config,
+                                       Rng& rng);
+
+/// \brief Few-shot supervision: keeps `per_class` labels per class
+/// (choosing, per the paper's diffusion-core assumption, the most
+/// intra-class-connected members first) and masks the rest to kUnlabeled.
+std::vector<int32_t> FewShotLabels(const LabeledGraph& data,
+                                   uint32_t per_class, Rng& rng);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_DATA_SYNTHETIC_H_

@@ -1,0 +1,137 @@
+#include "embed/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+Status LogisticRegression::Fit(const nn::Tensor& features,
+                               const std::vector<uint32_t>& labels,
+                               uint32_t num_classes,
+                               const LogisticRegressionConfig& config,
+                               Rng& rng) {
+  if (features.rows() != labels.size()) {
+    return Status::InvalidArgument(
+        "feature/label count mismatch: " + std::to_string(features.rows()) +
+        " vs " + std::to_string(labels.size()));
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (uint32_t y : labels) {
+    if (y >= num_classes) {
+      return Status::InvalidArgument("label out of range: " +
+                                     std::to_string(y));
+    }
+  }
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+  num_classes_ = num_classes;
+  weight_ = nn::Tensor::RandUniform(d, num_classes, 0.01f, rng);
+  bias_ = nn::Tensor(1, num_classes);
+
+  std::vector<float> probs(num_classes);
+  nn::Tensor grad_w(d, num_classes);
+  nn::Tensor grad_b(1, num_classes);
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    grad_w.Zero();
+    grad_b.Zero();
+    for (size_t i = 0; i < n; ++i) {
+      const float* x = features.row(i);
+      // logits = x W + b, softmax in place.
+      float max_logit = -1e30f;
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        float z = bias_.at(0, c);
+        for (size_t k = 0; k < d; ++k) z += x[k] * weight_.at(k, c);
+        probs[c] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double total = 0.0;
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        probs[c] = std::exp(probs[c] - max_logit);
+        total += probs[c];
+      }
+      float inv_total = static_cast<float>(1.0 / total);
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        float delta = probs[c] * inv_total - (labels[i] == c ? 1.0f : 0.0f);
+        delta *= inv_n;
+        grad_b.at(0, c) += delta;
+        for (size_t k = 0; k < d; ++k) {
+          grad_w.at(k, c) += delta * x[k];
+        }
+      }
+    }
+    // Gradient step with l2 regularization on the weights.
+    for (size_t j = 0; j < weight_.size(); ++j) {
+      weight_.data()[j] -=
+          config.lr *
+          (grad_w.data()[j] + config.weight_decay * weight_.data()[j]);
+    }
+    for (size_t j = 0; j < bias_.size(); ++j) {
+      bias_.data()[j] -= config.lr * grad_b.data()[j];
+    }
+  }
+  return Status::OK();
+}
+
+nn::Tensor LogisticRegression::PredictProba(
+    const nn::Tensor& features) const {
+  FAIRGEN_CHECK(is_fitted());
+  FAIRGEN_CHECK(features.cols() == weight_.rows());
+  nn::Tensor out(features.rows(), num_classes_);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const float* x = features.row(i);
+    float* row = out.row(i);
+    float max_logit = -1e30f;
+    for (uint32_t c = 0; c < num_classes_; ++c) {
+      float z = bias_.at(0, c);
+      for (size_t k = 0; k < features.cols(); ++k) {
+        z += x[k] * weight_.at(k, c);
+      }
+      row[c] = z;
+      max_logit = std::max(max_logit, z);
+    }
+    double total = 0.0;
+    for (uint32_t c = 0; c < num_classes_; ++c) {
+      row[c] = std::exp(row[c] - max_logit);
+      total += row[c];
+    }
+    float inv = static_cast<float>(1.0 / total);
+    for (uint32_t c = 0; c < num_classes_; ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<uint32_t> LogisticRegression::Predict(
+    const nn::Tensor& features) const {
+  nn::Tensor proba = PredictProba(features);
+  std::vector<uint32_t> preds(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const float* row = proba.row(i);
+    uint32_t best = 0;
+    for (uint32_t c = 1; c < num_classes_; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    preds[i] = best;
+  }
+  return preds;
+}
+
+double LogisticRegression::Accuracy(const nn::Tensor& features,
+                                    const std::vector<uint32_t>& labels) const {
+  FAIRGEN_CHECK(features.rows() == labels.size());
+  if (labels.empty()) return 0.0;
+  std::vector<uint32_t> preds = Predict(features);
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace fairgen

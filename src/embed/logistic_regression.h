@@ -1,0 +1,54 @@
+#ifndef FAIRGEN_EMBED_LOGISTIC_REGRESSION_H_
+#define FAIRGEN_EMBED_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/tensor.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// \brief Training hyperparameters for the logistic-regression classifier.
+struct LogisticRegressionConfig {
+  uint32_t epochs = 200;
+  float lr = 0.1f;
+  float weight_decay = 1e-4f;
+};
+
+/// \brief Multinomial logistic regression over dense features — the base
+/// model of the paper's data-augmentation case study (Sec. III-D: a
+/// logistic-regression classifier on node2vec embeddings).
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+
+  /// Fits on features [N, D] and labels in [0, num_classes) with full-batch
+  /// gradient descent. Returns InvalidArgument on shape mismatch.
+  Status Fit(const nn::Tensor& features, const std::vector<uint32_t>& labels,
+             uint32_t num_classes, const LogisticRegressionConfig& config,
+             Rng& rng);
+
+  /// Class probabilities [N, C].
+  nn::Tensor PredictProba(const nn::Tensor& features) const;
+
+  /// Argmax class per row.
+  std::vector<uint32_t> Predict(const nn::Tensor& features) const;
+
+  /// Fraction of rows whose argmax equals the label.
+  double Accuracy(const nn::Tensor& features,
+                  const std::vector<uint32_t>& labels) const;
+
+  uint32_t num_classes() const { return num_classes_; }
+  bool is_fitted() const { return num_classes_ > 0; }
+
+ private:
+  nn::Tensor weight_;  // [D, C]
+  nn::Tensor bias_;    // [1, C]
+  uint32_t num_classes_ = 0;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EMBED_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,108 @@
+#include "embed/node2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+namespace {
+
+// Fast logistic; the input range is clamped to avoid exp overflow.
+inline float FastSigmoid(float x) {
+  x = std::clamp(x, -8.0f, 8.0f);
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+Node2VecModel Node2VecModel::Train(const Graph& graph,
+                                   const Node2VecConfig& config, Rng& rng) {
+  const uint32_t n = graph.num_nodes();
+  FAIRGEN_CHECK(n > 0);
+  const size_t d = config.dim;
+
+  nn::Tensor in_emb =
+      nn::Tensor::RandUniform(n, d, 0.5f / static_cast<float>(d), rng);
+  nn::Tensor out_emb(n, d);
+
+  // Unigram^{3/4} negative-sampling table over degrees.
+  std::vector<double> neg_weights(n);
+  for (NodeId v = 0; v < n; ++v) {
+    neg_weights[v] = std::pow(static_cast<double>(graph.Degree(v)) + 1e-3,
+                              0.75);
+  }
+  AliasTable neg_table(neg_weights);
+
+  Node2VecWalker walker(graph, config.walk);
+  RandomWalker starts(graph);
+
+  const uint64_t total_walks = static_cast<uint64_t>(config.epochs) *
+                               config.walks_per_node * n;
+  uint64_t walk_counter = 0;
+  std::vector<float> grad_center(d);
+
+  for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // One pass visits every node `walks_per_node` times in random order.
+    std::vector<NodeId> order(n);
+    for (NodeId v = 0; v < n; ++v) order[v] = v;
+    for (uint32_t rep = 0; rep < config.walks_per_node; ++rep) {
+      Shuffle(order, rng);
+      for (NodeId start : order) {
+        float progress = static_cast<float>(walk_counter) /
+                         static_cast<float>(total_walks);
+        float lr = std::max(config.lr * (1.0f - progress), config.lr * 0.05f);
+        ++walk_counter;
+        if (graph.Degree(start) == 0) continue;
+        Walk walk = walker.SampleWalk(start, config.walk_length, rng);
+        for (size_t i = 0; i < walk.size(); ++i) {
+          NodeId center = walk[i];
+          size_t lo = i >= config.window ? i - config.window : 0;
+          size_t hi = std::min(walk.size() - 1, i + config.window);
+          for (size_t j = lo; j <= hi; ++j) {
+            if (j == i) continue;
+            NodeId context = walk[j];
+            std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+            float* vc = in_emb.row(center);
+            // Positive pair + `negatives` sampled negatives.
+            for (uint32_t s = 0; s <= config.negatives; ++s) {
+              NodeId target = (s == 0) ? context : neg_table.Sample(rng);
+              if (s > 0 && target == context) continue;
+              float label = (s == 0) ? 1.0f : 0.0f;
+              float* vo = out_emb.row(target);
+              float dot = 0.0f;
+              for (size_t k = 0; k < d; ++k) dot += vc[k] * vo[k];
+              float g = (FastSigmoid(dot) - label) * lr;
+              for (size_t k = 0; k < d; ++k) {
+                grad_center[k] += g * vo[k];
+                vo[k] -= g * vc[k];
+              }
+            }
+            for (size_t k = 0; k < d; ++k) vc[k] -= grad_center[k];
+          }
+        }
+      }
+    }
+  }
+  return Node2VecModel(std::move(in_emb));
+}
+
+double Node2VecModel::CosineSimilarity(NodeId u, NodeId v) const {
+  FAIRGEN_CHECK(u < embeddings_.rows() && v < embeddings_.rows());
+  const float* a = embeddings_.row(u);
+  const float* b = embeddings_.row(v);
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t k = 0; k < embeddings_.cols(); ++k) {
+    dot += a[k] * b[k];
+    na += a[k] * a[k];
+    nb += b[k] * b[k];
+  }
+  double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,58 @@
+#ifndef FAIRGEN_EMBED_NODE2VEC_H_
+#define FAIRGEN_EMBED_NODE2VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/tensor.h"
+#include "rng/rng.h"
+#include "walk/node2vec_walk.h"
+
+namespace fairgen {
+
+/// \brief Hyperparameters of node2vec (Grover & Leskovec, KDD'16) — the
+/// embedding model the paper uses for the downstream node-classification
+/// case study (Fig. 6).
+struct Node2VecConfig {
+  size_t dim = 64;            ///< embedding dimension
+  uint32_t walks_per_node = 6;
+  uint32_t walk_length = 20;
+  uint32_t window = 4;        ///< skip-gram context window
+  uint32_t negatives = 4;     ///< negative samples per positive pair
+  uint32_t epochs = 2;
+  float lr = 0.025f;          ///< initial SGD learning rate (linear decay)
+  Node2VecParams walk;        ///< (p, q) bias parameters
+};
+
+/// \brief node2vec embeddings trained with skip-gram + negative sampling.
+///
+/// Uses the classic asynchronous-SGD formulation (direct gradient updates,
+/// unigram^{3/4} negative table) rather than the autodiff tape — embedding
+/// training is the throughput-critical inner loop of the augmentation
+/// benchmark.
+class Node2VecModel {
+ public:
+  /// Trains embeddings on `graph`.
+  static Node2VecModel Train(const Graph& graph, const Node2VecConfig& config,
+                             Rng& rng);
+
+  /// The [n, dim] input-embedding matrix.
+  const nn::Tensor& embeddings() const { return embeddings_; }
+
+  /// Embedding dimension.
+  size_t dim() const { return embeddings_.cols(); }
+
+  /// Cosine similarity between the embeddings of two nodes.
+  double CosineSimilarity(NodeId u, NodeId v) const;
+
+ private:
+  explicit Node2VecModel(nn::Tensor embeddings)
+      : embeddings_(std::move(embeddings)) {}
+
+  nn::Tensor embeddings_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EMBED_NODE2VEC_H_

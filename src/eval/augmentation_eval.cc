@@ -1,0 +1,216 @@
+#include "eval/augmentation_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+namespace {
+
+// One embedding-train + k-fold evaluation round; returns per-fold
+// accuracies.
+Result<std::vector<double>> FoldAccuracies(const Graph& graph,
+                                           const LabeledGraph& data,
+                                           const AugmentationConfig& config,
+                                           uint64_t seed);
+
+}  // namespace
+
+Result<AugmentationResult> ClassifyWithEmbedding(
+    const Graph& graph, const LabeledGraph& data,
+    const AugmentationConfig& config, uint64_t seed, std::string name) {
+  std::vector<double> fold_acc;
+  uint32_t repeats = std::max<uint32_t>(1, config.embedding_seeds);
+  for (uint32_t rep = 0; rep < repeats; ++rep) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        std::vector<double> accs,
+        FoldAccuracies(graph, data, config, seed + 1000 * rep));
+    fold_acc.insert(fold_acc.end(), accs.begin(), accs.end());
+  }
+  AugmentationResult result;
+  result.model = std::move(name);
+  double mean = 0.0;
+  for (double a : fold_acc) mean += a;
+  mean /= static_cast<double>(fold_acc.size());
+  double var = 0.0;
+  for (double a : fold_acc) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(fold_acc.size());
+  result.mean_accuracy = mean;
+  result.std_accuracy = std::sqrt(var);
+  return result;
+}
+
+namespace {
+
+Result<std::vector<double>> FoldAccuracies(const Graph& graph,
+                                           const LabeledGraph& data,
+                                           const AugmentationConfig& config,
+                                           uint64_t seed) {
+  if (!data.has_labels()) {
+    return Status::InvalidArgument(
+        "classification requires a labeled dataset");
+  }
+  Rng rng(seed);
+  Node2VecModel embedding = Node2VecModel::Train(graph, config.node2vec, rng);
+
+  // Collect the labeled nodes (ground truth covers all nodes in the
+  // synthetic datasets).
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> labels;
+  for (NodeId v = 0; v < data.labels.size(); ++v) {
+    if (data.labels[v] != kUnlabeled) {
+      nodes.push_back(v);
+      labels.push_back(static_cast<uint32_t>(data.labels[v]));
+    }
+  }
+  if (nodes.size() < config.folds) {
+    return Status::InvalidArgument("not enough labeled nodes for k folds");
+  }
+
+  std::vector<std::vector<uint32_t>> folds =
+      KFoldSplit(static_cast<uint32_t>(nodes.size()), config.folds, rng);
+
+  std::vector<double> fold_acc;
+  fold_acc.reserve(config.folds);
+  const size_t dim = embedding.dim();
+  for (uint32_t f = 0; f < config.folds; ++f) {
+    std::vector<uint8_t> is_test(nodes.size(), 0);
+    for (uint32_t idx : folds[f]) is_test[idx] = 1;
+
+    size_t train_count = nodes.size() - folds[f].size();
+    nn::Tensor train_x(train_count, dim);
+    std::vector<uint32_t> train_y;
+    train_y.reserve(train_count);
+    nn::Tensor test_x(folds[f].size(), dim);
+    std::vector<uint32_t> test_y;
+    test_y.reserve(folds[f].size());
+
+    size_t tr = 0;
+    size_t te = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const float* src = embedding.embeddings().row(nodes[i]);
+      if (is_test[i]) {
+        std::copy(src, src + dim, test_x.row(te++));
+        test_y.push_back(labels[i]);
+      } else {
+        std::copy(src, src + dim, train_x.row(tr++));
+        train_y.push_back(labels[i]);
+      }
+    }
+
+    LogisticRegression clf;
+    FAIRGEN_RETURN_NOT_OK(clf.Fit(train_x, train_y, data.num_classes,
+                                  config.classifier, rng));
+    fold_acc.push_back(clf.Accuracy(test_x, test_y));
+  }
+  return fold_acc;
+}
+
+}  // namespace
+
+Result<Graph> AugmentGraph(const Graph& original, const Graph& generated,
+                           double edge_fraction, Rng& rng) {
+  if (original.num_nodes() != generated.num_nodes()) {
+    return Status::InvalidArgument(
+        "augmentation requires graphs over the same vertex set");
+  }
+  std::vector<Edge> candidates;
+  for (const Edge& e : generated.ToEdgeList()) {
+    if (!original.HasEdge(e.u, e.v)) candidates.push_back(e);
+  }
+  Shuffle(candidates, rng);
+  uint64_t budget = static_cast<uint64_t>(
+      edge_fraction * static_cast<double>(original.num_edges()));
+  if (candidates.size() > budget) candidates.resize(budget);
+
+  GraphBuilder builder(original.num_nodes());
+  FAIRGEN_RETURN_NOT_OK(builder.AddEdges(original.ToEdgeList()));
+  FAIRGEN_RETURN_NOT_OK(builder.AddEdges(candidates));
+  return builder.Build();
+}
+
+Result<Graph> AugmentGraphScored(
+    const Graph& original,
+    const std::vector<std::pair<Edge, double>>& scored_candidates,
+    double edge_fraction) {
+  std::vector<std::pair<Edge, double>> fresh;
+  for (const auto& [edge, score] : scored_candidates) {
+    if (edge.u >= original.num_nodes() || edge.v >= original.num_nodes()) {
+      return Status::InvalidArgument("candidate edge out of range");
+    }
+    if (!original.HasEdge(edge.u, edge.v)) fresh.push_back({edge, score});
+  }
+  std::sort(fresh.begin(), fresh.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first.u != b.first.u ? a.first.u < b.first.u
+                                  : a.first.v < b.first.v;
+  });
+  uint64_t budget = static_cast<uint64_t>(
+      edge_fraction * static_cast<double>(original.num_edges()));
+  if (fresh.size() > budget) fresh.resize(budget);
+
+  GraphBuilder builder(original.num_nodes());
+  FAIRGEN_RETURN_NOT_OK(builder.AddEdges(original.ToEdgeList()));
+  for (const auto& [edge, score] : fresh) {
+    FAIRGEN_RETURN_NOT_OK(builder.AddEdge(edge.u, edge.v));
+  }
+  return builder.Build();
+}
+
+Result<std::vector<AugmentationResult>> EvaluateAugmentation(
+    const LabeledGraph& data, const ZooConfig& zoo_config,
+    const AugmentationConfig& config, uint64_t seed) {
+  std::vector<AugmentationResult> results;
+  FAIRGEN_ASSIGN_OR_RETURN(
+      AugmentationResult base,
+      ClassifyWithEmbedding(data.graph, data, config, seed,
+                            "NoAugmentation"));
+  results.push_back(base);
+
+  FAIRGEN_ASSIGN_OR_RETURN(auto zoo, MakeModelZoo(data, zoo_config, seed));
+  for (auto& model : zoo) {
+    FAIRGEN_LOG(INFO) << data.name << ": augmentation via " << model->name();
+    Rng rng(seed ^ 0xa06a06ULL);
+    FAIRGEN_RETURN_NOT_OK(model->Fit(data.graph, rng));
+    // Prefer the model's explicit candidate scores ("produce potential
+    // edges"); fall back to a random subset of the generated graph's new
+    // edges for models without a score (ER, BA).
+    Graph augmented = Graph::Empty(0);
+    auto scored = model->ScoreEdges(rng);
+    if (scored.ok()) {
+      FAIRGEN_ASSIGN_OR_RETURN(
+          augmented,
+          AugmentGraphScored(data.graph, *scored, config.edge_fraction));
+    } else if (scored.status().IsNotImplemented()) {
+      FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
+      FAIRGEN_ASSIGN_OR_RETURN(
+          augmented,
+          AugmentGraph(data.graph, generated, config.edge_fraction, rng));
+    } else {
+      return scored.status();
+    }
+    FAIRGEN_ASSIGN_OR_RETURN(
+        AugmentationResult r,
+        ClassifyWithEmbedding(augmented, data, config, seed, model->name()));
+    // Label consistency of the inserted edges.
+    for (const Edge& e : augmented.ToEdgeList()) {
+      if (data.graph.HasEdge(e.u, e.v)) continue;
+      ++r.new_edges;
+      if (data.labels[e.u] != kUnlabeled &&
+          data.labels[e.u] == data.labels[e.v]) {
+        r.new_edge_intra_fraction += 1.0;
+      }
+    }
+    if (r.new_edges > 0) {
+      r.new_edge_intra_fraction /= static_cast<double>(r.new_edges);
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,72 @@
+#ifndef FAIRGEN_EVAL_AUGMENTATION_EVAL_H_
+#define FAIRGEN_EVAL_AUGMENTATION_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+#include "embed/logistic_regression.h"
+#include "embed/node2vec.h"
+#include "eval/model_zoo.h"
+
+namespace fairgen {
+
+/// \brief Node-classification accuracy of one configuration (Fig. 6 bar).
+struct AugmentationResult {
+  std::string model;       ///< "NoAugmentation" or a generator name
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;  ///< std across folds (the error bars)
+  /// Number of new (non-original) edges the model inserted.
+  uint64_t new_edges = 0;
+  /// Fraction of the inserted edges joining same-class nodes — the direct,
+  /// variance-free measure of how label-informed the model's "potential
+  /// edges" are (chance level ≈ Σ_c (n_c/n)²).
+  double new_edge_intra_fraction = 0.0;
+};
+
+/// \brief Pipeline knobs of the data-augmentation case study (Sec. III-D).
+struct AugmentationConfig {
+  /// Fraction of |E| new edges inserted into the original graph ("insert
+  /// 5% more edges", Sec. III-D).
+  double edge_fraction = 0.05;
+  /// Cross-validation folds (paper: 10, i.e. 90%/10% splits).
+  uint32_t folds = 10;
+  /// Independent embedding-training repetitions averaged per
+  /// configuration. node2vec variance on small scaled graphs would
+  /// otherwise dominate the augmentation deltas.
+  uint32_t embedding_seeds = 1;
+  Node2VecConfig node2vec;
+  LogisticRegressionConfig classifier;
+};
+
+/// \brief Accuracy of node2vec + logistic regression on `graph` using the
+/// ground-truth labels of `data`, averaged over k folds. This is the
+/// "No Augmentation" red line when `graph` is the original.
+Result<AugmentationResult> ClassifyWithEmbedding(
+    const Graph& graph, const LabeledGraph& data,
+    const AugmentationConfig& config, uint64_t seed, std::string name);
+
+/// \brief Inserts up to `edge_fraction·m` generated-but-not-original edges
+/// into the original graph, chosen uniformly at random among the generated
+/// graph's new edges (fallback operator for models without edge scores).
+Result<Graph> AugmentGraph(const Graph& original, const Graph& generated,
+                           double edge_fraction, Rng& rng);
+
+/// \brief Inserts the `edge_fraction·m` *highest-scored* non-original
+/// candidate edges — the model's most confident "potential edges"
+/// (Sec. III-D). Used when the generator implements ScoreEdges().
+Result<Graph> AugmentGraphScored(
+    const Graph& original,
+    const std::vector<std::pair<Edge, double>>& scored_candidates,
+    double edge_fraction);
+
+/// \brief Full Fig. 6 experiment: the no-augmentation baseline plus one
+/// bar per zoo model.
+Result<std::vector<AugmentationResult>> EvaluateAugmentation(
+    const LabeledGraph& data, const ZooConfig& zoo_config,
+    const AugmentationConfig& config, uint64_t seed);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EVAL_AUGMENTATION_EVAL_H_

@@ -1,0 +1,49 @@
+#include "eval/discrepancy_eval.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fairgen {
+
+Result<GeneratorEvalResult> EvaluateGenerator(GraphGenerator& generator,
+                                              const LabeledGraph& data,
+                                              uint64_t seed) {
+  GeneratorEvalResult result;
+  result.model = generator.name();
+
+  Rng rng(seed);
+  Timer timer;
+  FAIRGEN_RETURN_NOT_OK(generator.Fit(data.graph, rng));
+  result.fit_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  FAIRGEN_ASSIGN_OR_RETURN(Graph generated, generator.Generate(rng));
+  result.generate_seconds = timer.ElapsedSeconds();
+  result.generated_edges = generated.num_edges();
+
+  FAIRGEN_ASSIGN_OR_RETURN(result.overall,
+                           OverallDiscrepancy(data.graph, generated));
+  if (data.has_protected_group()) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        result.protected_group,
+        ProtectedDiscrepancy(data.graph, generated, data.protected_set));
+    result.has_protected = true;
+  }
+  return result;
+}
+
+Result<std::vector<GeneratorEvalResult>> EvaluateGenerators(
+    const LabeledGraph& data, const ZooConfig& config, uint64_t seed) {
+  FAIRGEN_ASSIGN_OR_RETURN(auto zoo, MakeModelZoo(data, config, seed));
+  std::vector<GeneratorEvalResult> results;
+  results.reserve(zoo.size());
+  for (auto& model : zoo) {
+    FAIRGEN_LOG(INFO) << data.name << ": evaluating " << model->name();
+    FAIRGEN_ASSIGN_OR_RETURN(GeneratorEvalResult r,
+                             EvaluateGenerator(*model, data, seed));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace fairgen

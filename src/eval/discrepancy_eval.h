@@ -1,0 +1,42 @@
+#ifndef FAIRGEN_EVAL_DISCREPANCY_EVAL_H_
+#define FAIRGEN_EVAL_DISCREPANCY_EVAL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+#include "eval/model_zoo.h"
+#include "stats/discrepancy.h"
+
+namespace fairgen {
+
+/// \brief Per-model result of one fit/generate/measure run.
+struct GeneratorEvalResult {
+  std::string model;
+  /// Overall discrepancy R(G, G̃, f_m) per metric (Eq. 15) — Fig. 4.
+  std::array<double, kNumGraphMetrics> overall{};
+  /// Protected discrepancy R+(G, G̃, S+, f_m) (Eq. 16) — Fig. 5.
+  /// Valid only when `has_protected`.
+  std::array<double, kNumGraphMetrics> protected_group{};
+  bool has_protected = false;
+  double fit_seconds = 0.0;
+  double generate_seconds = 0.0;
+  uint64_t generated_edges = 0;
+};
+
+/// \brief Fits every zoo model on `data`, generates a synthetic graph, and
+/// measures the Eq. 15/16 discrepancies — the inner loop behind Figures 4
+/// and 5.
+Result<std::vector<GeneratorEvalResult>> EvaluateGenerators(
+    const LabeledGraph& data, const ZooConfig& config, uint64_t seed);
+
+/// \brief Evaluates a single already-constructed generator on `data`.
+Result<GeneratorEvalResult> EvaluateGenerator(GraphGenerator& generator,
+                                              const LabeledGraph& data,
+                                              uint64_t seed);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EVAL_DISCREPANCY_EVAL_H_

@@ -1,0 +1,76 @@
+#include "eval/disparity_probe.h"
+
+#include "common/logging.h"
+#include "graph/subgraph.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+
+Result<std::vector<DisparityPoint>> ProbeDisparity(
+    const LabeledGraph& data, const DisparityProbeConfig& config,
+    uint64_t seed) {
+  if (!data.has_protected_group()) {
+    return Status::InvalidArgument(
+        "disparity probe requires a protected group");
+  }
+  Rng rng(seed);
+
+  // Held-out evaluation walks: uniform walks over G for R(θ) and masked
+  // walks confined to S+ for R_{S+}(θ).
+  RandomWalker walker(data.graph);
+  const uint32_t walk_length = config.netgan.train.walk_length;
+  std::vector<Walk> overall_walks = walker.SampleUniformWalks(
+      config.eval_walks, walk_length, rng);
+
+  std::vector<uint8_t> mask =
+      NodeMask(data.graph.num_nodes(), data.protected_set);
+  std::vector<NodeId> protected_starts;
+  for (NodeId v : data.protected_set) {
+    for (NodeId nbr : data.graph.Neighbors(v)) {
+      if (mask[nbr]) {
+        protected_starts.push_back(v);
+        break;
+      }
+    }
+  }
+  if (protected_starts.empty()) {
+    return Status::FailedPrecondition(
+        "protected group has no internal edges; R_{S+} is undefined");
+  }
+  std::vector<Walk> protected_walks;
+  protected_walks.reserve(config.eval_walks);
+  for (uint32_t i = 0; i < config.eval_walks; ++i) {
+    NodeId start = protected_starts[rng.UniformU32(
+        static_cast<uint32_t>(protected_starts.size()))];
+    protected_walks.push_back(
+        walker.MaskedWalk(start, walk_length, mask, rng));
+  }
+
+  // Incremental training: one Fit for setup, then repeated TrainOnWalks
+  // rounds on freshly sampled corpora, measuring after each round.
+  NetGanConfig round_cfg = config.netgan;
+  round_cfg.train.epochs = 1;
+  NetGanGenerator model(round_cfg);
+  FAIRGEN_RETURN_NOT_OK(model.Fit(data.graph, rng));
+
+  std::vector<DisparityPoint> points;
+  points.reserve(config.checkpoints + 1);
+  auto measure = [&](uint32_t iteration) {
+    DisparityPoint point;
+    point.iteration = iteration;
+    point.overall_nll = MeanWalkNll(*model.model(), overall_walks);
+    point.protected_nll = MeanWalkNll(*model.model(), protected_walks);
+    points.push_back(point);
+  };
+  measure(round_cfg.train.num_walks * round_cfg.train.epochs);
+
+  for (uint32_t round = 1; round < config.checkpoints; ++round) {
+    std::vector<Walk> corpus = walker.SampleUniformWalks(
+        round_cfg.train.num_walks, walk_length, rng);
+    model.TrainOnWalks(corpus, rng);
+    measure((round + 1) * round_cfg.train.num_walks);
+  }
+  return points;
+}
+
+}  // namespace fairgen

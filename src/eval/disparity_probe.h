@@ -1,0 +1,39 @@
+#ifndef FAIRGEN_EVAL_DISPARITY_PROBE_H_
+#define FAIRGEN_EVAL_DISPARITY_PROBE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/synthetic.h"
+#include "generators/netgan.h"
+
+namespace fairgen {
+
+/// \brief One checkpoint of the representation-disparity probe (Fig. 1):
+/// the overall reconstruction loss R(θ) (Eq. 1) and the protected-group
+/// loss R_{S+}(θ) (Eq. 2) of a generator trained for `iteration` rounds.
+struct DisparityPoint {
+  uint32_t iteration = 0;       ///< cumulative training rounds
+  double overall_nll = 0.0;     ///< R(θ) on held-out uniform walks
+  double protected_nll = 0.0;   ///< R_{S+}(θ) on held-out walks inside S+
+};
+
+/// \brief Probe configuration.
+struct DisparityProbeConfig {
+  uint32_t checkpoints = 5;     ///< number of (train, measure) rounds
+  uint32_t eval_walks = 120;    ///< held-out walks per estimator
+  NetGanConfig netgan;          ///< the probed unsupervised model
+};
+
+/// \brief Reproduces the Fig. 1 phenomenon quantitatively: trains an
+/// unsupervised walk generator (NetGAN) in increments and reports R(θ)
+/// and R_{S+}(θ) after each increment. Representation disparity manifests
+/// as the protected loss staying systematically above the overall loss
+/// (and improving more slowly) as training proceeds.
+Result<std::vector<DisparityPoint>> ProbeDisparity(
+    const LabeledGraph& data, const DisparityProbeConfig& config,
+    uint64_t seed);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EVAL_DISPARITY_PROBE_H_

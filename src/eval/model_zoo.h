@@ -1,0 +1,53 @@
+#ifndef FAIRGEN_EVAL_MODEL_ZOO_H_
+#define FAIRGEN_EVAL_MODEL_ZOO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/fairgen_config.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "generators/ba.h"
+#include "generators/er.h"
+#include "generators/gae.h"
+#include "generators/netgan.h"
+#include "generators/taggen.h"
+
+namespace fairgen {
+
+/// \brief Budget/size knobs shared by the whole comparison zoo. Defaults
+/// are the quick CPU profile used by the benchmark harness; `full` raises
+/// them towards the paper's settings.
+struct ZooConfig {
+  /// Few-shot labels revealed per class (the paper's few-shot regime).
+  uint32_t labels_per_class = 5;
+  /// Budget for the walk-LM baselines (NetGAN, TagGen).
+  WalkLMTrainConfig walk_budget;
+  /// FairGen hyperparameters (the variant field is overridden per model).
+  FairGenConfig fairgen;
+  /// GAE budget.
+  GaeConfig gae;
+  /// Include the deep models (they dominate runtime). Random models (ER,
+  /// BA) are always included.
+  bool include_deep = true;
+  /// Include the three FairGen ablations.
+  bool include_ablations = true;
+};
+
+/// \brief The nine comparison models of Sec. III-A, configured for
+/// `data`: FairGen + FairGen-R + FairGen-w/o-SPL + FairGen-w/o-Parity +
+/// ER + BA + GAE + NetGAN + TagGen. FairGen variants receive few-shot
+/// supervision derived from `data` (seeded by `seed`).
+Result<std::vector<std::unique_ptr<GraphGenerator>>> MakeModelZoo(
+    const LabeledGraph& data, const ZooConfig& config, uint64_t seed);
+
+/// \brief Builds a single FairGen trainer wired with few-shot supervision
+/// from `data`.
+Result<std::unique_ptr<FairGenTrainer>> MakeFairGen(
+    const LabeledGraph& data, const ZooConfig& config,
+    FairGenVariant variant, uint64_t seed);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_EVAL_MODEL_ZOO_H_

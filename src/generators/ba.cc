@@ -1,0 +1,95 @@
+#include "generators/ba.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Status BarabasiAlbertGenerator::Fit(const Graph& graph, Rng&) {
+  num_nodes_ = graph.num_nodes();
+  num_edges_ = graph.num_edges();
+  return Status::OK();
+}
+
+Result<Graph> BarabasiAlbertGenerator::Generate(Rng& rng) {
+  if (num_nodes_ == 0) {
+    return Status::FailedPrecondition("Fit must be called before Generate");
+  }
+  uint32_t per_node = static_cast<uint32_t>(std::max<uint64_t>(
+      1, num_edges_ / std::max<uint32_t>(1, num_nodes_)));
+  return SampleBarabasiAlbert(num_nodes_, per_node, num_edges_, rng);
+}
+
+Result<Graph> SampleBarabasiAlbert(uint32_t num_nodes,
+                                   uint32_t edges_per_node,
+                                   uint64_t target_edges, Rng& rng) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("BA requires at least two nodes");
+  }
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node must be positive");
+  }
+  edges_per_node = std::min(edges_per_node, num_nodes - 1);
+
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes degree-proportional (preferential) attachment in O(1).
+  std::vector<NodeId> endpoint_pool;
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> seen;
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    NodeId a = std::min(u, v);
+    NodeId b = std::max(u, v);
+    uint64_t key = static_cast<uint64_t>(a) * num_nodes + b;
+    if (!seen.insert(key).second) return false;
+    edges.push_back({a, b});
+    endpoint_pool.push_back(a);
+    endpoint_pool.push_back(b);
+    return true;
+  };
+
+  // Seed: a small connected core of edges_per_node + 1 nodes (path), so the
+  // first preferential draws are well defined.
+  uint32_t core = std::min(num_nodes, edges_per_node + 1);
+  for (NodeId v = 1; v < core; ++v) add_edge(v - 1, v);
+
+  for (NodeId v = core; v < num_nodes; ++v) {
+    uint32_t attached = 0;
+    uint32_t attempts = 0;
+    while (attached < edges_per_node && attempts < 50 * edges_per_node) {
+      ++attempts;
+      NodeId target = endpoint_pool[rng.UniformU32(
+          static_cast<uint32_t>(endpoint_pool.size()))];
+      if (add_edge(v, target)) ++attached;
+    }
+    if (attached == 0) {
+      // Degenerate fallback: connect to a uniformly random earlier node.
+      add_edge(v, rng.UniformU32(v));
+    }
+  }
+
+  // Top up to the exact edge budget with additional preferential edges.
+  uint64_t max_edges = static_cast<uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  uint64_t budget = std::min(target_edges, max_edges);
+  uint32_t stall = 0;
+  while (target_edges > 0 && edges.size() < budget && stall < 1000000) {
+    NodeId u = endpoint_pool[rng.UniformU32(
+        static_cast<uint32_t>(endpoint_pool.size()))];
+    NodeId v = endpoint_pool[rng.UniformU32(
+        static_cast<uint32_t>(endpoint_pool.size()))];
+    if (!add_edge(u, v)) {
+      ++stall;
+      // Occasionally fall back to uniform pairs so dense targets terminate.
+      if (stall % 100 == 0) {
+        add_edge(rng.UniformU32(num_nodes), rng.UniformU32(num_nodes));
+      }
+      continue;
+    }
+    stall = 0;
+  }
+  return Graph::FromEdges(num_nodes, edges);
+}
+
+}  // namespace fairgen

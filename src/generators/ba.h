@@ -1,0 +1,35 @@
+#ifndef FAIRGEN_GENERATORS_BA_H_
+#define FAIRGEN_GENERATORS_BA_H_
+
+#include "generators/generator.h"
+
+namespace fairgen {
+
+/// \brief Barabási–Albert preferential-attachment baseline.
+///
+/// Fit records n and m; Generate grows a graph node by node, attaching
+/// each newcomer to ~m/n existing nodes chosen with probability
+/// proportional to their current degree, producing the heavy-tailed degree
+/// distribution the BA model is known for.
+class BarabasiAlbertGenerator : public GraphGenerator {
+ public:
+  std::string name() const override { return "BA"; }
+  Status Fit(const Graph& graph, Rng& rng) override;
+  Result<Graph> Generate(Rng& rng) override;
+
+ private:
+  uint32_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+};
+
+/// \brief Samples a BA graph directly: each of the nodes beyond the
+/// initial clique attaches to `edges_per_node` distinct existing nodes by
+/// preferential attachment. Extra edges are added the same way until
+/// `target_edges` is reached (when given a non-zero target).
+Result<Graph> SampleBarabasiAlbert(uint32_t num_nodes,
+                                   uint32_t edges_per_node,
+                                   uint64_t target_edges, Rng& rng);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GENERATORS_BA_H_

@@ -1,0 +1,79 @@
+#include "generators/er.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Status ErdosRenyiGenerator::Fit(const Graph& graph, Rng&) {
+  num_nodes_ = graph.num_nodes();
+  num_edges_ = graph.num_edges();
+  return Status::OK();
+}
+
+Result<Graph> ErdosRenyiGenerator::Generate(Rng& rng) {
+  if (num_nodes_ == 0) {
+    return Status::FailedPrecondition("Fit must be called before Generate");
+  }
+  return SampleErdosRenyi(num_nodes_, num_edges_, rng);
+}
+
+Result<Graph> SampleErdosRenyi(uint32_t num_nodes, uint64_t num_edges,
+                               Rng& rng) {
+  if (num_nodes < 2 && num_edges > 0) {
+    return Status::InvalidArgument("cannot place edges on < 2 nodes");
+  }
+  uint64_t max_edges =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  if (num_edges > max_edges) {
+    return Status::InvalidArgument(
+        "requested " + std::to_string(num_edges) + " edges > max " +
+        std::to_string(max_edges));
+  }
+  GraphBuilder builder(num_nodes);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    NodeId u = rng.UniformU32(num_nodes);
+    NodeId v = rng.UniformU32(num_nodes);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = static_cast<uint64_t>(u) * num_nodes + v;
+    if (seen.insert(key).second) {
+      FAIRGEN_RETURN_NOT_OK(builder.AddEdge(u, v));
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> SampleErdosRenyiP(uint32_t num_nodes, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("p must be in [0, 1]");
+  }
+  GraphBuilder builder(num_nodes);
+  if (p <= 0.0 || num_nodes < 2) return builder.Build();
+  // Geometric skipping over the upper-triangular pair enumeration:
+  // O(n^2 p) expected time.
+  uint64_t total_pairs =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  uint64_t idx = rng.Geometric(p);
+  while (idx < total_pairs) {
+    // Invert the pair index into (u, v), u < v, by walking rows.
+    uint64_t remaining = idx;
+    NodeId u = 0;
+    uint64_t row_len = num_nodes - 1;
+    while (remaining >= row_len) {
+      remaining -= row_len;
+      ++u;
+      --row_len;
+    }
+    NodeId v = u + 1 + static_cast<NodeId>(remaining);
+    FAIRGEN_RETURN_NOT_OK(builder.AddEdge(u, v));
+    idx += 1 + rng.Geometric(p);
+  }
+  return builder.Build();
+}
+
+}  // namespace fairgen

@@ -1,0 +1,31 @@
+#ifndef FAIRGEN_GENERATORS_ER_H_
+#define FAIRGEN_GENERATORS_ER_H_
+
+#include "generators/generator.h"
+
+namespace fairgen {
+
+/// \brief Erdős–Rényi G(n, m) baseline: a uniformly random graph with the
+/// same node and edge counts as the fitted graph.
+class ErdosRenyiGenerator : public GraphGenerator {
+ public:
+  std::string name() const override { return "ER"; }
+  Status Fit(const Graph& graph, Rng& rng) override;
+  Result<Graph> Generate(Rng& rng) override;
+
+ private:
+  uint32_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+};
+
+/// \brief Samples a G(n, m) graph directly (utility for the scalability
+/// benchmark, Fig. 8, which generates ER graphs of growing size/density).
+Result<Graph> SampleErdosRenyi(uint32_t num_nodes, uint64_t num_edges,
+                               Rng& rng);
+
+/// \brief Samples a G(n, p) graph with independent edge probability p.
+Result<Graph> SampleErdosRenyiP(uint32_t num_nodes, double p, Rng& rng);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GENERATORS_ER_H_

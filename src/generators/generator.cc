@@ -1,0 +1,79 @@
+#include "generators/generator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Result<std::vector<std::pair<Edge, double>>> GraphGenerator::ScoreEdges(
+    Rng&) {
+  return Status::NotImplemented(name() + " does not score candidate edges");
+}
+
+EdgeScoreAccumulator::EdgeScoreAccumulator(uint32_t num_nodes)
+    : num_nodes_(num_nodes) {
+  FAIRGEN_CHECK(num_nodes > 0);
+}
+
+void EdgeScoreAccumulator::AddWalk(const Walk& walk) {
+  for (size_t i = 0; i + 1 < walk.size(); ++i) {
+    if (walk[i] != walk[i + 1]) {
+      AddEdge(walk[i], walk[i + 1]);
+    }
+  }
+}
+
+void EdgeScoreAccumulator::AddEdge(NodeId u, NodeId v, double count) {
+  FAIRGEN_CHECK(u < num_nodes_ && v < num_nodes_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  uint64_t key = static_cast<uint64_t>(u) * num_nodes_ + v;
+  scores_[key] += count;
+  total_score_ += count;
+}
+
+void EdgeScoreAccumulator::Merge(const EdgeScoreAccumulator& other) {
+  FAIRGEN_CHECK(other.num_nodes_ == num_nodes_);
+  for (const auto& [key, score] : other.scores_) {
+    scores_[key] += score;
+  }
+  total_score_ += other.total_score_;
+}
+
+std::vector<std::pair<Edge, double>> EdgeScoreAccumulator::ScoredEdges()
+    const {
+  std::vector<std::pair<Edge, double>> out;
+  out.reserve(scores_.size());
+  for (const auto& [key, score] : scores_) {
+    NodeId u = static_cast<NodeId>(key / num_nodes_);
+    NodeId v = static_cast<NodeId>(key % num_nodes_);
+    out.push_back({{u, v}, score});
+  }
+  return out;
+}
+
+Result<Graph> EdgeScoreAccumulator::BuildTopEdges(
+    uint64_t target_edges) const {
+  std::vector<std::pair<Edge, double>> edges = ScoredEdges();
+  std::sort(edges.begin(), edges.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              uint64_t ka = static_cast<uint64_t>(a.first.u) * num_nodes_ +
+                            a.first.v;
+              uint64_t kb = static_cast<uint64_t>(b.first.u) * num_nodes_ +
+                            b.first.v;
+              return ka < kb;
+            });
+  GraphBuilder builder(num_nodes_);
+  uint64_t taken = 0;
+  for (const auto& [edge, score] : edges) {
+    if (taken >= target_edges) break;
+    FAIRGEN_RETURN_NOT_OK(builder.AddEdge(edge.u, edge.v));
+    ++taken;
+  }
+  return builder.Build();
+}
+
+}  // namespace fairgen

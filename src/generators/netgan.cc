@@ -1,0 +1,17 @@
+#include "generators/netgan.h"
+
+namespace fairgen {
+
+NetGanGenerator::NetGanGenerator(NetGanConfig config)
+    : WalkLMGenerator<nn::LstmLM>(config.train), netgan_config_(config) {}
+
+std::unique_ptr<nn::LstmLM> NetGanGenerator::BuildModel(const Graph& graph,
+                                                        Rng& rng) {
+  nn::LstmLMConfig cfg;
+  cfg.vocab_size = graph.num_nodes();
+  cfg.dim = netgan_config_.dim;
+  cfg.hidden_dim = netgan_config_.hidden_dim;
+  return std::make_unique<nn::LstmLM>(cfg, rng);
+}
+
+}  // namespace fairgen

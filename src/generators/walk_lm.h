@@ -1,0 +1,210 @@
+#ifndef FAIRGEN_GENERATORS_WALK_LM_H_
+#define FAIRGEN_GENERATORS_WALK_LM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "generators/generator.h"
+#include "nn/optimizer.h"
+#include "rng/sampling.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+
+/// \brief Shared training/generation budget for the walk language-model
+/// generators (NetGAN, TagGen, and FairGen's M1).
+struct WalkLMTrainConfig {
+  uint32_t walk_length = 10;  ///< T (paper: 10)
+  uint32_t num_walks = 400;   ///< K training walks sampled from the graph
+  uint32_t epochs = 4;        ///< passes over the walk corpus
+  uint32_t batch_size = 16;   ///< walks per optimizer step
+  float lr = 3e-3f;
+  float grad_clip = 5.0f;
+  /// Number of generated transitions, as a multiple of m, fed into the
+  /// score matrix B ("we generate a much larger number of random walks
+  /// than the sampled ones", Sec. II-D).
+  double gen_transition_multiplier = 8.0;
+  /// Softmax temperature at generation time.
+  float temperature = 1.0f;
+  /// Worker threads for generation-time walk sampling (model forward
+  /// passes are read-only and thread-safe). 1 = sequential.
+  uint32_t num_threads = 1;
+};
+
+/// \brief Mean NLL of `model` over a set of walks — the empirical
+/// R(θ) / R_{S+}(θ) estimator of Eqs. 1–2 used by the disparity probe.
+template <typename LM>
+double MeanWalkNll(const LM& model, const std::vector<Walk>& walks) {
+  if (walks.empty()) return 0.0;
+  double total = 0.0;
+  for (const Walk& w : walks) {
+    total += static_cast<double>(model.WalkNll(w)->value.ScalarValue());
+  }
+  return total / static_cast<double>(walks.size());
+}
+
+/// \brief Teacher-forced language-model generator over uniform random
+/// walks, parameterized by the sequence model (LstmLM → NetGAN,
+/// TransformerLM → TagGen).
+///
+/// `LM` must provide: a constructor from (config, Rng&) handled by the
+/// subclass, `WalkNll`, `SampleWalk`, and `Parameters`.
+template <typename LM>
+class WalkLMGenerator : public GraphGenerator {
+ public:
+  explicit WalkLMGenerator(WalkLMTrainConfig config)
+      : config_(config) {}
+
+  Status Fit(const Graph& graph, Rng& rng) override {
+    if (graph.num_nodes() < 2 || graph.num_edges() == 0) {
+      return Status::InvalidArgument(name() +
+                                     " requires a non-empty graph");
+    }
+    fitted_graph_ = graph;
+    fitted_ = true;
+    model_ = BuildModel(graph, rng);
+
+    RandomWalker walker(graph);
+    std::vector<Walk> corpus =
+        walker.SampleUniformWalks(config_.num_walks, config_.walk_length,
+                                  rng);
+    TrainOnWalks(corpus, rng);
+
+    // Degree-proportional start distribution for generation.
+    std::vector<double> deg(graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      deg[v] = static_cast<double>(graph.Degree(v));
+    }
+    start_table_ = std::make_unique<AliasTable>(deg);
+    return Status::OK();
+  }
+
+  Result<Graph> Generate(Rng& rng) override {
+    if (!fitted_) {
+      return Status::FailedPrecondition(
+          "Fit must be called before Generate");
+    }
+    return AccumulateWalks(rng).BuildTopEdges(fitted_graph_.num_edges());
+  }
+
+  Result<std::vector<std::pair<Edge, double>>> ScoreEdges(
+      Rng& rng) override {
+    if (!fitted_) {
+      return Status::FailedPrecondition(
+          "Fit must be called before ScoreEdges");
+    }
+    return AccumulateWalks(rng).ScoredEdges();
+  }
+
+  /// Continues training on additional walks (used by tests and by the
+  /// disparity probe, which trains in increments and measures NLL between
+  /// checkpoints).
+  void TrainOnWalks(const std::vector<Walk>& corpus, Rng& rng) {
+    FAIRGEN_CHECK(model_ != nullptr);
+    nn::Adam optim(model_->Parameters(), config_.lr);
+    std::vector<uint32_t> order(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      Shuffle(order, rng);
+      optim.ZeroGrad();
+      uint32_t in_batch = 0;
+      for (uint32_t idx : order) {
+        if (corpus[idx].size() < 2) continue;
+        nn::Var loss = model_->WalkNll(corpus[idx]);
+        nn::Backward(loss);
+        last_loss_ = loss->value.ScalarValue();
+        if (++in_batch == config_.batch_size) {
+          ScaleGrads(1.0f / static_cast<float>(in_batch));
+          optim.ClipGradNorm(config_.grad_clip);
+          optim.Step();
+          optim.ZeroGrad();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        ScaleGrads(1.0f / static_cast<float>(in_batch));
+        optim.ClipGradNorm(config_.grad_clip);
+        optim.Step();
+      }
+    }
+  }
+
+  /// The trained sequence model (null before Fit).
+  const LM* model() const { return model_.get(); }
+  LM* mutable_model() { return model_.get(); }
+
+  /// NLL of the last processed training walk (diagnostics).
+  double last_loss() const { return last_loss_; }
+
+  const WalkLMTrainConfig& config() const { return config_; }
+  const Graph& fitted_graph() const { return fitted_graph_; }
+  bool fitted() const { return fitted_; }
+
+ protected:
+  /// Constructs the sequence model for a graph with n nodes.
+  virtual std::unique_ptr<LM> BuildModel(const Graph& graph, Rng& rng) = 0;
+
+  /// Samples walks from the trained model into a score accumulator
+  /// (the B matrix of Sec. II-D). Parallelized over
+  /// `config_.num_threads` workers with independent RNG streams.
+  EdgeScoreAccumulator AccumulateWalks(Rng& rng) const {
+    const uint64_t target_transitions = static_cast<uint64_t>(
+        config_.gen_transition_multiplier *
+        static_cast<double>(fitted_graph_.num_edges()));
+    auto sample_into = [this](EdgeScoreAccumulator& acc, uint64_t budget,
+                              Rng worker_rng) {
+      uint64_t transitions = 0;
+      while (transitions < budget) {
+        uint32_t start = start_table_->Sample(worker_rng);
+        Walk walk = model_->SampleWalk(start, config_.walk_length,
+                                       worker_rng, config_.temperature);
+        acc.AddWalk(walk);
+        transitions += walk.size() - 1;
+      }
+    };
+
+    EdgeScoreAccumulator acc(fitted_graph_.num_nodes());
+    uint32_t threads = std::max<uint32_t>(1, config_.num_threads);
+    if (threads == 1) {
+      sample_into(acc, target_transitions, rng.Split());
+      return acc;
+    }
+    std::vector<EdgeScoreAccumulator> partials(
+        threads, EdgeScoreAccumulator(fitted_graph_.num_nodes()));
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    uint64_t per_thread = (target_transitions + threads - 1) / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back(sample_into, std::ref(partials[t]), per_thread,
+                           rng.Split());
+    }
+    for (std::thread& w : workers) w.join();
+    for (const EdgeScoreAccumulator& partial : partials) {
+      acc.Merge(partial);
+    }
+    return acc;
+  }
+
+  void ScaleGrads(float factor) {
+    for (const nn::Var& p : model_->Parameters()) {
+      p->grad.Scale(factor);
+    }
+  }
+
+  WalkLMTrainConfig config_;
+  Graph fitted_graph_{Graph::Empty(0)};
+  bool fitted_ = false;
+  std::unique_ptr<LM> model_;
+  std::unique_ptr<AliasTable> start_table_;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GENERATORS_WALK_LM_H_

@@ -1,0 +1,66 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fairgen {
+
+GraphBuilder::GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        "edge endpoint out of range: {" + std::to_string(u) + ", " +
+        std::to_string(v) + "} with num_nodes=" + std::to_string(num_nodes_));
+  }
+  if (u == v) return Status::OK();  // drop self loops
+  if (u > v) std::swap(u, v);
+  pending_.push_back({u, v});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  pending_.reserve(pending_.size() + edges.size());
+  for (const Edge& e : edges) {
+    FAIRGEN_RETURN_NOT_OK(AddEdge(e.u, e.v));
+  }
+  return Status::OK();
+}
+
+Result<Graph> GraphBuilder::Build() const {
+  std::vector<Edge> edges = pending_;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_edges_ = edges.size();
+  g.offsets_.assign(num_nodes_ + 1, 0);
+
+  // Count degrees, then prefix-sum into offsets.
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (uint32_t i = 0; i < num_nodes_; ++i) {
+    g.offsets_[i + 1] += g.offsets_[i];
+  }
+
+  g.neighbors_.resize(2 * edges.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    g.neighbors_[cursor[e.u]++] = e.v;
+    g.neighbors_[cursor[e.v]++] = e.u;
+  }
+  // Each adjacency list must be sorted; insertion order above preserves
+  // sortedness for the u-side but not the v-side, so sort per node.
+  for (uint32_t v = 0; v < num_nodes_; ++v) {
+    std::sort(g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v]),
+              g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+}  // namespace fairgen

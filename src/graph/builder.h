@@ -1,0 +1,42 @@
+#ifndef FAIRGEN_GRAPH_BUILDER_H_
+#define FAIRGEN_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Incremental builder producing an immutable `Graph`.
+///
+/// Accepts edges in any order and orientation; self loops are silently
+/// dropped and duplicates collapsed at Build() time.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph on nodes [0, num_nodes).
+  explicit GraphBuilder(uint32_t num_nodes);
+
+  /// Adds the undirected edge {u, v}. Returns InvalidArgument if an
+  /// endpoint is out of range; self loops are accepted and ignored.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Adds every edge in `edges`.
+  Status AddEdges(const std::vector<Edge>& edges);
+
+  /// Number of (possibly duplicated) edges added so far, self loops
+  /// excluded.
+  uint64_t num_pending_edges() const { return pending_.size(); }
+
+  /// Finalizes into a CSR graph. The builder may be reused afterwards
+  /// (it retains its pending edges).
+  Result<Graph> Build() const;
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<Edge> pending_;  // canonical u < v
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_BUILDER_H_

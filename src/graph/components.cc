@@ -1,0 +1,58 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace fairgen {
+
+ComponentInfo ConnectedComponents(const Graph& graph) {
+  const uint32_t n = graph.num_nodes();
+  ComponentInfo info;
+  info.label.assign(n, UINT32_MAX);
+
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (info.label[start] != UINT32_MAX) continue;
+    uint32_t comp = info.num_components++;
+    uint32_t size = 0;
+    queue.clear();
+    queue.push_back(start);
+    info.label[start] = comp;
+    while (!queue.empty()) {
+      NodeId v = queue.back();
+      queue.pop_back();
+      ++size;
+      for (NodeId nbr : graph.Neighbors(v)) {
+        if (info.label[nbr] == UINT32_MAX) {
+          info.label[nbr] = comp;
+          queue.push_back(nbr);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  info.largest = info.sizes.empty()
+                     ? 0
+                     : *std::max_element(info.sizes.begin(), info.sizes.end());
+  return info;
+}
+
+uint32_t LargestComponentSize(const Graph& graph) {
+  return ConnectedComponents(graph).largest;
+}
+
+std::vector<NodeId> LargestComponentNodes(const Graph& graph) {
+  ComponentInfo info = ConnectedComponents(graph);
+  if (info.num_components == 0) return {};
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < info.num_components; ++c) {
+    if (info.sizes[c] > info.sizes[best]) best = c;
+  }
+  std::vector<NodeId> nodes;
+  nodes.reserve(info.sizes[best]);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (info.label[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+}  // namespace fairgen

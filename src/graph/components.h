@@ -1,0 +1,34 @@
+#ifndef FAIRGEN_GRAPH_COMPONENTS_H_
+#define FAIRGEN_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Connected-component decomposition of an undirected graph.
+struct ComponentInfo {
+  /// Component label per node, labels in [0, num_components).
+  std::vector<uint32_t> label;
+  /// Size of each component.
+  std::vector<uint32_t> sizes;
+  /// Number of components.
+  uint32_t num_components = 0;
+  /// Size of the largest connected component (the paper's LCC metric).
+  uint32_t largest = 0;
+};
+
+/// \brief Computes connected components with iterative BFS.
+ComponentInfo ConnectedComponents(const Graph& graph);
+
+/// \brief Size of the largest connected component.
+uint32_t LargestComponentSize(const Graph& graph);
+
+/// \brief Nodes of the largest connected component (ascending order).
+std::vector<NodeId> LargestComponentNodes(const Graph& graph);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_COMPONENTS_H_

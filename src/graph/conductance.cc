@@ -1,0 +1,42 @@
+#include "graph/conductance.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+
+namespace fairgen {
+
+uint64_t CutSize(const Graph& graph, const std::vector<NodeId>& set) {
+  std::vector<uint8_t> mask = NodeMask(graph.num_nodes(), set);
+  uint64_t cut = 0;
+  for (NodeId v : set) {
+    if (v >= graph.num_nodes()) continue;
+    for (NodeId nbr : graph.Neighbors(v)) {
+      if (!mask[nbr]) ++cut;
+    }
+  }
+  return cut;
+}
+
+Result<double> Conductance(const Graph& graph,
+                           const std::vector<NodeId>& set) {
+  if (set.empty()) {
+    return Status::InvalidArgument("conductance of empty set is undefined");
+  }
+  if (set.size() >= graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "conductance of the full vertex set is undefined");
+  }
+  uint64_t vol_s = graph.Volume(set);
+  uint64_t vol_total = 2 * graph.num_edges();
+  uint64_t vol_comp = vol_total - vol_s;
+  uint64_t denom = std::min(vol_s, vol_comp);
+  if (denom == 0) {
+    return Status::InvalidArgument(
+        "conductance undefined: set (or complement) has zero volume");
+  }
+  return static_cast<double>(CutSize(graph, set)) /
+         static_cast<double>(denom);
+}
+
+}  // namespace fairgen

@@ -1,0 +1,24 @@
+#ifndef FAIRGEN_GRAPH_CONDUCTANCE_H_
+#define FAIRGEN_GRAPH_CONDUCTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Conductance φ(S) = cut(S) / min(vol(S), vol(V \ S)) of a node set.
+///
+/// φ(S) controls the escape probability of random walks from S and hence
+/// the paper's Lemma 2.1 guarantee (P[walk stays in S] >= 1 − T·δ·φ(S)).
+/// Returns InvalidArgument when S is empty or all of V, or when the
+/// denominator is zero (a set with no incident edges).
+Result<double> Conductance(const Graph& graph, const std::vector<NodeId>& set);
+
+/// \brief Number of edges crossing the cut (S, V \ S).
+uint64_t CutSize(const Graph& graph, const std::vector<NodeId>& set);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_CONDUCTANCE_H_

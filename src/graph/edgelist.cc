@@ -1,0 +1,68 @@
+#include "graph/edgelist.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/strings.h"
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Result<Graph> LoadEdgeList(const std::string& path, uint32_t num_nodes) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open edge list: " + path);
+  }
+  std::vector<Edge> edges;
+  uint32_t max_id = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::vector<std::string> fields = StrSplitWhitespace(trimmed);
+    if (fields.size() < 2) {
+      return Status::IOError("malformed edge at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    char* end = nullptr;
+    unsigned long u = std::strtoul(fields[0].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::IOError("non-numeric node id at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    unsigned long v = std::strtoul(fields[1].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::IOError("non-numeric node id at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    if (u > UINT32_MAX || v > UINT32_MAX) {
+      return Status::OutOfRange("node id exceeds 32 bits at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    max_id = std::max(max_id, static_cast<uint32_t>(std::max(u, v)));
+  }
+  uint32_t n = std::max(num_nodes, edges.empty() ? num_nodes : max_id + 1);
+  return Graph::FromEdges(n, edges);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << "# fairgen edge list: " << graph.num_nodes() << " nodes, "
+       << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.ToEdgeList()) {
+    file << e.u << ' ' << e.v << '\n';
+  }
+  if (!file.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fairgen

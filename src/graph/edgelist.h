@@ -1,0 +1,23 @@
+#ifndef FAIRGEN_GRAPH_EDGELIST_H_
+#define FAIRGEN_GRAPH_EDGELIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Loads an undirected graph from a whitespace-separated edge-list
+/// text file ("u v" per line; lines starting with '#' or '%' are comments).
+/// Node ids must be dense non-negative integers; `num_nodes` is inferred as
+/// max id + 1 unless a larger value is given.
+Result<Graph> LoadEdgeList(const std::string& path, uint32_t num_nodes = 0);
+
+/// \brief Writes `graph` as an edge-list text file (one "u v" per line,
+/// canonical orientation u < v).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_EDGELIST_H_

@@ -1,0 +1,65 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Result<Graph> Graph::FromEdges(uint32_t num_nodes,
+                               const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  FAIRGEN_RETURN_NOT_OK(builder.AddEdges(edges));
+  return builder.Build();
+}
+
+Graph Graph::Empty(uint32_t num_nodes) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = 0;
+  g.offsets_.assign(num_nodes + 1, 0);
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  // Search the shorter list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::ToEdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+std::vector<uint32_t> Graph::Degrees() const {
+  std::vector<uint32_t> deg(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) deg[v] = Degree(v);
+  return deg;
+}
+
+uint64_t Graph::Volume(std::span<const NodeId> nodes) const {
+  uint64_t vol = 0;
+  for (NodeId v : nodes) {
+    FAIRGEN_CHECK(v < num_nodes_);
+    vol += Degree(v);
+  }
+  return vol;
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+}  // namespace fairgen

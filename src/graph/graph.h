@@ -1,0 +1,92 @@
+#ifndef FAIRGEN_GRAPH_GRAPH_H_
+#define FAIRGEN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairgen {
+
+/// Node identifier. Dense ids in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// \brief An undirected edge. Stored canonically with u <= v inside Graph,
+/// but either orientation is accepted at API boundaries.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// \brief Immutable undirected graph in CSR (compressed sparse row) form.
+///
+/// Invariants (established by GraphBuilder and checked in tests):
+///  - no self loops, no duplicate edges;
+///  - each undirected edge {u, v} appears in both adjacency lists;
+///  - every adjacency list is sorted ascending (enables O(log d) HasEdge
+///    and linear-time triangle counting).
+class Graph {
+ public:
+  /// Builds a graph from an edge list over nodes [0, num_nodes).
+  /// Self loops are dropped; duplicate edges are collapsed. Fails if an
+  /// endpoint is >= num_nodes.
+  static Result<Graph> FromEdges(uint32_t num_nodes,
+                                 const std::vector<Edge>& edges);
+
+  /// An empty graph on `num_nodes` isolated vertices.
+  static Graph Empty(uint32_t num_nodes);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  /// Number of vertices n.
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Number of undirected edges m.
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// Degree of `v`.
+  uint32_t Degree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the undirected edge {u, v} exists. O(log deg(u)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v) order, sorted lexicographically.
+  std::vector<Edge> ToEdgeList() const;
+
+  /// Degrees of all nodes.
+  std::vector<uint32_t> Degrees() const;
+
+  /// Sum of degrees of the nodes in `nodes` (the *volume* vol(S)).
+  uint64_t Volume(std::span<const NodeId> nodes) const;
+
+  /// Maximum degree.
+  uint32_t MaxDegree() const;
+
+ private:
+  friend class GraphBuilder;
+  Graph() = default;
+
+  uint32_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  std::vector<uint64_t> offsets_;   // size n+1
+  std::vector<NodeId> neighbors_;   // size 2m, sorted within each node
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "graph/subgraph.h"
+
+#include <string>
+
+#include "graph/builder.h"
+
+namespace fairgen {
+
+Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  std::vector<int64_t> to_local(graph.num_nodes(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    if (v >= graph.num_nodes()) {
+      return Status::InvalidArgument("subgraph node out of range: " +
+                                     std::to_string(v));
+    }
+    if (to_local[v] != -1) {
+      return Status::InvalidArgument("duplicate node in subgraph set: " +
+                                     std::to_string(v));
+    }
+    to_local[v] = static_cast<int64_t>(i);
+  }
+
+  GraphBuilder builder(static_cast<uint32_t>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId nbr : graph.Neighbors(nodes[i])) {
+      int64_t j = to_local[nbr];
+      if (j >= 0 && nodes[i] < nbr) {
+        FAIRGEN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                              static_cast<NodeId>(j)));
+      }
+    }
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(Graph sub, builder.Build());
+  return Subgraph{std::move(sub), nodes};
+}
+
+std::vector<uint8_t> NodeMask(uint32_t num_nodes,
+                              const std::vector<NodeId>& nodes) {
+  std::vector<uint8_t> mask(num_nodes, 0);
+  for (NodeId v : nodes) {
+    if (v < num_nodes) mask[v] = 1;
+  }
+  return mask;
+}
+
+std::vector<NodeId> ComplementSet(uint32_t num_nodes,
+                                  const std::vector<NodeId>& nodes) {
+  std::vector<uint8_t> mask = NodeMask(num_nodes, nodes);
+  std::vector<NodeId> out;
+  out.reserve(num_nodes - nodes.size());
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (!mask[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace fairgen

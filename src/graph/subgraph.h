@@ -1,0 +1,34 @@
+#ifndef FAIRGEN_GRAPH_SUBGRAPH_H_
+#define FAIRGEN_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief An induced subgraph together with the mapping back to the parent
+/// graph's node ids.
+struct Subgraph {
+  Graph graph;                       ///< relabeled to [0, nodes.size())
+  std::vector<NodeId> to_parent;     ///< local id -> parent id
+};
+
+/// \brief Extracts the subgraph induced by `nodes` (duplicates rejected).
+/// Used to evaluate the protected-group discrepancy R+ (Eq. 16), which is
+/// computed on G_{S+}, the subgraph induced by the protected vertices.
+Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& nodes);
+
+/// \brief Membership mask (size n) for a node set.
+std::vector<uint8_t> NodeMask(uint32_t num_nodes,
+                              const std::vector<NodeId>& nodes);
+
+/// \brief Complement of `nodes` within [0, num_nodes).
+std::vector<NodeId> ComplementSet(uint32_t num_nodes,
+                                  const std::vector<NodeId>& nodes);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,62 @@
+#include "graph/transition.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+TransitionOperator::TransitionOperator(const Graph& graph) : graph_(&graph) {}
+
+std::vector<double> TransitionOperator::Apply(
+    const std::vector<double>& x) const {
+  const Graph& g = *graph_;
+  FAIRGEN_CHECK(x.size() == g.num_nodes());
+  std::vector<double> y(x.size(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    double mass = x[v];
+    if (mass == 0.0) continue;
+    uint32_t deg = g.Degree(v);
+    if (deg == 0) {
+      y[v] += mass;  // isolated node keeps its mass
+      continue;
+    }
+    y[v] += 0.5 * mass;
+    double share = 0.5 * mass / static_cast<double>(deg);
+    for (NodeId u : g.Neighbors(v)) {
+      y[u] += share;
+    }
+  }
+  return y;
+}
+
+std::vector<double> TransitionOperator::ApplyTruncated(
+    const std::vector<double>& x, const std::vector<uint8_t>& mask) const {
+  FAIRGEN_CHECK(mask.size() == x.size());
+  std::vector<double> y = Apply(x);
+  for (size_t v = 0; v < y.size(); ++v) {
+    if (!mask[v]) y[v] = 0.0;
+  }
+  return y;
+}
+
+std::vector<double> TransitionOperator::TruncatedPower(
+    NodeId source, uint32_t t, const std::vector<uint8_t>& mask) const {
+  FAIRGEN_CHECK(source < graph_->num_nodes());
+  std::vector<double> x(graph_->num_nodes(), 0.0);
+  x[source] = 1.0;
+  if (!mask[source]) {
+    x[source] = 0.0;
+    return x;
+  }
+  for (uint32_t step = 0; step < t; ++step) {
+    x = ApplyTruncated(x, mask);
+  }
+  return x;
+}
+
+double TransitionOperator::Mass(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+}  // namespace fairgen

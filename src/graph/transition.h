@@ -1,0 +1,46 @@
+#ifndef FAIRGEN_GRAPH_TRANSITION_H_
+#define FAIRGEN_GRAPH_TRANSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief The lazy random-walk transition operator M = (A D^{-1} + I) / 2
+/// of an undirected graph, applied matrix-free to probability vectors.
+///
+/// M is column-stochastic: entry M[u][v] is the probability of moving from
+/// v to u in one lazy step (stay with probability 1/2, otherwise a uniform
+/// neighbor). Isolated nodes keep all their mass. This is the operator in
+/// the paper's Definition 1 (diffusion cores) and Lemma 2.1.
+class TransitionOperator {
+ public:
+  /// Keeps a pointer to `graph`; the graph must outlive this operator.
+  explicit TransitionOperator(const Graph& graph);
+
+  /// Returns M x.
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// Returns diag(mask) M x — one step of the walk truncated to the set
+  /// indicated by `mask` (mass leaving the set is discarded).
+  std::vector<double> ApplyTruncated(const std::vector<double>& x,
+                                     const std::vector<uint8_t>& mask) const;
+
+  /// Returns (diag(mask) M)^t χ_{source}; its l1 mass is the probability
+  /// that a t-step lazy walk started at `source` never leaves the set.
+  std::vector<double> TruncatedPower(NodeId source, uint32_t t,
+                                     const std::vector<uint8_t>& mask) const;
+
+  /// l1 mass of `x` (probability retained after truncation).
+  static double Mass(const std::vector<double>& x);
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_GRAPH_TRANSITION_H_

@@ -1,0 +1,64 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+
+namespace fairgen {
+
+namespace {
+
+// Intersects two sorted ranges, invoking `fn` on each common element.
+template <typename Fn>
+void ForEachCommon(std::span<const NodeId> a, std::span<const NodeId> b,
+                   Fn&& fn) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t count = 0;
+  // For each edge (u, v) with u < v, count common neighbors w > v; each
+  // triangle {u, v, w} with u < v < w is counted exactly once.
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nu = graph.Neighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;
+      ForEachCommon(nu, graph.Neighbors(v), [&](NodeId w) {
+        if (w > v) ++count;
+      });
+    }
+  }
+  return count;
+}
+
+std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
+  std::vector<uint64_t> tri(graph.num_nodes(), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nu = graph.Neighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;
+      ForEachCommon(nu, graph.Neighbors(v), [&](NodeId w) {
+        if (w > v) {
+          ++tri[u];
+          ++tri[v];
+          ++tri[w];
+        }
+      });
+    }
+  }
+  return tri;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,121 @@
+#include "nn/autograd.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace fairgen::nn {
+
+Node::Node(Tensor value_in, bool requires_grad_in)
+    : value(std::move(value_in)), requires_grad(requires_grad_in) {}
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+}
+
+Var MakeLeaf(Tensor value, bool requires_grad) {
+  return std::make_shared<Node>(std::move(value), requires_grad);
+}
+
+Var MakeParameter(Tensor value) { return MakeLeaf(std::move(value), true); }
+
+Var MakeConstant(Tensor value) { return MakeLeaf(std::move(value), false); }
+
+namespace internal {
+
+Var MakeOpNode(Tensor value, std::vector<Var> parents,
+               std::function<void(Node&)> backward_fn, const char* op_name) {
+  bool needs_grad = false;
+  for (const Var& p : parents) {
+    if (p->requires_grad) {
+      needs_grad = true;
+      break;
+    }
+  }
+  Var node = std::make_shared<Node>(std::move(value), needs_grad);
+  if (needs_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  node->op_name = op_name;
+  return node;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Iterative post-order DFS: children (parents in autodiff terms) before the
+// node itself; reversing gives a valid order for backward propagation.
+void TopoSort(const Var& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  FAIRGEN_CHECK(root != nullptr);
+  FAIRGEN_CHECK(root->rows() == 1 && root->cols() == 1)
+      << "Backward requires a scalar root, got [" << root->rows() << ","
+      << root->cols() << "]";
+  if (!root->requires_grad) return;
+
+  std::vector<Node*> order;
+  TopoSort(root, order);
+
+  // Zero interior grads so stale values from a previous backward pass do
+  // not leak in; leaves keep their grads (accumulation semantics).
+  for (Node* node : order) {
+    if (node->backward_fn) {
+      node->grad = Tensor(node->value.rows(), node->value.cols());
+    } else {
+      node->EnsureGrad();
+    }
+  }
+  root->grad.Fill(1.0f);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void ZeroGrad(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    p->EnsureGrad();
+    p->grad.Zero();
+  }
+}
+
+double GradNormSquared(const std::vector<Var>& params) {
+  double total = 0.0;
+  for (const Var& p : params) {
+    if (p->grad.empty()) continue;
+    double n = p->grad.Norm();
+    total += n * n;
+  }
+  return total;
+}
+
+}  // namespace fairgen::nn

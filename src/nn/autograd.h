@@ -1,0 +1,78 @@
+#ifndef FAIRGEN_NN_AUTOGRAD_H_
+#define FAIRGEN_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace fairgen::nn {
+
+class Node;
+
+/// A handle to a node of the dynamically built computation graph.
+/// Graphs are built eagerly by the op functions in ops.h and freed when the
+/// last handle goes out of scope after Backward().
+using Var = std::shared_ptr<Node>;
+
+/// \brief One node of the reverse-mode autodiff tape.
+///
+/// `backward_fn`, installed by the op that created the node, reads
+/// `grad` (dL/d value) and accumulates into the parents' `grad` tensors.
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad);
+
+  /// Forward value.
+  Tensor value;
+  /// Gradient of the loss w.r.t. `value`; allocated lazily by Backward().
+  Tensor grad;
+  /// Whether gradients should flow into (and through) this node.
+  bool requires_grad = false;
+  /// Direct inputs of the op that produced this node (empty for leaves).
+  std::vector<Var> parents;
+  /// Propagates this node's grad into its parents. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+  /// Optional human-readable tag for debugging.
+  std::string op_name;
+
+  /// Allocates (zeroed) `grad` if not yet allocated.
+  void EnsureGrad();
+
+  size_t rows() const { return value.rows(); }
+  size_t cols() const { return value.cols(); }
+};
+
+/// \brief Creates a leaf variable. Gradients are accumulated into it when
+/// `requires_grad` is true (i.e., it is a model parameter).
+Var MakeLeaf(Tensor value, bool requires_grad = false);
+
+/// \brief Creates a trainable parameter (leaf with requires_grad = true).
+Var MakeParameter(Tensor value);
+
+/// \brief Creates a constant (leaf with requires_grad = false).
+Var MakeConstant(Tensor value);
+
+/// \brief Runs reverse-mode differentiation from `root`, which must hold a
+/// 1x1 scalar. After the call, every reachable leaf with requires_grad has
+/// dL/d leaf accumulated into its `grad` (existing grad content is kept,
+/// enabling gradient accumulation across minibatch elements).
+void Backward(const Var& root);
+
+/// \brief Zeroes the grad buffers of `params`.
+void ZeroGrad(const std::vector<Var>& params);
+
+/// \brief Sum of squared entries across parameter grads (diagnostics).
+double GradNormSquared(const std::vector<Var>& params);
+
+namespace internal {
+/// Creates an interior node from an op. For use by ops.h implementations.
+Var MakeOpNode(Tensor value, std::vector<Var> parents,
+               std::function<void(Node&)> backward_fn, const char* op_name);
+}  // namespace internal
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_AUTOGRAD_H_

@@ -1,0 +1,51 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fairgen::nn {
+
+GradCheckResult CheckGradients(const std::function<Var()>& loss_fn,
+                               const std::vector<Var>& params,
+                               size_t checks_per_param, Rng& rng, float eps) {
+  // Analytic gradients.
+  ZeroGrad(params);
+  Var loss = loss_fn();
+  Backward(loss);
+
+  GradCheckResult result;
+  for (const Var& p : params) {
+    size_t n = p->value.size();
+    size_t checks = std::min(checks_per_param, n);
+    for (size_t k = 0; k < checks; ++k) {
+      size_t idx = rng.UniformU32(static_cast<uint32_t>(n));
+      float original = p->value.data()[idx];
+
+      p->value.data()[idx] = original + eps;
+      double loss_plus = static_cast<double>(loss_fn()->value.ScalarValue());
+      p->value.data()[idx] = original - eps;
+      double loss_minus = static_cast<double>(loss_fn()->value.ScalarValue());
+      p->value.data()[idx] = original;
+
+      double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+      double analytic = static_cast<double>(p->grad.data()[idx]);
+      double abs_err = std::abs(numeric - analytic);
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      // float32 central differences carry noise of order
+      // ulp(loss) / eps ~ 1e-7 / eps; gradients below a few times that
+      // cannot be meaningfully compared in relative terms.
+      double noise_floor = 30.0 * 1e-7 / eps;
+      if (std::abs(numeric) > noise_floor ||
+          std::abs(analytic) > noise_floor) {
+        double rel_err = abs_err / (std::abs(numeric) + std::abs(analytic));
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      }
+      ++result.checks;
+    }
+  }
+  return result;
+}
+
+}  // namespace fairgen::nn

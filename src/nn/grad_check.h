@@ -1,0 +1,37 @@
+#ifndef FAIRGEN_NN_GRAD_CHECK_H_
+#define FAIRGEN_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "rng/rng.h"
+
+namespace fairgen::nn {
+
+/// \brief Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;  ///< max |analytic − numeric|
+  /// max |a−n| / (|a|+|n|), restricted to coordinates where at least one
+  /// of |a|, |n| exceeds the float32 finite-difference noise floor —
+  /// below it, the central difference itself is dominated by rounding and
+  /// its "relative error" is meaningless.
+  double max_rel_error = 0.0;
+  size_t checks = 0;           ///< number of coordinates probed
+};
+
+/// \brief Verifies the analytic gradients produced by Backward() against
+/// central finite differences.
+///
+/// `loss_fn` must rebuild the loss graph from the current parameter values
+/// every time it is called (it is invoked ~2 * checks_per_param times).
+/// Coordinates are sampled at random from each parameter. The default
+/// epsilon suits float32 losses of magnitude O(1).
+GradCheckResult CheckGradients(const std::function<Var()>& loss_fn,
+                               const std::vector<Var>& params,
+                               size_t checks_per_param, Rng& rng,
+                               float eps = 1e-3f);
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_GRAD_CHECK_H_

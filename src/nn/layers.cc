@@ -1,0 +1,87 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fairgen::nn {
+
+size_t Module::NumParameters() const {
+  size_t total = 0;
+  for (const Var& p : Parameters()) total += p->value.size();
+  return total;
+}
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng,
+               bool use_bias) {
+  float bound = std::sqrt(6.0f / static_cast<float>(in_features +
+                                                    out_features));
+  weight_ =
+      MakeParameter(Tensor::RandUniform(in_features, out_features, bound,
+                                        rng));
+  if (use_bias) {
+    bias_ = MakeParameter(Tensor(1, out_features));
+  }
+}
+
+Var Linear::Forward(const Var& x) const {
+  Var y = MatMulOp(x, weight_);
+  if (bias_ != nullptr) {
+    y = AddRowBroadcast(y, bias_);
+  }
+  return y;
+}
+
+std::vector<Var> Linear::Parameters() const {
+  std::vector<Var> params{weight_};
+  if (bias_ != nullptr) params.push_back(bias_);
+  return params;
+}
+
+Embedding::Embedding(size_t vocab_size, size_t dim, Rng& rng)
+    : table_(MakeParameter(
+          Tensor::Randn(vocab_size, dim,
+                        1.0f / std::sqrt(static_cast<float>(dim)), rng))) {}
+
+Var Embedding::Forward(const std::vector<uint32_t>& ids) const {
+  return GatherRows(table_, ids);
+}
+
+std::vector<Var> Embedding::Parameters() const { return {table_}; }
+
+LayerNorm::LayerNorm(size_t dim)
+    : gain_(MakeParameter(Tensor(1, dim, 1.0f))),
+      bias_(MakeParameter(Tensor(1, dim))) {}
+
+Var LayerNorm::Forward(const Var& x) const {
+  return LayerNormRows(x, gain_, bias_);
+}
+
+std::vector<Var> LayerNorm::Parameters() const { return {gain_, bias_}; }
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  FAIRGEN_CHECK(dims.size() >= 2);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+std::vector<Var> Mlp::Parameters() const {
+  std::vector<Var> params;
+  for (const Linear& l : layers_) {
+    for (const Var& p : l.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace fairgen::nn

@@ -1,0 +1,100 @@
+#ifndef FAIRGEN_NN_LAYERS_H_
+#define FAIRGEN_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "rng/rng.h"
+
+namespace fairgen::nn {
+
+/// \brief Base class for parameterized modules. A module owns `Var`
+/// parameter leaves; `Parameters()` exposes them to an optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// The trainable parameters of this module (and its children).
+  virtual std::vector<Var> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  size_t NumParameters() const;
+};
+
+/// \brief Fully connected layer y = x W + b.
+class Linear : public Module {
+ public:
+  /// Glorot-uniform initialization.
+  Linear(size_t in_features, size_t out_features, Rng& rng,
+         bool use_bias = true);
+
+  /// Applies the layer to a [batch, in_features] input.
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+  const Var& weight() const { return weight_; }
+  const Var& bias() const { return bias_; }
+
+ private:
+  Var weight_;  // [in, out]
+  Var bias_;    // [1, out] (null when use_bias = false)
+};
+
+/// \brief Learnable lookup table mapping ids to D-dimensional rows.
+class Embedding : public Module {
+ public:
+  Embedding(size_t vocab_size, size_t dim, Rng& rng);
+
+  /// Rows for `ids` -> [ids.size(), dim].
+  Var Forward(const std::vector<uint32_t>& ids) const;
+
+  std::vector<Var> Parameters() const override;
+
+  /// The full table as a variable (e.g., as input features for a
+  /// discriminator that shares the generator's embeddings).
+  const Var& table() const { return table_; }
+
+  size_t vocab_size() const { return table_->rows(); }
+  size_t dim() const { return table_->cols(); }
+
+ private:
+  Var table_;  // [vocab, dim]
+};
+
+/// \brief Layer normalization over the feature dimension with learned
+/// gain and bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(size_t dim);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  Var gain_;  // [1, dim], init 1
+  Var bias_;  // [1, dim], init 0
+};
+
+/// \brief Multi-layer perceptron with ReLU activations between layers.
+/// Used for the prediction model d_θ (M2) and the GAE encoder head.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; must have >= 2 entries.
+  Mlp(const std::vector<size_t>& dims, Rng& rng);
+
+  /// Forward pass; no activation after the final layer (logits).
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_LAYERS_H_

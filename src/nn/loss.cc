@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/autograd.h"
+
+namespace fairgen::nn {
+
+using internal::MakeOpNode;
+
+Var SequenceNll(const Var& logits, const std::vector<uint32_t>& targets) {
+  FAIRGEN_CHECK(logits->rows() == targets.size());
+  Var logp = PickPerRow(LogSoftmaxRows(logits), targets);  // [T', 1]
+  return Scale(MeanAll(logp), -1.0f);
+}
+
+Var NegativeWalkPenalty(const Var& logits,
+                        const std::vector<uint32_t>& targets,
+                        float floor_logprob) {
+  FAIRGEN_CHECK(logits->rows() == targets.size());
+  Var logp = PickPerRow(LogSoftmaxRows(logits), targets);
+  return MeanAll(Relu(AddScalar(logp, -floor_logprob)));
+}
+
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<uint32_t>& labels) {
+  return SequenceNll(logits, labels);
+}
+
+Var WeightedSoftmaxCrossEntropy(const Var& logits,
+                                const std::vector<uint32_t>& labels,
+                                const std::vector<float>& weights) {
+  FAIRGEN_CHECK(logits->rows() == labels.size());
+  FAIRGEN_CHECK(weights.size() == labels.size());
+  Var logp = PickPerRow(LogSoftmaxRows(logits), labels);  // [B, 1]
+  std::vector<float> neg_weights(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) neg_weights[i] = -weights[i];
+  return WeightedColumnSum(logp, neg_weights);
+}
+
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
+  FAIRGEN_CHECK(logits->value.size() == targets.size());
+  // loss_i = max(z, 0) − z·y + log(1 + exp(−|z|)); implemented as a fused
+  // op with an exact analytic backward (sigmoid(z) − y) / N.
+  const Tensor& z = logits->value;
+  double total = 0.0;
+  for (size_t i = 0; i < z.size(); ++i) {
+    float zi = z.data()[i];
+    float yi = targets[i];
+    total += std::max(zi, 0.0f) - zi * yi + std::log1p(std::exp(-std::abs(zi)));
+  }
+  float mean = static_cast<float>(total / static_cast<double>(z.size()));
+  return MakeOpNode(
+      Tensor::Scalar(mean), {logits},
+      [targets](Node& n) {
+        Node* p = n.parents[0].get();
+        float g = n.grad.ScalarValue() /
+                  static_cast<float>(p->value.size());
+        for (size_t i = 0; i < p->value.size(); ++i) {
+          float zi = p->value.data()[i];
+          float sig = 1.0f / (1.0f + std::exp(-zi));
+          p->grad.data()[i] += g * (sig - targets[i]);
+        }
+      },
+      "bce_with_logits");
+}
+
+}  // namespace fairgen::nn

@@ -1,0 +1,44 @@
+#ifndef FAIRGEN_NN_LOSS_H_
+#define FAIRGEN_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/ops.h"
+
+namespace fairgen::nn {
+
+/// \brief Average next-token negative log-likelihood of a sequence:
+/// −(1/T') Σ_t log softmax(logits)[t, targets[t]].
+///
+/// This is the walk reconstruction loss of Eq. 1 / Eq. 4 for one walk.
+Var SequenceNll(const Var& logits, const std::vector<uint32_t>& targets);
+
+/// \brief Penalty pushing *down* the probability of a negative walk
+/// (Algorithm 1, steps 4/6): mean_t relu(log p_t − floor_logprob).
+///
+/// Hinging at `floor_logprob` (e.g., log(1/vocab)) keeps the objective
+/// bounded: the model is only penalized while it assigns a negative
+/// transition more probability than an uninformed guess.
+Var NegativeWalkPenalty(const Var& logits,
+                        const std::vector<uint32_t>& targets,
+                        float floor_logprob);
+
+/// \brief Mean softmax cross-entropy over a [B, C] logits batch.
+Var SoftmaxCrossEntropy(const Var& logits,
+                        const std::vector<uint32_t>& labels);
+
+/// \brief Cost-sensitive cross-entropy Σ_i ξ_i · CE_i (Eq. 8 first term).
+/// `weights[i]` is the ratio ξ_{x_i} of Eq. 9.
+Var WeightedSoftmaxCrossEntropy(const Var& logits,
+                                const std::vector<uint32_t>& labels,
+                                const std::vector<float>& weights);
+
+/// \brief Mean binary cross-entropy with logits against float targets in
+/// [0, 1]; numerically stable formulation. Used by the GAE baseline.
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets);
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_LOSS_H_

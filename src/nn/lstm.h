@@ -1,0 +1,77 @@
+#ifndef FAIRGEN_NN_LSTM_H_
+#define FAIRGEN_NN_LSTM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+#include "rng/rng.h"
+
+namespace fairgen::nn {
+
+/// \brief A single LSTM cell (Hochreiter & Schmidhuber). Gate order in the
+/// fused weight matrices is [input, forget, cell, output].
+class LstmCell : public Module {
+ public:
+  LstmCell(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  /// One step: returns (h', c') given input x in [1, input_dim] and the
+  /// previous state (h, c), each [1, hidden_dim].
+  std::pair<Var, Var> Step(const Var& x, const Var& h, const Var& c) const;
+
+  /// A zero [1, hidden] state constant.
+  Var ZeroState() const;
+
+  std::vector<Var> Parameters() const override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t hidden_dim_;
+  Var wx_;  // [input, 4*hidden]
+  Var wh_;  // [hidden, 4*hidden]
+  Var b_;   // [1, 4*hidden]
+};
+
+/// \brief Configuration of the LSTM walk language model (the simplified
+/// NetGAN generator; see DESIGN.md substitution table).
+struct LstmLMConfig {
+  size_t vocab_size = 0;
+  size_t dim = 64;         ///< node embedding dimension
+  size_t hidden_dim = 64;  ///< LSTM state width
+};
+
+/// \brief LSTM language model over node-id sequences.
+class LstmLM : public Module {
+ public:
+  LstmLM(const LstmLMConfig& config, Rng& rng);
+
+  /// Average next-token NLL of a walk (teacher forcing).
+  Var WalkNll(const std::vector<uint32_t>& walk) const;
+
+  /// Samples the next node given a prefix.
+  uint32_t SampleNext(const std::vector<uint32_t>& prefix, Rng& rng,
+                      float temperature = 1.0f) const;
+
+  /// Samples a complete walk of `length` nodes from `start`.
+  std::vector<uint32_t> SampleWalk(uint32_t start, uint32_t length, Rng& rng,
+                                   float temperature = 1.0f) const;
+
+  std::vector<Var> Parameters() const override;
+
+  const LstmLMConfig& config() const { return config_; }
+
+ private:
+  /// Hidden states h_t for t = 0..len-1 after consuming walk[0..len-1].
+  std::vector<Var> RunStates(const std::vector<uint32_t>& walk) const;
+
+  LstmLMConfig config_;
+  Embedding tok_;
+  LstmCell cell_;
+  Linear out_;  // hidden -> vocab
+};
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_LSTM_H_

@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fairgen::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {
+  for (const Var& p : params_) {
+    FAIRGEN_CHECK(p != nullptr && p->requires_grad);
+    p->EnsureGrad();
+  }
+}
+
+void Optimizer::ZeroGrad() { fairgen::nn::ZeroGrad(params_); }
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double norm = std::sqrt(GradNormSquared(params_));
+  if (norm > max_norm && norm > 0.0) {
+    float scale = static_cast<float>(max_norm / norm);
+    for (const Var& p : params_) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    for (size_t j = 0; j < p.value.size(); ++j) {
+      float g = p.grad.data()[j] + weight_decay_ * p.value.data()[j];
+      if (momentum_ != 0.0f) {
+        float& v = velocity_[i].data()[j];
+        v = momentum_ * v + g;
+        g = v;
+      }
+      p.value.data()[j] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    for (size_t j = 0; j < p.value.size(); ++j) {
+      float g = p.grad.data()[j];
+      float& m = m_[i].data()[j];
+      float& v = v_[i].data()[j];
+      m = beta1_ * m + (1.0f - beta1_) * g;
+      v = beta2_ * v + (1.0f - beta2_) * g * g;
+      float mhat = m / bias1;
+      float vhat = v / bias2;
+      float update = mhat / (std::sqrt(vhat) + eps_);
+      // Decoupled weight decay (AdamW).
+      p.value.data()[j] -=
+          lr_ * (update + weight_decay_ * p.value.data()[j]);
+    }
+  }
+}
+
+}  // namespace fairgen::nn

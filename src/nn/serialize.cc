@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace fairgen::nn {
+
+namespace {
+constexpr char kMagic[] = "FGCKPT1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Var>& params) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open checkpoint for writing: " + path);
+  }
+  file.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+  uint64_t count = params.size();
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Var& p : params) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("null parameter in checkpoint list");
+    }
+    uint64_t rows = p->value.rows();
+    uint64_t cols = p->value.cols();
+    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    file.write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(rows * cols * sizeof(float)));
+  }
+  if (!file.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Var>& params) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open checkpoint: " + path);
+  }
+  char magic[kMagicLen];
+  file.read(magic, static_cast<std::streamsize>(kMagicLen));
+  if (!file.good() || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("not a FairGen checkpoint: " + path);
+  }
+  uint64_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!file.good() || count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(params.size()));
+  }
+  for (const Var& p : params) {
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    file.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    file.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!file.good() || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      return Status::InvalidArgument(
+          "checkpoint shape mismatch: file [" + std::to_string(rows) + "," +
+          std::to_string(cols) + "] vs model [" +
+          std::to_string(p->value.rows()) + "," +
+          std::to_string(p->value.cols()) + "]");
+    }
+    file.read(reinterpret_cast<char*>(p->value.data()),
+              static_cast<std::streamsize>(rows * cols * sizeof(float)));
+    if (!file.good()) {
+      return Status::IOError("truncated checkpoint: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairgen::nn

@@ -1,0 +1,29 @@
+#ifndef FAIRGEN_NN_SERIALIZE_H_
+#define FAIRGEN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "nn/autograd.h"
+
+namespace fairgen::nn {
+
+/// \brief Writes the parameter values to a binary checkpoint.
+///
+/// Format: magic "FGCKPT1\n", uint64 count, then per tensor
+/// uint64 rows, uint64 cols, rows*cols little-endian float32. The
+/// parameter *order* defines identity — load into a model built with the
+/// same architecture/config.
+Status SaveParameters(const std::string& path,
+                      const std::vector<Var>& params);
+
+/// \brief Restores parameter values from a checkpoint written by
+/// SaveParameters. Fails if the count or any shape disagrees with
+/// `params` (architecture mismatch).
+Status LoadParameters(const std::string& path,
+                      const std::vector<Var>& params);
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_SERIALIZE_H_

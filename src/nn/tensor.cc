@@ -1,0 +1,152 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fairgen::nn {
+
+Tensor::Tensor(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Tensor::Tensor(size_t rows, size_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  FAIRGEN_CHECK(data_.size() == rows_ * cols_);
+}
+
+Tensor Tensor::Randn(size_t rows, size_t cols, float stddev, Rng& rng) {
+  Tensor t(rows, cols);
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(size_t rows, size_t cols, float bound, Rng& rng) {
+  Tensor t(rows, cols);
+  for (float& x : t.data_) {
+    x = static_cast<float>(rng.UniformDouble(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t(1, 1);
+  t.data_[0] = value;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::Add(const Tensor& other) {
+  FAIRGEN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaled(const Tensor& other, float alpha) {
+  FAIRGEN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::ScalarValue() const {
+  FAIRGEN_CHECK(rows_ == 1 && cols_ == 1);
+  return data_[0];
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FAIRGEN_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: [" << a.rows() << "," << a.cols() << "] x ["
+      << b.rows() << "," << b.cols() << "]";
+  Tensor c(a.rows(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  FAIRGEN_CHECK(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  FAIRGEN_CHECK(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double dot = 0.0;
+      for (size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
+      crow[j] = static_cast<float>(dot);
+    }
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      t.at(j, i) = a.at(i, j);
+    }
+  }
+  return t;
+}
+
+}  // namespace fairgen::nn

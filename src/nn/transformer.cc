@@ -1,0 +1,178 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "rng/sampling.h"
+
+namespace fairgen::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t num_heads,
+                                               Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      qkv_(dim, 3 * dim, rng),
+      out_(dim, dim, rng) {
+  FAIRGEN_CHECK(dim % num_heads == 0)
+      << "dim " << dim << " not divisible by heads " << num_heads;
+}
+
+Var MultiHeadSelfAttention::Forward(const Var& x) const {
+  const size_t t_len = x->rows();
+  Var qkv = qkv_.Forward(x);  // [T, 3D]
+
+  // Causal additive mask: -inf above the diagonal.
+  Tensor mask(t_len, t_len);
+  for (size_t i = 0; i < t_len; ++i) {
+    for (size_t j = i + 1; j < t_len; ++j) {
+      mask.at(i, j) = -1e9f;
+    }
+  }
+  Var mask_var = MakeConstant(std::move(mask));
+
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Var q = SliceCols(qkv, h * head_dim_, head_dim_);
+    Var k = SliceCols(qkv, dim_ + h * head_dim_, head_dim_);
+    Var v = SliceCols(qkv, 2 * dim_ + h * head_dim_, head_dim_);
+    Var scores = Scale(MatMulOp(q, TransposeOp(k)), scale);  // [T, T]
+    scores = Add(scores, mask_var);
+    Var probs = SoftmaxRows(scores);
+    head_outputs.push_back(MatMulOp(probs, v));  // [T, dh]
+  }
+  return out_.Forward(ConcatCols(head_outputs));
+}
+
+std::vector<Var> MultiHeadSelfAttention::Parameters() const {
+  std::vector<Var> params = qkv_.Parameters();
+  for (const Var& p : out_.Parameters()) params.push_back(p);
+  return params;
+}
+
+TransformerBlock::TransformerBlock(size_t dim, size_t num_heads,
+                                   size_t ffn_dim, Rng& rng)
+    : ln1_(dim),
+      attn_(dim, num_heads, rng),
+      ln2_(dim),
+      ffn1_(dim, ffn_dim, rng),
+      ffn2_(ffn_dim, dim, rng) {}
+
+Var TransformerBlock::Forward(const Var& x) const {
+  Var h = Add(x, attn_.Forward(ln1_.Forward(x)));
+  Var ffn = ffn2_.Forward(Gelu(ffn1_.Forward(ln2_.Forward(h))));
+  return Add(h, ffn);
+}
+
+std::vector<Var> TransformerBlock::Parameters() const {
+  std::vector<Var> params;
+  for (const auto* m :
+       std::initializer_list<const Module*>{&ln1_, &attn_, &ln2_}) {
+    for (const Var& p : m->Parameters()) params.push_back(p);
+  }
+  for (const Var& p : ffn1_.Parameters()) params.push_back(p);
+  for (const Var& p : ffn2_.Parameters()) params.push_back(p);
+  return params;
+}
+
+TransformerLM::TransformerLM(const TransformerConfig& config, Rng& rng)
+    : config_(config),
+      tok_(config.vocab_size, config.dim, rng),
+      pos_(config.max_len, config.dim, rng),
+      final_ln_(config.dim) {
+  FAIRGEN_CHECK(config.vocab_size > 0);
+  blocks_.reserve(config.num_layers);
+  for (size_t l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        config.dim, config.num_heads, config.ffn_dim, rng));
+  }
+}
+
+namespace {
+// Hidden states [T, D] after the final layer norm.
+Var HiddenStates(const Embedding& tok, const Embedding& pos,
+                 const std::vector<std::unique_ptr<TransformerBlock>>& blocks,
+                 const LayerNorm& final_ln,
+                 const std::vector<uint32_t>& walk) {
+  std::vector<uint32_t> positions(walk.size());
+  for (size_t i = 0; i < walk.size(); ++i) {
+    positions[i] = static_cast<uint32_t>(i);
+  }
+  Var x = Add(tok.Forward(walk), pos.Forward(positions));
+  for (const auto& block : blocks) {
+    x = block->Forward(x);
+  }
+  return final_ln.Forward(x);
+}
+}  // namespace
+
+Var TransformerLM::Logits(const std::vector<uint32_t>& walk) const {
+  FAIRGEN_CHECK(!walk.empty());
+  FAIRGEN_CHECK(walk.size() <= config_.max_len)
+      << "walk length " << walk.size() << " exceeds max_len "
+      << config_.max_len;
+  Var x = HiddenStates(tok_, pos_, blocks_, final_ln_, walk);
+  // Tied output projection: logits = x · E^T.
+  return MatMulOp(x, TransposeOp(tok_.table()));
+}
+
+Var TransformerLM::NextLogits(const std::vector<uint32_t>& prefix) const {
+  FAIRGEN_CHECK(!prefix.empty());
+  FAIRGEN_CHECK(prefix.size() <= config_.max_len);
+  Var x = HiddenStates(tok_, pos_, blocks_, final_ln_, prefix);
+  return MatMulOp(Row(x, x->rows() - 1), TransposeOp(tok_.table()));
+}
+
+Var TransformerLM::WalkNll(const std::vector<uint32_t>& walk) const {
+  FAIRGEN_CHECK(walk.size() >= 2);
+  // Row t predicts walk[t+1]; drop the last row.
+  std::vector<uint32_t> prefix(walk.begin(), walk.end() - 1);
+  std::vector<uint32_t> targets(walk.begin() + 1, walk.end());
+  Var logits = Logits(prefix);
+  return SequenceNll(logits, targets);
+}
+
+uint32_t TransformerLM::SampleNext(const std::vector<uint32_t>& prefix,
+                                   Rng& rng, float temperature) const {
+  FAIRGEN_CHECK(!prefix.empty());
+  FAIRGEN_CHECK(temperature > 0.0f);
+  Var logits = NextLogits(prefix);
+  const float* row = logits->value.row(0);
+  float max_val = row[0];
+  for (size_t i = 1; i < config_.vocab_size; ++i) {
+    max_val = std::max(max_val, row[i]);
+  }
+  std::vector<double> weights(config_.vocab_size);
+  for (size_t i = 0; i < config_.vocab_size; ++i) {
+    weights[i] = std::exp((row[i] - max_val) / temperature);
+  }
+  uint32_t pick = SampleDiscrete(weights, rng);
+  FAIRGEN_CHECK(pick < config_.vocab_size);
+  return pick;
+}
+
+std::vector<uint32_t> TransformerLM::SampleWalk(uint32_t start,
+                                                uint32_t length, Rng& rng,
+                                                float temperature) const {
+  FAIRGEN_CHECK(start < config_.vocab_size);
+  std::vector<uint32_t> walk{start};
+  while (walk.size() < length) {
+    walk.push_back(SampleNext(walk, rng, temperature));
+  }
+  return walk;
+}
+
+std::vector<Var> TransformerLM::Parameters() const {
+  std::vector<Var> params = tok_.Parameters();
+  for (const Var& p : pos_.Parameters()) params.push_back(p);
+  for (const auto& block : blocks_) {
+    for (const Var& p : block->Parameters()) params.push_back(p);
+  }
+  for (const Var& p : final_ln_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace fairgen::nn

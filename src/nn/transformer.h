@@ -1,0 +1,109 @@
+#ifndef FAIRGEN_NN_TRANSFORMER_H_
+#define FAIRGEN_NN_TRANSFORMER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "rng/rng.h"
+
+namespace fairgen::nn {
+
+/// \brief Hyperparameters of the causal transformer walk model — the
+/// architecture of the paper's generator g_θ (M1) and of the TagGen
+/// baseline.
+struct TransformerConfig {
+  size_t vocab_size = 0;   ///< number of nodes n
+  size_t dim = 64;         ///< node embedding dimension (paper: 100)
+  size_t num_heads = 4;    ///< attention heads (paper: 4)
+  size_t num_layers = 2;   ///< transformer blocks
+  size_t ffn_dim = 128;    ///< feed-forward inner width
+  size_t max_len = 32;     ///< maximum walk length supported
+};
+
+/// \brief Causal multi-head self-attention over a [T, D] sequence.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(size_t dim, size_t num_heads, Rng& rng);
+
+  /// Applies causal self-attention to x in [T, D]; positions attend only
+  /// to themselves and earlier positions.
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  size_t dim_;
+  size_t num_heads_;
+  size_t head_dim_;
+  Linear qkv_;   // D -> 3D
+  Linear out_;   // D -> D
+};
+
+/// \brief Pre-norm transformer block: x + MHSA(LN(x)), then x + FFN(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(size_t dim, size_t num_heads, size_t ffn_dim, Rng& rng);
+
+  Var Forward(const Var& x) const;
+
+  std::vector<Var> Parameters() const override;
+
+ private:
+  LayerNorm ln1_;
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln2_;
+  Linear ffn1_;
+  Linear ffn2_;
+};
+
+/// \brief Causal transformer language model over node-id sequences
+/// (random walks): the generator architecture g_θ of Eq. 4.
+class TransformerLM : public Module {
+ public:
+  TransformerLM(const TransformerConfig& config, Rng& rng);
+
+  /// Logits for predicting the *next* node at every position:
+  /// given a walk prefix of length T', returns [T', vocab] logits where row
+  /// t scores candidates for position t+1. Output projection is tied to
+  /// the input node embedding.
+  Var Logits(const std::vector<uint32_t>& walk) const;
+
+  /// Logits for the next node after the *last* prefix position only
+  /// ([1, vocab]). Projects a single row instead of all T', which makes
+  /// autoregressive sampling O(D·V) instead of O(T·D·V) per token.
+  Var NextLogits(const std::vector<uint32_t>& prefix) const;
+
+  /// Average negative log-likelihood −(1/(T−1)) Σ_t log g(w_t | w_<t) of a
+  /// complete walk (the reconstruction term of Eq. 1), as a scalar Var.
+  Var WalkNll(const std::vector<uint32_t>& walk) const;
+
+  /// Samples the next node given a prefix; `temperature` scales logits.
+  uint32_t SampleNext(const std::vector<uint32_t>& prefix, Rng& rng,
+                      float temperature = 1.0f) const;
+
+  /// Samples a complete walk of `length` nodes from `start`.
+  std::vector<uint32_t> SampleWalk(uint32_t start, uint32_t length,
+                                   Rng& rng, float temperature = 1.0f) const;
+
+  /// The shared node-embedding table [vocab, dim]; the fair learning module
+  /// d_θ consumes these embeddings as node features, which is what couples
+  /// M1 and M2 into a jointly trained model.
+  const Var& node_embeddings() const { return tok_.table(); }
+
+  std::vector<Var> Parameters() const override;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  Embedding tok_;
+  Embedding pos_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace fairgen::nn
+
+#endif  // FAIRGEN_NN_TRANSFORMER_H_

@@ -1,0 +1,118 @@
+#include "rng/sampling.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  FAIRGEN_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FAIRGEN_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  FAIRGEN_CHECK(total > 0.0) << "all weights zero";
+
+  size_t n = weights.size();
+  norm_.resize(n);
+  for (size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; partition into small (< 1) and large (>= 1).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = norm_[i] * static_cast<double>(n);
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Numerical leftovers get probability 1.
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    small.pop_back();
+  }
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  uint32_t bucket = rng.UniformU32(static_cast<uint32_t>(prob_.size()));
+  return rng.UniformDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(uint32_t i) const {
+  FAIRGEN_CHECK(i < norm_.size());
+  return norm_[i];
+}
+
+uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return static_cast<uint32_t>(weights.size());
+  double u = rng.UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<uint32_t>(i);
+  }
+  return static_cast<uint32_t>(weights.size() - 1);
+}
+
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+  // Reservoir sampling (Algorithm R).
+  std::vector<uint32_t> reservoir(k);
+  std::iota(reservoir.begin(), reservoir.end(), 0u);
+  for (uint32_t i = k; i < n; ++i) {
+    uint32_t j = rng.UniformU32(i + 1);
+    if (j < k) reservoir[j] = i;
+  }
+  return reservoir;
+}
+
+std::vector<std::vector<uint32_t>> KFoldSplit(uint32_t n, uint32_t folds,
+                                              Rng& rng) {
+  FAIRGEN_CHECK(folds >= 2);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  Shuffle(order, rng);
+  std::vector<std::vector<uint32_t>> out(folds);
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i % folds].push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace fairgen

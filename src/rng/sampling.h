@@ -1,0 +1,65 @@
+#ifndef FAIRGEN_RNG_SAMPLING_H_
+#define FAIRGEN_RNG_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// \brief O(1) sampling from a fixed discrete distribution (Walker/Vose
+/// alias method). Construction is O(n).
+///
+/// Used for degree-proportional node sampling (negative sampling, BA
+/// attachment, node2vec unigram tables).
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights; at least one weight must be
+  /// positive. Weights need not be normalized.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  uint32_t Sample(Rng& rng) const;
+
+  /// Number of outcomes.
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of outcome `i` (for testing).
+  double Probability(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per bucket
+  std::vector<uint32_t> alias_;  // alternative outcome per bucket
+  std::vector<double> norm_;     // normalized input weights (for inspection)
+};
+
+/// \brief Samples an index from unnormalized `weights` in O(n).
+/// Returns `weights.size()` if all weights are zero.
+uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng);
+
+/// \brief Fisher–Yates shuffle of `items`.
+template <typename T>
+void Shuffle(std::vector<T>& items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    size_t j = rng.UniformU32(static_cast<uint32_t>(i));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// \brief Reservoir-samples `k` distinct items from [0, n). If k >= n,
+/// returns all of [0, n). Order of the result is unspecified.
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng);
+
+/// \brief Splits indices [0, n) into `folds` near-equal random folds
+/// (for the 10-fold evaluation in the augmentation experiment).
+std::vector<std::vector<uint32_t>> KFoldSplit(uint32_t n, uint32_t folds,
+                                              Rng& rng);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_RNG_SAMPLING_H_

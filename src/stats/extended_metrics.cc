@@ -1,0 +1,124 @@
+#include "stats/extended_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/components.h"
+#include "graph/triangles.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  uint64_t triangles = CountTriangles(graph);
+  double wedges = 0.0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    double d = static_cast<double>(graph.Degree(v));
+    wedges += d * (d - 1.0) / 2.0;
+  }
+  if (wedges == 0.0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) / wedges;
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  std::vector<uint64_t> tri = PerNodeTriangles(graph);
+  double total = 0.0;
+  uint64_t counted = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    double d = static_cast<double>(graph.Degree(v));
+    if (d < 2.0) continue;
+    total += static_cast<double>(tri[v]) / (d * (d - 1.0) / 2.0);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double DegreeAssortativity(const Graph& graph) {
+  // Pearson correlation of (d(u), d(v)) over directed edge endpoints,
+  // using the "remaining degree" convention is common; here we use the
+  // plain degree convention of Newman (2002) Eq. (4), which is what
+  // networkx reports.
+  double m2 = 2.0 * static_cast<double>(graph.num_edges());
+  if (m2 == 0.0) return 0.0;
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    double du = static_cast<double>(graph.Degree(u));
+    for (NodeId v : graph.Neighbors(u)) {
+      double dv = static_cast<double>(graph.Degree(v));
+      sum_xy += du * dv;
+      sum_x += du;
+      sum_x2 += du * du;
+    }
+  }
+  double mean = sum_x / m2;
+  double var = sum_x2 / m2 - mean * mean;
+  if (var <= 0.0) return 0.0;
+  double cov = sum_xy / m2 - mean * mean;
+  return cov / var;
+}
+
+double CharacteristicPathLength(const Graph& graph, uint32_t samples,
+                                Rng& rng) {
+  const uint32_t n = graph.num_nodes();
+  if (n < 2) return 0.0;
+
+  std::vector<NodeId> sources;
+  if (samples == 0 || samples >= n) {
+    sources.resize(n);
+    for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  } else {
+    for (uint32_t idx : SampleWithoutReplacement(n, samples, rng)) {
+      sources.push_back(idx);
+    }
+  }
+
+  double total = 0.0;
+  uint64_t pairs = 0;
+  std::vector<int32_t> dist(n);
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+  for (NodeId src : sources) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[src] = 0;
+    frontier.assign(1, src);
+    int32_t depth = 0;
+    while (!frontier.empty()) {
+      ++depth;
+      next.clear();
+      for (NodeId v : frontier) {
+        for (NodeId nbr : graph.Neighbors(v)) {
+          if (dist[nbr] < 0) {
+            dist[nbr] = depth;
+            total += depth;
+            ++pairs;
+            next.push_back(nbr);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+ExtendedGraphMetrics ComputeExtendedMetrics(const Graph& graph,
+                                            uint32_t path_samples,
+                                            Rng& rng) {
+  ExtendedGraphMetrics m;
+  m.global_clustering = GlobalClusteringCoefficient(graph);
+  m.average_clustering = AverageClusteringCoefficient(graph);
+  m.assortativity = DegreeAssortativity(graph);
+  m.characteristic_path_length =
+      CharacteristicPathLength(graph, path_samples, rng);
+  m.lcc_fraction =
+      graph.num_nodes() == 0
+          ? 0.0
+          : static_cast<double>(LargestComponentSize(graph)) /
+                static_cast<double>(graph.num_nodes());
+  return m;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,55 @@
+#ifndef FAIRGEN_STATS_EXTENDED_METRICS_H_
+#define FAIRGEN_STATS_EXTENDED_METRICS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// \brief Additional network statistics beyond the paper's Table II —
+/// standard in the graph-generation literature (NetGAN / GraphRNN
+/// evaluations) and useful for auditing generated graphs.
+struct ExtendedGraphMetrics {
+  /// Global clustering coefficient (transitivity):
+  /// 3 · triangles / wedges, where wedges = Σ_v d(v)(d(v)−1)/2.
+  double global_clustering = 0.0;
+  /// Mean of the local clustering coefficients of nodes with degree ≥ 2
+  /// (Watts–Strogatz average clustering).
+  double average_clustering = 0.0;
+  /// Pearson correlation of endpoint degrees over edges (degree
+  /// assortativity, Newman 2002); 0 when undefined.
+  double assortativity = 0.0;
+  /// Mean shortest-path length between reachable node pairs, estimated
+  /// from BFS sources (exact when sources cover the graph).
+  double characteristic_path_length = 0.0;
+  /// Fraction of nodes in the largest connected component.
+  double lcc_fraction = 0.0;
+};
+
+/// \brief Computes the extended statistics. `path_samples` caps the number
+/// of BFS sources used for the path-length estimate (0 = exact: every
+/// node); sampling error is O(1/sqrt(samples)).
+ExtendedGraphMetrics ComputeExtendedMetrics(const Graph& graph,
+                                            uint32_t path_samples, Rng& rng);
+
+/// \brief Global clustering coefficient (transitivity).
+double GlobalClusteringCoefficient(const Graph& graph);
+
+/// \brief Average local clustering coefficient over nodes of degree >= 2.
+double AverageClusteringCoefficient(const Graph& graph);
+
+/// \brief Degree assortativity coefficient; 0 when the variance of the
+/// endpoint degree distribution is zero (e.g., regular graphs).
+double DegreeAssortativity(const Graph& graph);
+
+/// \brief Mean shortest-path length over reachable pairs from up to
+/// `samples` BFS sources (0 = all nodes). Returns 0 for graphs with no
+/// reachable pairs.
+double CharacteristicPathLength(const Graph& graph, uint32_t samples,
+                                Rng& rng);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_STATS_EXTENDED_METRICS_H_

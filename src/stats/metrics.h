@@ -1,0 +1,57 @@
+#ifndef FAIRGEN_STATS_METRICS_H_
+#define FAIRGEN_STATS_METRICS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// Number of network-property metrics reported in the paper (Table II).
+inline constexpr size_t kNumGraphMetrics = 6;
+
+/// \brief The six graph statistics from Table II of the paper.
+struct GraphMetrics {
+  double average_degree = 0.0;      ///< E[d(v)] = 2m / n
+  double lcc = 0.0;                 ///< size of largest connected component
+  double triangle_count = 0.0;      ///< number of triangles
+  double power_law_exponent = 0.0;  ///< MLE exponent of degree distribution
+  double gini = 0.0;                ///< Gini coefficient of degrees
+  double edge_entropy = 0.0;        ///< relative edge distribution entropy
+
+  /// The metrics as a fixed-order vector (order matches MetricNames()).
+  std::array<double, kNumGraphMetrics> ToArray() const;
+};
+
+/// \brief Names of the six metrics in ToArray() order.
+const std::array<std::string, kNumGraphMetrics>& MetricNames();
+
+/// \brief Computes all six Table-II statistics of `graph`.
+GraphMetrics ComputeMetrics(const Graph& graph);
+
+/// \brief Average degree 2m/n (0 for an empty vertex set).
+double AverageDegree(const Graph& graph);
+
+/// \brief MLE power-law exponent 1 + n' (Σ_u ln(d(u)/d_min))^{-1}, where the
+/// sum ranges over the n' nodes with positive degree and d_min is the
+/// smallest positive degree (Clauset–Shalizi–Newman estimator, as used by
+/// NetGAN's evaluation). Returns 0 if no node has positive degree.
+double PowerLawExponent(const Graph& graph);
+
+/// \brief Gini coefficient of the degree sequence,
+/// (2 Σ_i i·d̂_i) / (n Σ_i d̂_i) − (n+1)/n with d̂ ascending, 1-based i.
+double GiniCoefficient(const Graph& graph);
+
+/// \brief Relative edge distribution entropy
+/// (1/ln n) Σ_v −p_v ln p_v with p_v = d(v) / Σ_u d(u).
+///
+/// Table II prints the normalizer as |E|; we follow the NetGAN reference
+/// implementation and normalize by Σ d(v) = 2|E| so that p is a
+/// distribution. Zero-degree nodes contribute 0.
+double EdgeDistributionEntropy(const Graph& graph);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_STATS_METRICS_H_

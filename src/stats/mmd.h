@@ -1,0 +1,41 @@
+#ifndef FAIRGEN_STATS_MMD_H_
+#define FAIRGEN_STATS_MMD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Squared maximum mean discrepancy between two samples under a
+/// Gaussian kernel k(a,b) = exp(−(a−b)² / (2σ²)) — the distribution-level
+/// comparison used by GraphRNN-style evaluations, complementing the
+/// paper's scalar Table-II discrepancies.
+///
+/// Uses the biased V-statistic estimator (always ≥ 0, 0 iff the samples
+/// coincide). `bandwidth` σ must be positive; use MedianHeuristic for a
+/// data-driven choice. Fails on empty samples.
+Result<double> GaussianMmd(const std::vector<double>& x,
+                           const std::vector<double>& y, double bandwidth);
+
+/// \brief Median pairwise distance within the pooled sample — the standard
+/// kernel-bandwidth heuristic. Returns 1.0 when all points coincide.
+double MedianHeuristic(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+/// \brief MMD² between the degree distributions of two graphs (bandwidth
+/// via the median heuristic).
+Result<double> DegreeMmd(const Graph& a, const Graph& b);
+
+/// \brief MMD² between the local clustering-coefficient distributions of
+/// two graphs (nodes of degree ≥ 2; bandwidth via the median heuristic).
+Result<double> ClusteringMmd(const Graph& a, const Graph& b);
+
+/// \brief Per-node local clustering coefficients for nodes with degree
+/// ≥ 2 (helper shared with the extended metrics).
+std::vector<double> LocalClusteringSamples(const Graph& graph);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_STATS_MMD_H_

@@ -1,0 +1,134 @@
+#include "walk/context_sampler.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+ContextSampler::ContextSampler(const Graph& graph,
+                               ContextSamplerConfig config,
+                               uint32_t num_classes)
+    : graph_(&graph),
+      config_(config),
+      num_classes_(num_classes),
+      labels_(graph.num_nodes(), kUnlabeled),
+      class_nodes_(num_classes),
+      walker_(graph),
+      biased_walker_(graph, config.node2vec) {
+  FAIRGEN_CHECK(config_.walk_length >= 1);
+  FAIRGEN_CHECK(config_.general_ratio >= 0.0 && config_.general_ratio <= 1.0);
+  FAIRGEN_CHECK(num_classes_ >= 1);
+}
+
+Status ContextSampler::SetLabels(std::vector<int32_t> labels) {
+  if (labels.size() != graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "label vector size mismatch: " + std::to_string(labels.size()) +
+        " vs " + std::to_string(graph_->num_nodes()) + " nodes");
+  }
+  std::vector<std::vector<NodeId>> class_nodes(num_classes_);
+  uint32_t labeled = 0;
+  for (NodeId v = 0; v < labels.size(); ++v) {
+    int32_t y = labels[v];
+    if (y == kUnlabeled) continue;
+    if (y < 0 || y >= static_cast<int32_t>(num_classes_)) {
+      return Status::InvalidArgument("label out of range at node " +
+                                     std::to_string(v) + ": " +
+                                     std::to_string(y));
+    }
+    class_nodes[static_cast<size_t>(y)].push_back(v);
+    ++labeled;
+  }
+  labels_ = std::move(labels);
+  class_nodes_ = std::move(class_nodes);
+  num_labeled_ = labeled;
+  return Status::OK();
+}
+
+const std::vector<NodeId>& ContextSampler::ClassNodes(uint32_t c) const {
+  FAIRGEN_CHECK(c < num_classes_);
+  return class_nodes_[c];
+}
+
+Walk ContextSampler::SampleGeneral(Rng& rng) const {
+  return biased_walker_.SampleWalk(walker_.SampleStartNode(rng),
+                             config_.walk_length, rng);
+}
+
+Result<Walk> ContextSampler::SampleLabelInformed(uint32_t c, Rng& rng) const {
+  if (c >= num_classes_) {
+    return Status::InvalidArgument("class id out of range");
+  }
+  const std::vector<NodeId>& members = class_nodes_[c];
+  if (members.empty()) {
+    return Status::FailedPrecondition("class " + std::to_string(c) +
+                                      " has no labeled nodes");
+  }
+  NodeId start =
+      members[rng.UniformU32(static_cast<uint32_t>(members.size()))];
+  int32_t cls = static_cast<int32_t>(c);
+
+  Walk walk;
+  walk.reserve(config_.walk_length);
+  walk.push_back(start);
+  NodeId cur = start;
+  std::vector<NodeId> same_class;
+  std::vector<NodeId> unlabeled;
+  for (uint32_t t = 1; t < config_.walk_length; ++t) {
+    same_class.clear();
+    unlabeled.clear();
+    auto nbrs = graph_->Neighbors(cur);
+    for (NodeId nbr : nbrs) {
+      if (labels_[nbr] == cls) {
+        same_class.push_back(nbr);
+      } else if (labels_[nbr] == kUnlabeled) {
+        unlabeled.push_back(nbr);
+      }
+    }
+    // Tiered preference keeps the walk inside the class region S; the walk
+    // leaks only when the frontier has no same-class and no unlabeled
+    // neighbor.
+    if (!same_class.empty()) {
+      cur = same_class[rng.UniformU32(
+          static_cast<uint32_t>(same_class.size()))];
+    } else if (!unlabeled.empty()) {
+      cur = unlabeled[rng.UniformU32(
+          static_cast<uint32_t>(unlabeled.size()))];
+    } else if (!nbrs.empty()) {
+      cur = nbrs[rng.UniformU32(static_cast<uint32_t>(nbrs.size()))];
+    }
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+Walk ContextSampler::Sample(Rng& rng) const {
+  if (num_labeled_ == 0 || rng.Bernoulli(config_.general_ratio)) {
+    return SampleGeneral(rng);
+  }
+  // Pick a class uniformly among classes that have labeled examples, then
+  // draw a label-informed walk from it. Sampling classes (not labeled
+  // nodes) uniformly gives each group — in particular the scarce protected
+  // classes — equal context mass, which is the fairness mechanism of M1.
+  std::vector<uint32_t> nonempty;
+  nonempty.reserve(num_classes_);
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    if (!class_nodes_[c].empty()) nonempty.push_back(c);
+  }
+  FAIRGEN_CHECK(!nonempty.empty());
+  uint32_t c =
+      nonempty[rng.UniformU32(static_cast<uint32_t>(nonempty.size()))];
+  Result<Walk> walk = SampleLabelInformed(c, rng);
+  FAIRGEN_CHECK(walk.ok());
+  return walk.MoveValueUnsafe();
+}
+
+std::vector<Walk> ContextSampler::SampleBatch(size_t count, Rng& rng) const {
+  std::vector<Walk> walks;
+  walks.reserve(count);
+  for (size_t i = 0; i < count; ++i) walks.push_back(Sample(rng));
+  return walks;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,99 @@
+#ifndef FAIRGEN_WALK_CONTEXT_SAMPLER_H_
+#define FAIRGEN_WALK_CONTEXT_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "rng/rng.h"
+#include "walk/node2vec_walk.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+
+/// Label value for nodes with no (pseudo-)label yet.
+inline constexpr int32_t kUnlabeled = -1;
+
+/// \brief Configuration of the label-informed context sampling function
+/// f_S (Section II-B, M1).
+struct ContextSamplerConfig {
+  /// Walk length T.
+  uint32_t walk_length = 10;
+  /// Sampling ratio r: with probability r a general structure walk
+  /// (biased second-order, [32]) is drawn; with probability 1 − r a
+  /// label-informed walk starting from a labeled example.
+  double general_ratio = 0.5;
+  /// Second-order bias parameters for the general walks.
+  Node2VecParams node2vec;
+};
+
+/// \brief The paper's context sampling strategy f_S.
+///
+/// Maintains the current label assignment (ground-truth plus pseudo labels
+/// produced by the self-paced module) and draws two kinds of T-length
+/// walks:
+///  - *general* walks that encode the overall structure distribution
+///    (minimizing R(θ), Eq. 1);
+///  - *label-informed* walks that start from a labeled example and traverse
+///    within the example's class region (minimizing R_S(θ), Eq. 2 for both
+///    the protected and unprotected groups).
+///
+/// A label-informed walk prefers, at every step, neighbors carrying the
+/// same class label; if none exists it falls back to unlabeled neighbors,
+/// and only then to arbitrary neighbors. When the start node lies inside
+/// the class's diffusion core, Lemma 2.1 bounds the probability of the
+/// walk leaking out of the class region by T·δ·φ(S).
+class ContextSampler {
+ public:
+  /// Keeps a pointer to `graph`; the graph must outlive the sampler.
+  ContextSampler(const Graph& graph, ContextSamplerConfig config,
+                 uint32_t num_classes);
+
+  /// Replaces the label assignment. `labels[v]` must be kUnlabeled or a
+  /// class id in [0, num_classes).
+  Status SetLabels(std::vector<int32_t> labels);
+
+  /// Current label of each node.
+  const std::vector<int32_t>& labels() const { return labels_; }
+
+  /// Labeled nodes of class `c`.
+  const std::vector<NodeId>& ClassNodes(uint32_t c) const;
+
+  /// True iff at least one node carries a label.
+  bool has_labeled_nodes() const { return num_labeled_ > 0; }
+
+  /// Number of labeled nodes.
+  uint32_t num_labeled() const { return num_labeled_; }
+
+  uint32_t num_classes() const { return num_classes_; }
+  const ContextSamplerConfig& config() const { return config_; }
+
+  /// Draws one walk according to f_S. Falls back to a general walk when no
+  /// labels are present.
+  Walk Sample(Rng& rng) const;
+
+  /// Draws `count` walks according to f_S.
+  std::vector<Walk> SampleBatch(size_t count, Rng& rng) const;
+
+  /// Draws a general (structure) walk explicitly.
+  Walk SampleGeneral(Rng& rng) const;
+
+  /// Draws a label-informed walk for class `c` explicitly; fails if the
+  /// class has no labeled nodes.
+  Result<Walk> SampleLabelInformed(uint32_t c, Rng& rng) const;
+
+ private:
+  const Graph* graph_;
+  ContextSamplerConfig config_;
+  uint32_t num_classes_;
+  std::vector<int32_t> labels_;
+  std::vector<std::vector<NodeId>> class_nodes_;
+  uint32_t num_labeled_ = 0;
+  RandomWalker walker_;
+  Node2VecWalker biased_walker_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_WALK_CONTEXT_SAMPLER_H_

@@ -1,0 +1,60 @@
+#include "walk/diffusion_core.h"
+
+#include <algorithm>
+
+#include "graph/conductance.h"
+#include "graph/subgraph.h"
+#include "graph/transition.h"
+
+namespace fairgen {
+
+Result<DiffusionCore> ComputeDiffusionCore(const Graph& graph,
+                                           const std::vector<NodeId>& set,
+                                           const DiffusionCoreOptions& opts) {
+  if (opts.delta <= 0.0 || opts.delta >= 1.0) {
+    return Status::InvalidArgument("delta must lie in (0, 1)");
+  }
+  if (opts.t == 0) {
+    return Status::InvalidArgument("t must be positive");
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(double phi, Conductance(graph, set));
+
+  DiffusionCore out;
+  out.conductance = phi;
+  out.escape_probability.resize(set.size());
+
+  std::vector<uint8_t> mask = NodeMask(graph.num_nodes(), set);
+  TransitionOperator op(graph);
+  double threshold = opts.delta * phi;
+  for (size_t i = 0; i < set.size(); ++i) {
+    std::vector<double> dist = op.TruncatedPower(set[i], opts.t, mask);
+    double escape = 1.0 - TransitionOperator::Mass(dist);
+    out.escape_probability[i] = escape;
+    if (escape < threshold) out.core.push_back(set[i]);
+  }
+  std::sort(out.core.begin(), out.core.end());
+  return out;
+}
+
+Result<double> EscapeProbability(const Graph& graph,
+                                 const std::vector<NodeId>& set,
+                                 NodeId source, uint32_t t) {
+  if (source >= graph.num_nodes()) {
+    return Status::InvalidArgument("source node out of range");
+  }
+  std::vector<uint8_t> mask = NodeMask(graph.num_nodes(), set);
+  if (!mask[source]) {
+    return Status::InvalidArgument("source must belong to the set");
+  }
+  TransitionOperator op(graph);
+  std::vector<double> dist = op.TruncatedPower(source, t, mask);
+  return 1.0 - TransitionOperator::Mass(dist);
+}
+
+double Lemma21Bound(uint32_t walk_length, double delta, double conductance) {
+  double bound =
+      1.0 - static_cast<double>(walk_length) * delta * conductance;
+  return std::max(0.0, bound);
+}
+
+}  // namespace fairgen

@@ -1,0 +1,50 @@
+#ifndef FAIRGEN_WALK_DIFFUSION_CORE_H_
+#define FAIRGEN_WALK_DIFFUSION_CORE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace fairgen {
+
+/// \brief Parameters of the (δ, t)-diffusion core (Definition 1).
+struct DiffusionCoreOptions {
+  double delta = 0.5;  ///< δ ∈ (0, 1)
+  uint32_t t = 3;      ///< number of lazy-walk steps
+};
+
+/// \brief Result of a diffusion-core computation.
+struct DiffusionCore {
+  /// Members of the core C^S (subset of the input set, ascending).
+  std::vector<NodeId> core;
+  /// Conductance φ(S) of the input set in the parent graph.
+  double conductance = 0.0;
+  /// Per-input-node escape probability 1 − 1'(diag(χ_S)M)^t χ_x, aligned
+  /// with the input `set` order.
+  std::vector<double> escape_probability;
+};
+
+/// \brief Computes the (δ, t)-diffusion core of `set`:
+/// C^S = { x ∈ S : 1 − 1'(diag(χ_S) M)^t χ_x < δ φ(S) }.
+///
+/// A labeled example located inside the core guarantees (Lemma 2.1) that a
+/// T-step walk started from it stays inside S with probability at least
+/// 1 − T·δ·φ(S).
+Result<DiffusionCore> ComputeDiffusionCore(const Graph& graph,
+                                           const std::vector<NodeId>& set,
+                                           const DiffusionCoreOptions& opts);
+
+/// \brief Probability that a t-step lazy random walk from `source` escapes
+/// `set` at some point (1 minus the retained mass of the truncated power).
+Result<double> EscapeProbability(const Graph& graph,
+                                 const std::vector<NodeId>& set,
+                                 NodeId source, uint32_t t);
+
+/// \brief The Lemma 2.1 lower bound max(0, 1 − T·δ·φ(S)) on the
+/// probability that a T-step walk from a core member stays inside S.
+double Lemma21Bound(uint32_t walk_length, double delta, double conductance);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_WALK_DIFFUSION_CORE_H_

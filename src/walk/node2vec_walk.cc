@@ -1,0 +1,66 @@
+#include "walk/node2vec_walk.h"
+
+#include "common/logging.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+
+Node2VecWalker::Node2VecWalker(const Graph& graph, Node2VecParams params)
+    : graph_(&graph), params_(params), base_(graph) {
+  FAIRGEN_CHECK(params_.p > 0.0 && params_.q > 0.0);
+}
+
+Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
+  FAIRGEN_CHECK(length >= 1);
+  FAIRGEN_CHECK(start < graph_->num_nodes());
+  fairgen::Walk walk;
+  walk.reserve(length);
+  walk.push_back(start);
+  if (length == 1) return walk;
+
+  // First step: uniform neighbor.
+  NodeId cur = start;
+  auto nbrs = graph_->Neighbors(cur);
+  if (!nbrs.empty()) {
+    cur = nbrs[rng.UniformU32(static_cast<uint32_t>(nbrs.size()))];
+  }
+  walk.push_back(cur);
+
+  std::vector<double> weights;
+  for (uint32_t t = 2; t < length; ++t) {
+    NodeId prev = walk[walk.size() - 2];
+    auto cur_nbrs = graph_->Neighbors(cur);
+    if (cur_nbrs.empty()) {
+      walk.push_back(cur);
+      continue;
+    }
+    weights.resize(cur_nbrs.size());
+    for (size_t i = 0; i < cur_nbrs.size(); ++i) {
+      NodeId x = cur_nbrs[i];
+      if (x == prev) {
+        weights[i] = 1.0 / params_.p;
+      } else if (graph_->HasEdge(x, prev)) {
+        weights[i] = 1.0;
+      } else {
+        weights[i] = 1.0 / params_.q;
+      }
+    }
+    uint32_t pick = SampleDiscrete(weights, rng);
+    FAIRGEN_CHECK(pick < cur_nbrs.size());
+    cur = cur_nbrs[pick];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<Walk> Node2VecWalker::SampleWalks(size_t count, uint32_t length,
+                                              Rng& rng) const {
+  std::vector<fairgen::Walk> walks;
+  walks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    walks.push_back(SampleWalk(base_.SampleStartNode(rng), length, rng));
+  }
+  return walks;
+}
+
+}  // namespace fairgen

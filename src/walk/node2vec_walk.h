@@ -1,0 +1,50 @@
+#ifndef FAIRGEN_WALK_NODE2VEC_WALK_H_
+#define FAIRGEN_WALK_NODE2VEC_WALK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+
+/// \brief Parameters of the biased second-order random walk of
+/// node2vec (Grover & Leskovec, KDD'16) — the sampling strategy cited by
+/// the paper for the "general structure" walks of f_S and for negative
+/// sampling in Algorithm 1 (reference [32]).
+struct Node2VecParams {
+  /// Return parameter: probability weight 1/p of revisiting the previous
+  /// node. Small p keeps the walk local.
+  double p = 1.0;
+  /// In-out parameter: weight 1/q for moving to nodes not adjacent to the
+  /// previous node. Small q pushes the walk outward (DFS-like).
+  double q = 1.0;
+};
+
+/// \brief Biased second-order random walker.
+class Node2VecWalker {
+ public:
+  /// Keeps a pointer to `graph`; the graph must outlive the walker.
+  Node2VecWalker(const Graph& graph, Node2VecParams params);
+
+  /// A biased walk of `length` nodes starting at `start`. The first step is
+  /// uniform; subsequent steps use the (p, q) second-order weights. Dead
+  /// ends absorb (the walk stays in place).
+  fairgen::Walk SampleWalk(NodeId start, uint32_t length, Rng& rng) const;
+
+  /// `count` biased walks from random (positive-degree) start nodes.
+  std::vector<fairgen::Walk> SampleWalks(size_t count, uint32_t length,
+                                         Rng& rng) const;
+
+  const Node2VecParams& params() const { return params_; }
+
+ private:
+  const Graph* graph_;
+  Node2VecParams params_;
+  RandomWalker base_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_WALK_NODE2VEC_WALK_H_

@@ -1,0 +1,78 @@
+#include "walk/random_walk.h"
+
+#include "common/logging.h"
+
+namespace fairgen {
+
+RandomWalker::RandomWalker(const Graph& graph) : graph_(&graph) {
+  positive_degree_nodes_.reserve(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.Degree(v) > 0) positive_degree_nodes_.push_back(v);
+  }
+}
+
+Walk RandomWalker::UniformWalk(NodeId start, uint32_t length,
+                               Rng& rng) const {
+  FAIRGEN_CHECK(length >= 1);
+  FAIRGEN_CHECK(start < graph_->num_nodes());
+  Walk walk;
+  walk.reserve(length);
+  walk.push_back(start);
+  NodeId cur = start;
+  for (uint32_t t = 1; t < length; ++t) {
+    auto nbrs = graph_->Neighbors(cur);
+    if (!nbrs.empty()) {
+      cur = nbrs[rng.UniformU32(static_cast<uint32_t>(nbrs.size()))];
+    }
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+Walk RandomWalker::MaskedWalk(NodeId start, uint32_t length,
+                              const std::vector<uint8_t>& mask,
+                              Rng& rng) const {
+  FAIRGEN_CHECK(length >= 1);
+  FAIRGEN_CHECK(start < graph_->num_nodes());
+  FAIRGEN_CHECK(mask.size() == graph_->num_nodes());
+  FAIRGEN_CHECK(mask[start]) << "masked walk must start inside the mask";
+  Walk walk;
+  walk.reserve(length);
+  walk.push_back(start);
+  NodeId cur = start;
+  std::vector<NodeId> candidates;
+  for (uint32_t t = 1; t < length; ++t) {
+    candidates.clear();
+    for (NodeId nbr : graph_->Neighbors(cur)) {
+      if (mask[nbr]) candidates.push_back(nbr);
+    }
+    if (!candidates.empty()) {
+      cur = candidates[rng.UniformU32(static_cast<uint32_t>(
+          candidates.size()))];
+    }
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+NodeId RandomWalker::SampleStartNode(Rng& rng) const {
+  if (positive_degree_nodes_.empty()) {
+    FAIRGEN_CHECK(graph_->num_nodes() > 0);
+    return rng.UniformU32(graph_->num_nodes());
+  }
+  return positive_degree_nodes_[rng.UniformU32(
+      static_cast<uint32_t>(positive_degree_nodes_.size()))];
+}
+
+std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,
+                                                   uint32_t length,
+                                                   Rng& rng) const {
+  std::vector<Walk> walks;
+  walks.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    walks.push_back(UniformWalk(SampleStartNode(rng), length, rng));
+  }
+  return walks;
+}
+
+}  // namespace fairgen

@@ -1,0 +1,48 @@
+#ifndef FAIRGEN_WALK_RANDOM_WALK_H_
+#define FAIRGEN_WALK_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// A random-walk sequence of node ids (length T in the paper).
+using Walk = std::vector<NodeId>;
+
+/// \brief First-order random walks on an undirected graph.
+class RandomWalker {
+ public:
+  /// Keeps a pointer to `graph`; the graph must outlive the walker.
+  explicit RandomWalker(const Graph& graph);
+
+  /// A simple random walk of `length` nodes starting at `start`. If the
+  /// walk reaches a node without neighbors it stays there (lazy absorption),
+  /// so the returned walk always has exactly `length` nodes (length >= 1).
+  Walk UniformWalk(NodeId start, uint32_t length, Rng& rng) const;
+
+  /// A walk restricted to nodes where `mask` is non-zero: at every step the
+  /// walk moves to a uniformly random *masked* neighbor; if none exists it
+  /// stays in place. `start` must be masked.
+  Walk MaskedWalk(NodeId start, uint32_t length,
+                  const std::vector<uint8_t>& mask, Rng& rng) const;
+
+  /// Samples a start node uniformly from nodes of positive degree (falls
+  /// back to uniform over all nodes if the graph has no edges).
+  NodeId SampleStartNode(Rng& rng) const;
+
+  /// `count` uniform walks from random start nodes.
+  std::vector<Walk> SampleUniformWalks(size_t count, uint32_t length,
+                                       Rng& rng) const;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> positive_degree_nodes_;
+};
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_WALK_RANDOM_WALK_H_

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotEvaluateToAbort) {
+  SetLogLevel(LogLevel::kError);
+  // Streams below the threshold are skipped entirely; this must not crash
+  // or print.
+  FAIRGEN_LOG(INFO) << "suppressed " << 42;
+  FAIRGEN_LOG(DEBUG) << "also suppressed";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EnabledLevelStreamsValues) {
+  testing::internal::CaptureStderr();
+  FAIRGEN_LOG(WARNING) << "value=" << 7;
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("value=7"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrue) {
+  FAIRGEN_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(FAIRGEN_CHECK(false) << "doom", "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(FAIRGEN_LOG(FATAL) << "fatal message", "fatal message");
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,84 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveValueUnsafeTransfersOwnership) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2};
+  r->push_back(3);
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);
+}
+
+TEST(ResultTest, CopyableWhenValueCopyable) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_EQ(*b, "x");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  FAIRGEN_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnOnSuccess) {
+  Result<int> r = Doubled(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 10);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = Doubled(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultDeathTest, ValueOrDieAbortsOnError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "gone");
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,106 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "Not found: x");
+  EXPECT_EQ(Status::IOError("y").ToString(), "IO error: y");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+  // Original unchanged.
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status a = Status::NotFound("a");
+  Status b = Status::IOError("b");
+  a = b;
+  EXPECT_TRUE(a.IsIOError());
+  EXPECT_EQ(a.message(), "b");
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status a = Status::NotFound("a");
+  Status& ref = a;
+  a = ref;
+  EXPECT_TRUE(a.IsNotFound());
+  EXPECT_EQ(a.message(), "a");
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status a = Status::OutOfRange("range");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsOutOfRange());
+  EXPECT_EQ(b.message(), "range");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::IOError("").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+  EXPECT_TRUE(Status::FailedPrecondition("").IsFailedPrecondition());
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    FAIRGEN_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  Status s = fails();
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto succeeds = []() -> Status {
+    FAIRGEN_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(succeeds().IsInternal());
+}
+
+TEST(StatusCodeTest, ToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
+               "Not implemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "Failed precondition");
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  auto parts = StrSplit("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrSplitTest, NoSeparator) {
+  auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrSplitTest, EmptyInput) {
+  auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StrSplitWhitespaceTest, DropsEmptyRuns) {
+  auto parts = StrSplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StrSplitWhitespaceTest, AllWhitespace) {
+  EXPECT_TRUE(StrSplitWhitespace(" \t\n ").empty());
+}
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  x y  "), "x y");
+  EXPECT_EQ(StrTrim("xy"), "xy");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StrStartsWithTest, Basics) {
+  EXPECT_TRUE(StrStartsWith("foobar", "foo"));
+  EXPECT_TRUE(StrStartsWith("foo", ""));
+  EXPECT_FALSE(StrStartsWith("fo", "foo"));
+  EXPECT_FALSE(StrStartsWith("barfoo", "foo"));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 4), "1.0000");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatDouble(0.0, 0), "0");
+}
+
+}  // namespace
+}  // namespace fairgen

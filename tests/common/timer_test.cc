@@ -1,0 +1,45 @@
+#include "common/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);  // generous upper bound for loaded machines
+}
+
+TEST(TimerTest, SecondsAndMillisAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, seconds * 1e3 * 0.5 + 1.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

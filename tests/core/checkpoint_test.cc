@@ -1,0 +1,162 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/serialize.h"
+
+namespace fairgen {
+namespace {
+
+FairGenConfig QuickConfig() {
+  FairGenConfig cfg;
+  cfg.num_walks = 50;
+  cfg.self_paced_cycles = 2;
+  cfg.generator_epochs = 1;
+  cfg.embedding_dim = 16;
+  cfg.ffn_dim = 24;
+  cfg.gen_transition_multiplier = 2.0;
+  return cfg;
+}
+
+LabeledGraph MakeData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 70;
+  cfg.num_edges = 350;
+  cfg.num_classes = 2;
+  cfg.protected_size = 10;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/fairgen_ckpt_" + name + ".bin";
+}
+
+TEST(SerializeTest, RoundTripsTensors) {
+  Rng rng(1);
+  std::vector<nn::Var> params{
+      nn::MakeParameter(nn::Tensor::Randn(3, 4, 1.0f, rng)),
+      nn::MakeParameter(nn::Tensor::Randn(1, 7, 1.0f, rng))};
+  std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(nn::SaveParameters(path, params).ok());
+
+  std::vector<nn::Var> restored{nn::MakeParameter(nn::Tensor(3, 4)),
+                                nn::MakeParameter(nn::Tensor(1, 7))};
+  ASSERT_TRUE(nn::LoadParameters(path, restored).ok());
+  for (size_t k = 0; k < params.size(); ++k) {
+    for (size_t i = 0; i < params[k]->value.size(); ++i) {
+      EXPECT_EQ(restored[k]->value.data()[i], params[k]->value.data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(2);
+  std::vector<nn::Var> params{
+      nn::MakeParameter(nn::Tensor::Randn(2, 2, 1.0f, rng))};
+  std::string path = TempPath("shape");
+  ASSERT_TRUE(nn::SaveParameters(path, params).ok());
+  std::vector<nn::Var> wrong{nn::MakeParameter(nn::Tensor(2, 3))};
+  Status s = nn::LoadParameters(path, wrong);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsCountMismatch) {
+  Rng rng(3);
+  std::vector<nn::Var> params{
+      nn::MakeParameter(nn::Tensor::Randn(2, 2, 1.0f, rng))};
+  std::string path = TempPath("count");
+  ASSERT_TRUE(nn::SaveParameters(path, params).ok());
+  std::vector<nn::Var> wrong{nn::MakeParameter(nn::Tensor(2, 2)),
+                             nn::MakeParameter(nn::Tensor(2, 2))};
+  EXPECT_TRUE(nn::LoadParameters(path, wrong).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  std::string path = TempPath("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  std::vector<nn::Var> params{nn::MakeParameter(nn::Tensor(1, 1))};
+  EXPECT_TRUE(nn::LoadParameters(path, params).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  std::vector<nn::Var> params{nn::MakeParameter(nn::Tensor(1, 1))};
+  EXPECT_TRUE(
+      nn::LoadParameters("/no/such/checkpoint.bin", params).IsIOError());
+}
+
+TEST(CheckpointTest, RequiresPrepare) {
+  FairGenTrainer trainer(QuickConfig());
+  EXPECT_TRUE(
+      trainer.SaveCheckpoint(TempPath("x")).IsFailedPrecondition());
+  EXPECT_TRUE(
+      trainer.LoadCheckpoint(TempPath("x")).IsFailedPrecondition());
+}
+
+TEST(CheckpointTest, RestoredModelGeneratesIdentically) {
+  LabeledGraph data = MakeData(4);
+  Rng sup_rng(4);
+  std::vector<int32_t> few = FewShotLabels(data, 4, sup_rng);
+
+  // Train and checkpoint.
+  FairGenTrainer trained(QuickConfig());
+  ASSERT_TRUE(
+      trained.SetSupervision(few, data.protected_set, data.num_classes)
+          .ok());
+  Rng fit_rng(4);
+  ASSERT_TRUE(trained.Fit(data.graph, fit_rng).ok());
+  std::string path = TempPath("model");
+  ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+
+  // Fresh trainer: Prepare (same config & graph) + LoadCheckpoint.
+  FairGenTrainer restored(QuickConfig());
+  ASSERT_TRUE(
+      restored.SetSupervision(few, data.protected_set, data.num_classes)
+          .ok());
+  Rng prep_rng(999);  // different init — overwritten by the checkpoint
+  ASSERT_TRUE(restored.Prepare(data.graph, prep_rng).ok());
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+
+  // Identical generation RNG -> identical graphs.
+  Rng gen_a(42);
+  Rng gen_b(42);
+  auto graph_a = trained.Generate(gen_a);
+  auto graph_b = restored.Generate(gen_b);
+  ASSERT_TRUE(graph_a.ok());
+  ASSERT_TRUE(graph_b.ok());
+  EXPECT_EQ(graph_a->ToEdgeList(), graph_b->ToEdgeList());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsDifferentArchitecture) {
+  LabeledGraph data = MakeData(5);
+  FairGenTrainer trained(QuickConfig());
+  Rng rng(5);
+  ASSERT_TRUE(trained.Fit(data.graph, rng).ok());
+  std::string path = TempPath("arch");
+  ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+
+  FairGenConfig other_cfg = QuickConfig();
+  other_cfg.embedding_dim = 32;  // different width
+  other_cfg.ffn_dim = 48;
+  FairGenTrainer other(other_cfg);
+  Rng rng2(5);
+  ASSERT_TRUE(other.Prepare(data.graph, rng2).ok());
+  EXPECT_TRUE(other.LoadCheckpoint(path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,152 @@
+#include "core/fair_learning.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/subgraph.h"
+#include "nn/optimizer.h"
+
+namespace fairgen {
+namespace {
+
+// A tiny setup: 10 nodes, first 3 protected, 2 classes, shared embedding.
+struct Fixture {
+  nn::Var embeddings;
+  std::unique_ptr<FairLearningModule> module;
+  std::vector<NodeId> protected_set{0, 1, 2};
+
+  explicit Fixture(uint64_t seed, uint32_t num_classes = 2) {
+    Rng rng(seed);
+    embeddings = nn::MakeParameter(nn::Tensor::Randn(10, 6, 1.0f, rng));
+    module = std::make_unique<FairLearningModule>(
+        embeddings, num_classes, 8, NodeMask(10, protected_set), rng);
+  }
+};
+
+TEST(FairLearningTest, GroupCounts) {
+  Fixture f(1);
+  EXPECT_EQ(f.module->num_protected(), 3u);
+  EXPECT_EQ(f.module->num_unprotected(), 7u);
+  EXPECT_EQ(f.module->num_classes(), 2u);
+}
+
+TEST(FairLearningTest, CostRatioMatchesEq9) {
+  Fixture f(2);
+  EXPECT_NEAR(f.module->CostRatio(0), 1.0f / 3.0f, 1e-6);
+  EXPECT_NEAR(f.module->CostRatio(5), 1.0f / 7.0f, 1e-6);
+  // The minority carries the larger per-example weight.
+  EXPECT_GT(f.module->CostRatio(0), f.module->CostRatio(5));
+}
+
+TEST(FairLearningTest, LogitsShape) {
+  Fixture f(3);
+  nn::Var logits = f.module->Logits({0, 4, 9});
+  EXPECT_EQ(logits->rows(), 3u);
+  EXPECT_EQ(logits->cols(), 2u);
+}
+
+TEST(FairLearningTest, PredictionLossFiniteAndWeighted) {
+  Fixture f(4);
+  nn::Var loss =
+      f.module->PredictionLoss({0, 5}, {0, 1}, /*alpha=*/1.0f);
+  float v = loss->value.ScalarValue();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0f);
+  // alpha scales linearly.
+  nn::Var scaled =
+      f.module->PredictionLoss({0, 5}, {0, 1}, /*alpha=*/2.0f);
+  EXPECT_NEAR(scaled->value.ScalarValue(), 2.0f * v, 1e-4);
+}
+
+TEST(FairLearningTest, ParityLossZeroForIdenticalGroups) {
+  Fixture f(5);
+  // Same node list on both sides: means coincide, parity gap is zero.
+  nn::Var loss = f.module->ParityLoss({0, 1}, {0, 1}, 1.0f);
+  EXPECT_NEAR(loss->value.ScalarValue(), 0.0f, 1e-6);
+}
+
+TEST(FairLearningTest, ParityLossPositiveForDifferentGroups) {
+  Fixture f(6);
+  nn::Var loss = f.module->ParityLoss({0, 1, 2}, {3, 4, 5, 6}, 1.0f);
+  EXPECT_GT(loss->value.ScalarValue(), 0.0f);
+}
+
+TEST(FairLearningTest, ParityLossGammaScales) {
+  Fixture f(7);
+  float base =
+      f.module->ParityLoss({0, 1}, {4, 5}, 1.0f)->value.ScalarValue();
+  float tripled =
+      f.module->ParityLoss({0, 1}, {4, 5}, 3.0f)->value.ScalarValue();
+  EXPECT_NEAR(tripled, 3.0f * base, 1e-4);
+}
+
+TEST(FairLearningTest, PropagationLossIsScaledCrossEntropy) {
+  Fixture f(8);
+  float b1 = f.module->PropagationLoss({3, 4}, {0, 1}, 1.0f)
+                 ->value.ScalarValue();
+  float b2 = f.module->PropagationLoss({3, 4}, {0, 1}, 2.0f)
+                 ->value.ScalarValue();
+  EXPECT_NEAR(b2, 2.0f * b1, 1e-4);
+}
+
+TEST(FairLearningTest, LogProbaAllShapeAndNormalization) {
+  Fixture f(9, /*num_classes=*/3);
+  nn::Tensor logp = f.module->LogProbaAll();
+  EXPECT_EQ(logp.rows(), 10u);
+  EXPECT_EQ(logp.cols(), 3u);
+  for (size_t r = 0; r < 10; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_LE(logp.at(r, c), 0.0f);
+      total += std::exp(logp.at(r, c));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+TEST(FairLearningTest, TrainingReducesParityGap) {
+  // Optimizing J_F alone must shrink the statistical parity gap — the
+  // mechanism behind the w/o-Parity ablation's degradation.
+  Fixture f(10);
+  std::vector<nn::Var> params = f.module->HeadParameters();
+  params.push_back(f.embeddings);
+  nn::Adam optim(params, 5e-3f);
+  std::vector<uint32_t> prot{0, 1, 2};
+  std::vector<uint32_t> unprot{3, 4, 5, 6, 7, 8, 9};
+  float initial =
+      f.module->ParityLoss(prot, unprot, 1.0f)->value.ScalarValue();
+  for (int step = 0; step < 150; ++step) {
+    optim.ZeroGrad();
+    nn::Backward(f.module->ParityLoss(prot, unprot, 1.0f));
+    optim.Step();
+  }
+  float final =
+      f.module->ParityLoss(prot, unprot, 1.0f)->value.ScalarValue();
+  EXPECT_LT(final, initial * 0.5f);
+}
+
+TEST(FairLearningTest, JointTrainingFitsLabelsWhileKeepingParity) {
+  Fixture f(11);
+  std::vector<nn::Var> params = f.module->HeadParameters();
+  params.push_back(f.embeddings);
+  nn::Adam optim(params, 1e-2f);
+  // Labels: protected nodes class 0, some unprotected class 1.
+  std::vector<uint32_t> nodes{0, 1, 2, 5, 6, 7};
+  std::vector<uint32_t> labels{0, 0, 0, 1, 1, 1};
+  for (int step = 0; step < 200; ++step) {
+    optim.ZeroGrad();
+    nn::Var loss = f.module->PredictionLoss(nodes, labels, 1.0f);
+    nn::Backward(loss);
+    optim.Step();
+  }
+  // Predictions should be correct now.
+  nn::Tensor logp = f.module->LogProbaAll();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    uint32_t pred = logp.at(nodes[i], 1) > logp.at(nodes[i], 0) ? 1 : 0;
+    EXPECT_EQ(pred, labels[i]) << "node " << nodes[i];
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,96 @@
+// Tests of the M1/M2 coupling: the discriminator d_θ consumes the
+// generator's embedding table, so discriminator training must move the
+// generator's representation and vice versa — the "jointly trains ... in a
+// mutually beneficial way" mechanism of the framework.
+
+#include <gtest/gtest.h>
+
+#include "core/fairgen_model.h"
+#include "graph/subgraph.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace fairgen {
+namespace {
+
+FairGenConfig SmallConfig() {
+  FairGenConfig cfg;
+  cfg.embedding_dim = 16;
+  cfg.ffn_dim = 24;
+  cfg.discriminator_hidden = 16;
+  return cfg;
+}
+
+TEST(JointTrainingTest, EmbeddingTableIsShared) {
+  Rng rng(1);
+  FairGenModel model(SmallConfig(), /*num_nodes=*/20, /*num_classes=*/2,
+                     NodeMask(20, {0, 1}), rng);
+  // The discriminator parameter set must contain the generator's
+  // embedding table (same node, not a copy).
+  const nn::Var& table = model.generator().node_embeddings();
+  bool found = false;
+  for (const nn::Var& p : model.DiscriminatorParameters()) {
+    if (p.get() == table.get()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JointTrainingTest, DiscriminatorLossMovesGeneratorEmbeddings) {
+  Rng rng(2);
+  FairGenModel model(SmallConfig(), 20, 2, NodeMask(20, {0, 1}), rng);
+  nn::Tensor before = model.generator().node_embeddings()->value;
+
+  nn::Adam optim(model.DiscriminatorParameters(), 1e-2f);
+  std::vector<uint32_t> nodes{0, 1, 5, 6};
+  std::vector<uint32_t> labels{0, 0, 1, 1};
+  for (int step = 0; step < 5; ++step) {
+    optim.ZeroGrad();
+    nn::Backward(model.fair_module().PredictionLoss(nodes, labels, 1.0f));
+    optim.Step();
+  }
+  const nn::Tensor& after = model.generator().node_embeddings()->value;
+  double diff = 0.0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    diff += std::abs(after.data()[i] - before.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4) << "discriminator training left embeddings frozen";
+}
+
+TEST(JointTrainingTest, GeneratorLossMovesDiscriminatorInputs) {
+  Rng rng(3);
+  FairGenModel model(SmallConfig(), 20, 2, NodeMask(20, {0, 1}), rng);
+  // Logits of the (untrained) discriminator for some nodes.
+  nn::Tensor logits_before =
+      model.fair_module().Logits({2, 3, 4})->value;
+
+  nn::Adam optim(model.GeneratorParameters(), 1e-2f);
+  std::vector<uint32_t> walk{0, 5, 10, 15};
+  for (int step = 0; step < 5; ++step) {
+    optim.ZeroGrad();
+    nn::Backward(model.generator().WalkNll(walk));
+    optim.Step();
+  }
+  nn::Tensor logits_after = model.fair_module().Logits({2, 3, 4})->value;
+  double diff = 0.0;
+  for (size_t i = 0; i < logits_after.size(); ++i) {
+    diff += std::abs(logits_after.data()[i] - logits_before.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4)
+      << "generator training did not propagate into d_theta's inputs";
+}
+
+TEST(JointTrainingTest, GeneratorParamsSupersetCheck) {
+  Rng rng(4);
+  FairGenModel model(SmallConfig(), 30, 3, NodeMask(30, {0}), rng);
+  // Generator owns tok/pos embeddings + block + final LN; the
+  // discriminator head adds its MLP (2 linear layers => 4 tensors).
+  size_t gen = model.GeneratorParameters().size();
+  size_t disc = model.DiscriminatorParameters().size();
+  EXPECT_GT(gen, 10u);
+  EXPECT_EQ(disc, model.fair_module().HeadParameters().size() + 1);
+  EXPECT_EQ(model.num_nodes(), 30u);
+  EXPECT_EQ(model.num_classes(), 3u);
+}
+
+}  // namespace
+}  // namespace fairgen

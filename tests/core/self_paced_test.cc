@@ -1,0 +1,112 @@
+#include "core/self_paced.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+// log-probability matrix helper.
+nn::Tensor LogProba(std::vector<std::vector<double>> probs) {
+  nn::Tensor t(probs.size(), probs[0].size());
+  for (size_t r = 0; r < probs.size(); ++r) {
+    for (size_t c = 0; c < probs[r].size(); ++c) {
+      t.at(r, c) = static_cast<float>(std::log(probs[r][c]));
+    }
+  }
+  return t;
+}
+
+TEST(SelfPacedSchedulerTest, AugmentGrowsLambda) {
+  SelfPacedScheduler s(0.5f, 2.0f);
+  EXPECT_FLOAT_EQ(s.lambda(), 0.5f);
+  s.Augment();
+  EXPECT_FLOAT_EQ(s.lambda(), 1.0f);
+  s.Augment();
+  EXPECT_FLOAT_EQ(s.lambda(), 2.0f);
+}
+
+TEST(SelfPacedUpdateTest, ConfidentNodesGetPseudoLabels) {
+  // Node 0: P(c=1) = 0.9 -> -log = 0.105 < lambda=0.5 -> labeled 1.
+  // Node 1: uniform 0.5/0.5 -> -log = 0.69 > 0.5 -> unlabeled.
+  SelfPacedScheduler s(0.5f, 1.5f);
+  nn::Tensor logp = LogProba({{0.1, 0.9}, {0.5, 0.5}});
+  std::vector<int32_t> gt{kUnlabeled, kUnlabeled};
+  SelfPacedUpdate u = s.Update(logp, gt, 1.0f);
+  EXPECT_EQ(u.labels[0], 1);
+  EXPECT_EQ(u.labels[1], kUnlabeled);
+  EXPECT_EQ(u.num_pseudo_labeled, 1u);
+}
+
+TEST(SelfPacedUpdateTest, GroundTruthAlwaysKept) {
+  SelfPacedScheduler s(0.01f, 1.5f);  // nothing passes the threshold
+  nn::Tensor logp = LogProba({{0.5, 0.5}, {0.5, 0.5}});
+  std::vector<int32_t> gt{1, kUnlabeled};
+  SelfPacedUpdate u = s.Update(logp, gt, 1.0f);
+  EXPECT_EQ(u.labels[0], 1);
+  EXPECT_EQ(u.labels[1], kUnlabeled);
+  EXPECT_EQ(u.num_pseudo_labeled, 0u);
+}
+
+TEST(SelfPacedUpdateTest, GroundTruthOverridesConfidentDisagreement) {
+  // Model is confident the node is class 0, but ground truth says 1.
+  SelfPacedScheduler s(1.0f, 1.5f);
+  nn::Tensor logp = LogProba({{0.95, 0.05}});
+  std::vector<int32_t> gt{1};
+  SelfPacedUpdate u = s.Update(logp, gt, 1.0f);
+  EXPECT_EQ(u.labels[0], 1);
+}
+
+TEST(SelfPacedUpdateTest, MultiClassConfidencePicksArgmax) {
+  // Both class 1 and 2 pass the (loose) threshold; argmax (class 2) wins.
+  SelfPacedScheduler s(2.0f, 1.5f);
+  nn::Tensor logp = LogProba({{0.1, 0.35, 0.55}});
+  std::vector<int32_t> gt{kUnlabeled};
+  SelfPacedUpdate u = s.Update(logp, gt, 1.0f);
+  EXPECT_EQ(u.labels[0], 2);
+}
+
+TEST(SelfPacedUpdateTest, GrowingLambdaAdmitsMoreNodes) {
+  nn::Tensor logp =
+      LogProba({{0.9, 0.1}, {0.7, 0.3}, {0.55, 0.45}, {0.5, 0.5}});
+  std::vector<int32_t> gt(4, kUnlabeled);
+  SelfPacedScheduler strict(0.2f, 3.0f);
+  SelfPacedUpdate u1 = strict.Update(logp, gt, 1.0f);
+  strict.Augment();  // lambda = 0.6
+  SelfPacedUpdate u2 = strict.Update(logp, gt, 1.0f);
+  EXPECT_LT(u1.num_pseudo_labeled, u2.num_pseudo_labeled);
+}
+
+TEST(SelfPacedUpdateTest, ClosedFormEq14Boundary) {
+  // -log P exactly equal to lambda must NOT be selected (strict <).
+  float lambda = 0.6931472f;  // ln 2
+  SelfPacedScheduler s(lambda, 1.5f);
+  nn::Tensor logp = LogProba({{0.5, 0.5}});
+  std::vector<int32_t> gt{kUnlabeled};
+  SelfPacedUpdate u = s.Update(logp, gt, 1.0f);
+  // -log 0.5 = 0.693147 which is not strictly below lambda (float fuzz
+  // decides equality); accept either but require consistency with Eq. 14.
+  float neg_logp = -logp.at(0, 0);
+  bool selected = u.labels[0] != kUnlabeled;
+  EXPECT_EQ(selected, neg_logp < lambda);
+}
+
+TEST(SelfPacedUpdateTest, JTermsAccounting) {
+  SelfPacedScheduler s(1.0f, 1.5f);
+  nn::Tensor logp = LogProba({{0.8, 0.2}});
+  std::vector<int32_t> gt{kUnlabeled};
+  float beta = 2.0f;
+  SelfPacedUpdate u = s.Update(logp, gt, beta);
+  // Only class 0 passes (-log 0.8 = 0.223 < 1; -log 0.2 = 1.61 > 1).
+  EXPECT_NEAR(u.j_l, -beta * std::log(0.8), 1e-5);
+  EXPECT_NEAR(u.j_s, -1.0, 1e-6);
+}
+
+TEST(SelfPacedSchedulerDeathTest, InvalidParams) {
+  EXPECT_DEATH(SelfPacedScheduler(0.0f, 1.5f), "");
+  EXPECT_DEATH(SelfPacedScheduler(0.5f, 0.5f), "");
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,204 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/subgraph.h"
+
+namespace fairgen {
+namespace {
+
+FairGenConfig QuickConfig() {
+  FairGenConfig cfg;
+  cfg.num_walks = 60;
+  cfg.self_paced_cycles = 2;
+  cfg.generator_epochs = 1;
+  cfg.generator_batch = 8;
+  cfg.batch_size = 32;
+  cfg.embedding_dim = 16;
+  cfg.ffn_dim = 24;
+  cfg.gen_transition_multiplier = 3.0;
+  return cfg;
+}
+
+LabeledGraph MakeData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 90;
+  cfg.num_edges = 500;
+  cfg.num_classes = 3;
+  cfg.protected_size = 15;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+std::vector<int32_t> FewShot(const LabeledGraph& data, uint64_t seed) {
+  Rng rng(seed);
+  return FewShotLabels(data, 4, rng);
+}
+
+TEST(FairGenTrainerTest, SupervisionValidation) {
+  FairGenTrainer trainer(QuickConfig());
+  EXPECT_FALSE(
+      trainer.SetSupervision({0, 1, -5}, {}, 2).ok());  // negative label
+  EXPECT_FALSE(trainer.SetSupervision({0, 3}, {}, 2).ok());  // label >= C
+  EXPECT_TRUE(trainer.SetSupervision({0, 1, kUnlabeled}, {0}, 2).ok());
+}
+
+TEST(FairGenTrainerTest, NameFollowsVariant) {
+  FairGenConfig cfg = QuickConfig();
+  FairGenTrainer full(cfg);
+  EXPECT_EQ(full.name(), "FairGen");
+  cfg.variant = FairGenVariant::kNoParity;
+  FairGenTrainer ablation(cfg);
+  EXPECT_EQ(ablation.name(), "FairGen-w/o-Parity");
+}
+
+TEST(FairGenTrainerTest, FitRejectsEmptyGraph) {
+  FairGenTrainer trainer(QuickConfig());
+  Rng rng(1);
+  EXPECT_TRUE(trainer.Fit(Graph::Empty(10), rng).IsInvalidArgument());
+}
+
+TEST(FairGenTrainerTest, FitRejectsMismatchedSupervision) {
+  LabeledGraph data = MakeData(2);
+  FairGenTrainer trainer(QuickConfig());
+  ASSERT_TRUE(trainer.SetSupervision({0, 1}, {}, 2).ok());  // 2 nodes
+  Rng rng(2);
+  EXPECT_TRUE(trainer.Fit(data.graph, rng).IsInvalidArgument());
+}
+
+TEST(FairGenTrainerTest, GenerateBeforeFitFails) {
+  FairGenTrainer trainer(QuickConfig());
+  Rng rng(3);
+  EXPECT_TRUE(trainer.Generate(rng).status().IsFailedPrecondition());
+}
+
+TEST(FairGenTrainerTest, EndToEndWithSupervision) {
+  LabeledGraph data = MakeData(4);
+  FairGenTrainer trainer(QuickConfig());
+  ASSERT_TRUE(trainer
+                  .SetSupervision(FewShot(data, 4), data.protected_set,
+                                  data.num_classes)
+                  .ok());
+  Rng rng(4);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+
+  // Loss history: one entry per self-paced cycle, all finite.
+  ASSERT_EQ(trainer.loss_history().size(), 2u);
+  for (const FairGenLosses& l : trainer.loss_history()) {
+    EXPECT_TRUE(std::isfinite(l.total()));
+    EXPECT_GT(l.j_g, 0.0);
+  }
+
+  auto generated = trainer.Generate(rng);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->num_nodes(), data.graph.num_nodes());
+  EXPECT_EQ(generated->num_edges(), data.graph.num_edges());
+
+  const AssemblyReport& report = trainer.last_assembly_report();
+  EXPECT_EQ(report.target_edges, data.graph.num_edges());
+  EXPECT_GT(report.protected_volume_target, 0u);
+}
+
+TEST(FairGenTrainerTest, SelfPacedLabelsGrow) {
+  LabeledGraph data = MakeData(5);
+  FairGenConfig cfg = QuickConfig();
+  cfg.self_paced_cycles = 3;
+  cfg.lambda = 1.0f;
+  cfg.lambda_growth = 2.0f;
+  FairGenTrainer trainer(cfg);
+  std::vector<int32_t> few = FewShot(data, 5);
+  uint32_t initial_labeled = 0;
+  for (int32_t y : few) {
+    if (y != kUnlabeled) ++initial_labeled;
+  }
+  ASSERT_TRUE(
+      trainer.SetSupervision(few, data.protected_set, data.num_classes)
+          .ok());
+  Rng rng(5);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+  uint32_t total_labeled = 0;
+  for (int32_t y : trainer.current_labels()) {
+    if (y != kUnlabeled) ++total_labeled;
+  }
+  // Pseudo labels must extend (never shrink) the labeled set, and
+  // ground-truth labels must be preserved verbatim.
+  EXPECT_GE(total_labeled, initial_labeled);
+  EXPECT_EQ(total_labeled - initial_labeled, trainer.num_pseudo_labeled());
+  for (NodeId v = 0; v < few.size(); ++v) {
+    if (few[v] != kUnlabeled) {
+      EXPECT_EQ(trainer.current_labels()[v], few[v]);
+    }
+  }
+}
+
+TEST(FairGenTrainerTest, NoSelfPacedVariantKeepsLabelsFixed) {
+  LabeledGraph data = MakeData(6);
+  FairGenConfig cfg = QuickConfig();
+  cfg.variant = FairGenVariant::kNoSelfPaced;
+  FairGenTrainer trainer(cfg);
+  std::vector<int32_t> few = FewShot(data, 6);
+  ASSERT_TRUE(
+      trainer.SetSupervision(few, data.protected_set, data.num_classes)
+          .ok());
+  Rng rng(6);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+  EXPECT_EQ(trainer.num_pseudo_labeled(), 0u);
+  EXPECT_EQ(trainer.current_labels(), few);
+}
+
+TEST(FairGenTrainerTest, NoParityVariantHasZeroJf) {
+  LabeledGraph data = MakeData(7);
+  FairGenConfig cfg = QuickConfig();
+  cfg.variant = FairGenVariant::kNoParity;
+  FairGenTrainer trainer(cfg);
+  ASSERT_TRUE(trainer
+                  .SetSupervision(FewShot(data, 7), data.protected_set,
+                                  data.num_classes)
+                  .ok());
+  Rng rng(7);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+  for (const FairGenLosses& l : trainer.loss_history()) {
+    EXPECT_EQ(l.j_f, 0.0);
+  }
+}
+
+TEST(FairGenTrainerTest, UnsupervisedModeDegradesGracefully) {
+  // No labels at all (the paper's Email/FB/GNU/CA setting).
+  LabeledGraph data = MakeData(8);
+  FairGenTrainer trainer(QuickConfig());
+  Rng rng(8);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+  for (const FairGenLosses& l : trainer.loss_history()) {
+    EXPECT_EQ(l.j_p, 0.0);
+    EXPECT_EQ(l.j_f, 0.0);
+  }
+  auto generated = trainer.Generate(rng);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->num_edges(), data.graph.num_edges());
+}
+
+TEST(FairGenTrainerTest, GeneratedGraphCoversActiveNodes) {
+  LabeledGraph data = MakeData(9);
+  FairGenTrainer trainer(QuickConfig());
+  ASSERT_TRUE(trainer
+                  .SetSupervision(FewShot(data, 9), data.protected_set,
+                                  data.num_classes)
+                  .ok());
+  Rng rng(9);
+  ASSERT_TRUE(trainer.Fit(data.graph, rng).ok());
+  auto generated = trainer.Generate(rng);
+  ASSERT_TRUE(generated.ok());
+  for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
+    if (data.graph.Degree(v) > 0) {
+      EXPECT_GE(generated->Degree(v), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

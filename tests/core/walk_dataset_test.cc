@@ -1,0 +1,83 @@
+#include "core/walk_dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(WalkDatasetTest, StartsEmpty) {
+  WalkDataset ds;
+  EXPECT_EQ(ds.num_positives(), 0u);
+  EXPECT_EQ(ds.num_negatives(), 0u);
+}
+
+TEST(WalkDatasetTest, AddsToPools) {
+  WalkDataset ds;
+  ds.AddPositives({{0, 1}, {1, 2}});
+  ds.AddNegatives({{2, 3}});
+  EXPECT_EQ(ds.num_positives(), 2u);
+  EXPECT_EQ(ds.num_negatives(), 1u);
+  EXPECT_EQ(ds.positives()[1], (Walk{1, 2}));
+  EXPECT_EQ(ds.negatives()[0], (Walk{2, 3}));
+}
+
+TEST(WalkDatasetTest, AppendsPreserveOrder) {
+  WalkDataset ds;
+  ds.AddPositives({{0}});
+  ds.AddPositives({{1}});
+  EXPECT_EQ(ds.positives()[0], (Walk{0}));
+  EXPECT_EQ(ds.positives()[1], (Walk{1}));
+}
+
+TEST(WalkDatasetTest, TrimKeepsMostRecent) {
+  WalkDataset ds;
+  for (NodeId i = 0; i < 10; ++i) {
+    ds.AddPositives({{i}});
+    ds.AddNegatives({{i, i}});
+  }
+  ds.TrimTo(3);
+  EXPECT_EQ(ds.num_positives(), 3u);
+  EXPECT_EQ(ds.num_negatives(), 3u);
+  EXPECT_EQ(ds.positives()[0], (Walk{7}));
+  EXPECT_EQ(ds.positives()[2], (Walk{9}));
+}
+
+TEST(WalkDatasetTest, TrimNoOpWhenSmaller) {
+  WalkDataset ds;
+  ds.AddPositives({{0}});
+  ds.TrimTo(10);
+  EXPECT_EQ(ds.num_positives(), 1u);
+}
+
+TEST(WalkDatasetTest, EpochOrderCoversBothPools) {
+  WalkDataset ds;
+  ds.AddPositives({{0}, {1}, {2}});
+  ds.AddNegatives({{3}, {4}});
+  Rng rng(1);
+  auto order = ds.EpochOrder(rng);
+  ASSERT_EQ(order.size(), 5u);
+  int positives = 0;
+  std::set<std::pair<bool, uint32_t>> seen;
+  for (const auto& entry : order) {
+    EXPECT_TRUE(seen.insert(entry).second);
+    if (entry.first) {
+      ++positives;
+      EXPECT_LT(entry.second, 3u);
+    } else {
+      EXPECT_LT(entry.second, 2u);
+    }
+  }
+  EXPECT_EQ(positives, 3);
+}
+
+TEST(WalkDatasetTest, EpochOrderIsShuffled) {
+  WalkDataset ds;
+  for (NodeId i = 0; i < 50; ++i) ds.AddPositives({{i}});
+  Rng rng(2);
+  auto a = ds.EpochOrder(rng);
+  auto b = ds.EpochOrder(rng);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fairgen

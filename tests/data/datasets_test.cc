@@ -1,0 +1,107 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(DatasetsTest, TableIHasSevenRows) {
+  const auto& specs = TableIDatasets();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].name, "EMAIL");
+  EXPECT_EQ(specs[6].name, "ACM");
+}
+
+TEST(DatasetsTest, TableIStatisticsMatchPaper) {
+  const auto& specs = TableIDatasets();
+  // Spot-check the exact Table I numbers.
+  EXPECT_EQ(specs[0].config.num_nodes, 1005u);
+  EXPECT_EQ(specs[0].config.num_edges, 25571u);
+  EXPECT_EQ(specs[2].name, "BLOG");
+  EXPECT_EQ(specs[2].config.num_classes, 6u);
+  EXPECT_EQ(specs[2].config.protected_size, 300u);
+  EXPECT_EQ(specs[3].name, "FLICKR");
+  EXPECT_EQ(specs[3].config.num_nodes, 7575u);
+  EXPECT_EQ(specs[3].config.protected_size, 450u);
+  EXPECT_EQ(specs[6].config.num_nodes, 16484u);
+  EXPECT_EQ(specs[6].config.num_classes, 9u);
+  EXPECT_EQ(specs[6].config.protected_size, 597u);
+}
+
+TEST(DatasetsTest, LabeledSubsetIsBlogFlickrAcm) {
+  auto labeled = LabeledTableIDatasets();
+  ASSERT_EQ(labeled.size(), 3u);
+  EXPECT_EQ(labeled[0].name, "BLOG");
+  EXPECT_EQ(labeled[1].name, "FLICKR");
+  EXPECT_EQ(labeled[2].name, "ACM");
+}
+
+TEST(DatasetsTest, ScalePreservesAverageDegreeForSparseGraphs) {
+  DatasetSpec spec = TableIDatasets()[6];  // ACM (sparse enough at 0.1)
+  DatasetSpec scaled = ScaleDataset(spec, 0.1);
+  double orig_avg = 2.0 * static_cast<double>(spec.config.num_edges) /
+                    spec.config.num_nodes;
+  double scaled_avg = 2.0 * static_cast<double>(scaled.config.num_edges) /
+                      scaled.config.num_nodes;
+  EXPECT_NEAR(scaled_avg, orig_avg, orig_avg * 0.25);
+  EXPECT_EQ(scaled.config.num_classes, spec.config.num_classes);
+  EXPECT_GT(scaled.config.protected_size, 0u);
+}
+
+TEST(DatasetsTest, ScaleCapsDensityOfDenseGraphs) {
+  // BLOG's average degree (~139) cannot be preserved at small n; the
+  // scaled spec must cap density at 6% (see ScaleDataset docs).
+  DatasetSpec spec = TableIDatasets()[2];  // BLOG
+  DatasetSpec scaled = ScaleDataset(spec, 0.05);
+  double max_pairs = static_cast<double>(scaled.config.num_nodes) *
+                     (scaled.config.num_nodes - 1) / 2.0;
+  double density = static_cast<double>(scaled.config.num_edges) / max_pairs;
+  EXPECT_LE(density, 0.061);
+  EXPECT_GT(density, 0.03);
+}
+
+TEST(DatasetsTest, ScaleKeepsEdgeBudgetFeasible) {
+  DatasetSpec spec = TableIDatasets()[2];  // dense BLOG
+  DatasetSpec scaled = ScaleDataset(spec, 0.02);
+  uint64_t max_edges = static_cast<uint64_t>(scaled.config.num_nodes) *
+                       (scaled.config.num_nodes - 1) / 2;
+  EXPECT_LE(scaled.config.num_edges, max_edges);
+}
+
+TEST(DatasetsTest, LoadDatasetCaseInsensitive) {
+  auto data = LoadDataset("blog", 0.05, 7);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data->name, "BLOG");
+  EXPECT_TRUE(data->has_labels());
+  EXPECT_TRUE(data->has_protected_group());
+}
+
+TEST(DatasetsTest, LoadUnknownDatasetFails) {
+  auto data = LoadDataset("REDDIT", 0.1, 1);
+  EXPECT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsNotFound());
+}
+
+TEST(DatasetsTest, MakeDatasetDeterministic) {
+  DatasetSpec spec = ScaleDataset(TableIDatasets()[0], 0.1);
+  auto a = MakeDataset(spec, 99);
+  auto b = MakeDataset(spec, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.ToEdgeList(), b->graph.ToEdgeList());
+}
+
+TEST(DatasetsTest, ScaledDatasetsAreGenerable) {
+  for (const DatasetSpec& spec : TableIDatasets()) {
+    DatasetSpec scaled = ScaleDataset(spec, 0.04);
+    auto data = MakeDataset(scaled, 5);
+    ASSERT_TRUE(data.ok()) << spec.name << ": " << data.status().ToString();
+    EXPECT_EQ(data->graph.num_nodes(), scaled.config.num_nodes);
+    if (spec.config.num_classes > 0) {
+      EXPECT_TRUE(data->has_protected_group()) << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

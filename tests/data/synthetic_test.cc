@@ -1,0 +1,212 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conductance.h"
+#include "graph/subgraph.h"
+
+namespace fairgen {
+namespace {
+
+TEST(SyntheticTest, MatchesRequestedCounts) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 1500;
+  cfg.num_classes = 4;
+  cfg.protected_size = 40;
+  Rng rng(1);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->graph.num_nodes(), 300u);
+  // Edge budget reached up to the isolated-node patching.
+  EXPECT_GE(data->graph.num_edges(), 1500u);
+  EXPECT_LE(data->graph.num_edges(), 1550u);
+  EXPECT_EQ(data->protected_set.size(), 40u);
+  EXPECT_EQ(data->num_classes, 4u);
+}
+
+TEST(SyntheticTest, EveryNodeLabeledWhenClassesRequested) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.num_edges = 400;
+  cfg.num_classes = 3;
+  Rng rng(2);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<uint32_t> counts(3, 0);
+  for (int32_t y : data->labels) {
+    ASSERT_NE(y, kUnlabeled);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 3);
+    ++counts[static_cast<size_t>(y)];
+  }
+  for (uint32_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 100.0 / 3.0, 2.0);
+  }
+}
+
+TEST(SyntheticTest, UnlabeledConfigHasNoLabels) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.num_edges = 120;
+  Rng rng(3);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(data->has_labels());
+  for (int32_t y : data->labels) EXPECT_EQ(y, kUnlabeled);
+  EXPECT_FALSE(data->has_protected_group());
+}
+
+TEST(SyntheticTest, NoIsolatedNodes) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 500;
+  cfg.num_classes = 4;
+  Rng rng(4);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  for (NodeId v = 0; v < data->graph.num_nodes(); ++v) {
+    EXPECT_GE(data->graph.Degree(v), 1u);
+  }
+}
+
+TEST(SyntheticTest, CommunityStructurePresent) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 1200;
+  cfg.num_classes = 4;
+  cfg.intra_class_affinity = 8.0;
+  Rng rng(5);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  uint64_t intra = 0;
+  for (const Edge& e : data->graph.ToEdgeList()) {
+    if (data->labels[e.u] == data->labels[e.v]) ++intra;
+  }
+  double intra_fraction =
+      static_cast<double>(intra) / data->graph.num_edges();
+  // Random baseline would be ~25%; affinity 8 should push well past 50%.
+  EXPECT_GT(intra_fraction, 0.55);
+}
+
+TEST(SyntheticTest, ProtectedGroupIsUnderRepresented) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 2000;
+  cfg.num_classes = 4;
+  cfg.protected_size = 50;
+  Rng rng(6);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  uint64_t protected_volume = data->graph.Volume(data->protected_set);
+  double avg_protected = static_cast<double>(protected_volume) /
+                         data->protected_set.size();
+  double avg_overall = 2.0 * static_cast<double>(data->graph.num_edges()) /
+                       data->graph.num_nodes();
+  EXPECT_LT(avg_protected, avg_overall);
+}
+
+TEST(SyntheticTest, ProtectedGroupHasInternalStructure) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_edges = 2000;
+  cfg.num_classes = 4;
+  cfg.protected_size = 50;
+  cfg.protected_cohesion = 6.0;
+  Rng rng(7);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  auto sub = InducedSubgraph(data->graph, data->protected_set);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_GT(sub->graph.num_edges(), 10u);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_edges = 300;
+  cfg.num_classes = 2;
+  cfg.protected_size = 10;
+  Rng a(42);
+  Rng b(42);
+  auto d1 = GenerateSynthetic(cfg, a);
+  auto d2 = GenerateSynthetic(cfg, b);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->graph.ToEdgeList(), d2->graph.ToEdgeList());
+  EXPECT_EQ(d1->labels, d2->labels);
+  EXPECT_EQ(d1->protected_set, d2->protected_set);
+}
+
+TEST(SyntheticTest, InvalidConfigsRejected) {
+  Rng rng(8);
+  SyntheticGraphConfig tiny;
+  tiny.num_nodes = 2;
+  EXPECT_FALSE(GenerateSynthetic(tiny, rng).ok());
+  SyntheticGraphConfig overfull;
+  overfull.num_nodes = 10;
+  overfull.num_edges = 100;
+  EXPECT_FALSE(GenerateSynthetic(overfull, rng).ok());
+  SyntheticGraphConfig all_protected;
+  all_protected.num_nodes = 10;
+  all_protected.num_edges = 20;
+  all_protected.protected_size = 10;
+  EXPECT_FALSE(GenerateSynthetic(all_protected, rng).ok());
+}
+
+TEST(FewShotLabelsTest, KeepsExactlyPerClass) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.num_edges = 800;
+  cfg.num_classes = 3;
+  Rng rng(9);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<int32_t> few = FewShotLabels(*data, 5, rng);
+  std::vector<uint32_t> counts(3, 0);
+  for (NodeId v = 0; v < few.size(); ++v) {
+    if (few[v] != kUnlabeled) {
+      // A kept label must agree with the ground truth.
+      EXPECT_EQ(few[v], data->labels[v]);
+      ++counts[static_cast<size_t>(few[v])];
+    }
+  }
+  for (uint32_t c : counts) EXPECT_EQ(c, 5u);
+}
+
+TEST(FewShotLabelsTest, PicksWellConnectedRepresentatives) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.num_edges = 900;
+  cfg.num_classes = 3;
+  cfg.intra_class_affinity = 10.0;
+  Rng rng(10);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<int32_t> few = FewShotLabels(*data, 4, rng);
+  // Kept nodes should have mostly same-class neighbors (representative of
+  // their diffusion cores).
+  for (NodeId v = 0; v < few.size(); ++v) {
+    if (few[v] == kUnlabeled) continue;
+    auto nbrs = data->graph.Neighbors(v);
+    uint32_t same = 0;
+    for (NodeId u : nbrs) {
+      if (data->labels[u] == few[v]) ++same;
+    }
+    EXPECT_GT(static_cast<double>(same) / nbrs.size(), 0.5);
+  }
+}
+
+TEST(FewShotLabelsTest, UnlabeledDataGivesNothing) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_edges = 100;
+  Rng rng(11);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<int32_t> few = FewShotLabels(*data, 5, rng);
+  for (int32_t y : few) EXPECT_EQ(y, kUnlabeled);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,128 @@
+#include "embed/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+// Three well-separated Gaussian blobs.
+void MakeBlobs(uint32_t per_class, nn::Tensor& features,
+               std::vector<uint32_t>& labels, Rng& rng) {
+  const float centers[3][2] = {{4.0f, 0.0f}, {-4.0f, 0.0f}, {0.0f, 4.0f}};
+  features = nn::Tensor(3 * per_class, 2);
+  labels.assign(3 * per_class, 0);
+  for (uint32_t c = 0; c < 3; ++c) {
+    for (uint32_t i = 0; i < per_class; ++i) {
+      size_t row = c * per_class + i;
+      features.at(row, 0) =
+          centers[c][0] + static_cast<float>(rng.Normal()) * 0.5f;
+      features.at(row, 1) =
+          centers[c][1] + static_cast<float>(rng.Normal()) * 0.5f;
+      labels[row] = c;
+    }
+  }
+}
+
+TEST(LogisticRegressionTest, FitsSeparableBlobs) {
+  Rng rng(1);
+  nn::Tensor features;
+  std::vector<uint32_t> labels;
+  MakeBlobs(40, features, labels, rng);
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(features, labels, 3, {}, rng).ok());
+  EXPECT_GT(clf.Accuracy(features, labels), 0.98);
+}
+
+TEST(LogisticRegressionTest, PredictProbaRowsSumToOne) {
+  Rng rng(2);
+  nn::Tensor features;
+  std::vector<uint32_t> labels;
+  MakeBlobs(20, features, labels, rng);
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(features, labels, 3, {}, rng).ok());
+  nn::Tensor proba = clf.PredictProba(features);
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(proba.at(r, c), 0.0f);
+      sum += proba.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(LogisticRegressionTest, PredictMatchesArgmaxProba) {
+  Rng rng(3);
+  nn::Tensor features;
+  std::vector<uint32_t> labels;
+  MakeBlobs(15, features, labels, rng);
+  LogisticRegression clf;
+  ASSERT_TRUE(clf.Fit(features, labels, 3, {}, rng).ok());
+  nn::Tensor proba = clf.PredictProba(features);
+  std::vector<uint32_t> preds = clf.Predict(features);
+  for (size_t r = 0; r < preds.size(); ++r) {
+    uint32_t argmax = 0;
+    for (uint32_t c = 1; c < 3; ++c) {
+      if (proba.at(r, c) > proba.at(r, argmax)) argmax = c;
+    }
+    EXPECT_EQ(preds[r], argmax);
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsMismatchedInputs) {
+  Rng rng(4);
+  LogisticRegression clf;
+  nn::Tensor features(5, 2);
+  std::vector<uint32_t> labels(4, 0);
+  EXPECT_TRUE(clf.Fit(features, labels, 2, {}, rng)
+                  .IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, RejectsSingleClass) {
+  Rng rng(5);
+  LogisticRegression clf;
+  nn::Tensor features(3, 2);
+  std::vector<uint32_t> labels(3, 0);
+  EXPECT_TRUE(clf.Fit(features, labels, 1, {}, rng).IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, RejectsOutOfRangeLabel) {
+  Rng rng(6);
+  LogisticRegression clf;
+  nn::Tensor features(3, 2);
+  std::vector<uint32_t> labels{0, 1, 5};
+  EXPECT_TRUE(clf.Fit(features, labels, 2, {}, rng).IsInvalidArgument());
+}
+
+TEST(LogisticRegressionTest, IsFittedFlag) {
+  LogisticRegression clf;
+  EXPECT_FALSE(clf.is_fitted());
+  Rng rng(7);
+  nn::Tensor features;
+  std::vector<uint32_t> labels;
+  MakeBlobs(10, features, labels, rng);
+  ASSERT_TRUE(clf.Fit(features, labels, 3, {}, rng).ok());
+  EXPECT_TRUE(clf.is_fitted());
+  EXPECT_EQ(clf.num_classes(), 3u);
+}
+
+TEST(LogisticRegressionTest, WeightDecayRegularizes) {
+  // Heavy regularization should underfit relative to light regularization.
+  Rng rng(8);
+  nn::Tensor features;
+  std::vector<uint32_t> labels;
+  MakeBlobs(30, features, labels, rng);
+  LogisticRegression light;
+  LogisticRegressionConfig light_cfg;
+  light_cfg.weight_decay = 1e-5f;
+  ASSERT_TRUE(light.Fit(features, labels, 3, light_cfg, rng).ok());
+  LogisticRegression heavy;
+  LogisticRegressionConfig heavy_cfg;
+  heavy_cfg.weight_decay = 50.0f;
+  ASSERT_TRUE(heavy.Fit(features, labels, 3, heavy_cfg, rng).ok());
+  EXPECT_GE(light.Accuracy(features, labels),
+            heavy.Accuracy(features, labels));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,119 @@
+#include "embed/node2vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fairgen {
+namespace {
+
+Node2VecConfig QuickConfig() {
+  Node2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.walks_per_node = 4;
+  cfg.walk_length = 12;
+  cfg.window = 3;
+  cfg.negatives = 3;
+  cfg.epochs = 2;
+  return cfg;
+}
+
+TEST(Node2VecTest, OutputShape) {
+  Rng rng(1);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_edges = 240;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  Node2VecModel model = Node2VecModel::Train(data->graph, QuickConfig(), rng);
+  EXPECT_EQ(model.embeddings().rows(), 60u);
+  EXPECT_EQ(model.embeddings().cols(), 16u);
+  EXPECT_EQ(model.dim(), 16u);
+}
+
+TEST(Node2VecTest, EmbeddingsAreFiniteAndNonDegenerate) {
+  Rng rng(2);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_edges = 400;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  Node2VecModel model = Node2VecModel::Train(data->graph, QuickConfig(), rng);
+  double norm = 0.0;
+  for (size_t i = 0; i < model.embeddings().size(); ++i) {
+    float v = model.embeddings().data()[i];
+    ASSERT_TRUE(std::isfinite(v));
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(norm, 1e-3);
+}
+
+TEST(Node2VecTest, CommunityMembersAreCloserThanStrangers) {
+  // The core property the Fig. 6 pipeline relies on: embeddings separate
+  // planted communities.
+  Rng rng(3);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_edges = 900;
+  cfg.num_classes = 3;
+  cfg.intra_class_affinity = 12.0;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  Node2VecConfig n2v = QuickConfig();
+  n2v.epochs = 3;
+  Node2VecModel model = Node2VecModel::Train(data->graph, n2v, rng);
+
+  double intra = 0.0;
+  double inter = 0.0;
+  int intra_count = 0;
+  int inter_count = 0;
+  Rng pair_rng(4);
+  for (int trial = 0; trial < 4000; ++trial) {
+    NodeId u = pair_rng.UniformU32(120);
+    NodeId v = pair_rng.UniformU32(120);
+    if (u == v) continue;
+    double sim = model.CosineSimilarity(u, v);
+    if (data->labels[u] == data->labels[v]) {
+      intra += sim;
+      ++intra_count;
+    } else {
+      inter += sim;
+      ++inter_count;
+    }
+  }
+  ASSERT_GT(intra_count, 0);
+  ASSERT_GT(inter_count, 0);
+  EXPECT_GT(intra / intra_count, inter / inter_count + 0.1);
+}
+
+TEST(Node2VecTest, CosineSimilaritySelfIsOne) {
+  Rng rng(5);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 30;
+  cfg.num_edges = 90;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  Node2VecModel model = Node2VecModel::Train(data->graph, QuickConfig(), rng);
+  EXPECT_NEAR(model.CosineSimilarity(3, 3), 1.0, 1e-6);
+}
+
+TEST(Node2VecTest, DeterministicGivenSeed) {
+  Rng rng_data(6);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_edges = 160;
+  auto data = GenerateSynthetic(cfg, rng_data);
+  ASSERT_TRUE(data.ok());
+  Rng a(77);
+  Rng b(77);
+  Node2VecModel m1 = Node2VecModel::Train(data->graph, QuickConfig(), a);
+  Node2VecModel m2 = Node2VecModel::Train(data->graph, QuickConfig(), b);
+  for (size_t i = 0; i < m1.embeddings().size(); ++i) {
+    EXPECT_EQ(m1.embeddings().data()[i], m2.embeddings().data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,126 @@
+#include "eval/augmentation_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace fairgen {
+namespace {
+
+LabeledGraph SmallLabeled(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 90;
+  cfg.num_edges = 550;
+  cfg.num_classes = 3;
+  cfg.protected_size = 12;
+  cfg.intra_class_affinity = 9.0;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  LabeledGraph out = data.MoveValueUnsafe();
+  out.name = "MINI";
+  return out;
+}
+
+AugmentationConfig QuickAug() {
+  AugmentationConfig cfg;
+  cfg.folds = 4;
+  cfg.node2vec.dim = 16;
+  cfg.node2vec.walks_per_node = 6;
+  cfg.node2vec.walk_length = 10;
+  cfg.node2vec.epochs = 2;
+  cfg.classifier.epochs = 250;
+  cfg.classifier.lr = 0.3f;
+  return cfg;
+}
+
+TEST(ClassifyWithEmbeddingTest, ReasonableAccuracyOnCommunities) {
+  LabeledGraph data = SmallLabeled(1);
+  auto result =
+      ClassifyWithEmbedding(data.graph, data, QuickAug(), 1, "base");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->model, "base");
+  // Planted communities are easy: well above the 1/3 chance level.
+  EXPECT_GT(result->mean_accuracy, 0.55);
+  EXPECT_LE(result->mean_accuracy, 1.0);
+  EXPECT_GE(result->std_accuracy, 0.0);
+}
+
+TEST(ClassifyWithEmbeddingTest, RejectsUnlabeledData) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_edges = 120;
+  Rng rng(2);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  auto result =
+      ClassifyWithEmbedding(data->graph, *data, QuickAug(), 2, "x");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AugmentGraphTest, AddsOnlyNewEdgesWithinBudget) {
+  LabeledGraph data = SmallLabeled(3);
+  Rng rng(3);
+  // "Generated" graph: the original plus a block of fresh edges.
+  GraphBuilder builder(data.graph.num_nodes());
+  ASSERT_TRUE(builder.AddEdges(data.graph.ToEdgeList()).ok());
+  uint32_t added = 0;
+  for (NodeId v = 0; added < 60 && v + 7 < data.graph.num_nodes(); ++v) {
+    if (!data.graph.HasEdge(v, v + 7)) {
+      ASSERT_TRUE(builder.AddEdge(v, v + 7).ok());
+      ++added;
+    }
+  }
+  auto generated = builder.Build();
+  ASSERT_TRUE(generated.ok());
+
+  auto augmented = AugmentGraph(data.graph, *generated, 0.05, rng);
+  ASSERT_TRUE(augmented.ok());
+  uint64_t budget = static_cast<uint64_t>(0.05 * data.graph.num_edges());
+  EXPECT_EQ(augmented->num_edges(), data.graph.num_edges() + budget);
+  // Original edges all retained.
+  for (const Edge& e : data.graph.ToEdgeList()) {
+    EXPECT_TRUE(augmented->HasEdge(e.u, e.v));
+  }
+}
+
+TEST(AugmentGraphTest, NoNewEdgesMeansUnchanged) {
+  LabeledGraph data = SmallLabeled(4);
+  Rng rng(4);
+  auto augmented = AugmentGraph(data.graph, data.graph, 0.05, rng);
+  ASSERT_TRUE(augmented.ok());
+  EXPECT_EQ(augmented->num_edges(), data.graph.num_edges());
+}
+
+TEST(AugmentGraphTest, MismatchedNodesRejected) {
+  LabeledGraph data = SmallLabeled(5);
+  Rng rng(5);
+  EXPECT_FALSE(
+      AugmentGraph(data.graph, Graph::Empty(3), 0.05, rng).ok());
+}
+
+TEST(EvaluateAugmentationTest, CheapZooEndToEnd) {
+  LabeledGraph data = SmallLabeled(6);
+  ZooConfig zoo;
+  zoo.labels_per_class = 4;
+  zoo.include_deep = false;
+  zoo.include_ablations = false;
+  zoo.fairgen.num_walks = 40;
+  zoo.fairgen.self_paced_cycles = 2;
+  zoo.fairgen.generator_epochs = 1;
+  zoo.fairgen.embedding_dim = 16;
+  zoo.fairgen.ffn_dim = 24;
+  zoo.fairgen.gen_transition_multiplier = 2.0;
+  auto results = EvaluateAugmentation(data, zoo, QuickAug(), 6);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  // NoAugmentation + FairGen + ER + BA.
+  ASSERT_EQ(results->size(), 4u);
+  EXPECT_EQ((*results)[0].model, "NoAugmentation");
+  for (const AugmentationResult& r : *results) {
+    EXPECT_GE(r.mean_accuracy, 0.0);
+    EXPECT_LE(r.mean_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,133 @@
+#include "eval/discrepancy_eval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+ZooConfig QuickZoo() {
+  ZooConfig cfg;
+  cfg.labels_per_class = 4;
+  cfg.walk_budget.num_walks = 50;
+  cfg.walk_budget.epochs = 1;
+  cfg.walk_budget.gen_transition_multiplier = 2.5;
+  cfg.fairgen.num_walks = 50;
+  cfg.fairgen.self_paced_cycles = 2;
+  cfg.fairgen.generator_epochs = 1;
+  cfg.fairgen.embedding_dim = 16;
+  cfg.fairgen.ffn_dim = 24;
+  cfg.fairgen.gen_transition_multiplier = 2.5;
+  cfg.gae.epochs = 20;
+  return cfg;
+}
+
+LabeledGraph SmallBlog(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_edges = 450;
+  cfg.num_classes = 3;
+  cfg.protected_size = 12;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  LabeledGraph out = data.MoveValueUnsafe();
+  out.name = "MINIBLOG";
+  return out;
+}
+
+TEST(ModelZooTest, FullZooHasNineModels) {
+  LabeledGraph data = SmallBlog(1);
+  auto zoo = MakeModelZoo(data, QuickZoo(), 1);
+  ASSERT_TRUE(zoo.ok());
+  ASSERT_EQ(zoo->size(), 9u);
+  EXPECT_EQ((*zoo)[0]->name(), "FairGen");
+  EXPECT_EQ((*zoo)[1]->name(), "FairGen-R");
+  EXPECT_EQ((*zoo)[2]->name(), "FairGen-w/o-SPL");
+  EXPECT_EQ((*zoo)[3]->name(), "FairGen-w/o-Parity");
+  EXPECT_EQ((*zoo)[4]->name(), "ER");
+  EXPECT_EQ((*zoo)[5]->name(), "BA");
+  EXPECT_EQ((*zoo)[6]->name(), "GAE");
+  EXPECT_EQ((*zoo)[7]->name(), "NetGAN");
+  EXPECT_EQ((*zoo)[8]->name(), "TagGen");
+}
+
+TEST(ModelZooTest, FlagsShrinkZoo) {
+  LabeledGraph data = SmallBlog(2);
+  ZooConfig cfg = QuickZoo();
+  cfg.include_deep = false;
+  cfg.include_ablations = false;
+  auto zoo = MakeModelZoo(data, cfg, 2);
+  ASSERT_TRUE(zoo.ok());
+  EXPECT_EQ(zoo->size(), 3u);  // FairGen + ER + BA
+}
+
+TEST(EvaluateGeneratorTest, ProducesFiniteDiscrepancies) {
+  LabeledGraph data = SmallBlog(3);
+  ErdosRenyiGenerator er;
+  auto result = EvaluateGenerator(er, data, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model, "ER");
+  EXPECT_TRUE(result->has_protected);
+  for (double d : result->overall) {
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GE(d, 0.0);
+  }
+  for (double d : result->protected_group) {
+    EXPECT_TRUE(std::isfinite(d));
+  }
+  EXPECT_GT(result->generated_edges, 0u);
+  EXPECT_GE(result->fit_seconds, 0.0);
+}
+
+TEST(EvaluateGeneratorTest, UnlabeledDatasetSkipsProtected) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_edges = 200;
+  Rng rng(4);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  BarabasiAlbertGenerator ba;
+  auto result = EvaluateGenerator(ba, *data, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_protected);
+}
+
+TEST(EvaluateGeneratorsTest, RunsCheapZooEndToEnd) {
+  LabeledGraph data = SmallBlog(5);
+  ZooConfig cfg = QuickZoo();
+  cfg.include_deep = false;  // keep this suite fast
+  auto results = EvaluateGenerators(data, cfg, 5);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 6u);
+  for (const GeneratorEvalResult& r : *results) {
+    EXPECT_TRUE(r.has_protected);
+    EXPECT_GT(r.generated_edges, 0u);
+  }
+}
+
+TEST(EvaluateGeneratorsTest, FairGenBeatsERonProtectedDiscrepancy) {
+  // The headline Fig. 5 claim at miniature scale: the fairness-aware model
+  // preserves the protected subgraph better than structure-agnostic ER.
+  LabeledGraph data = SmallBlog(6);
+  ZooConfig cfg = QuickZoo();
+  cfg.fairgen.self_paced_cycles = 3;
+  cfg.include_deep = false;
+  cfg.include_ablations = false;
+  auto results = EvaluateGenerators(data, cfg, 6);
+  ASSERT_TRUE(results.ok());
+  const GeneratorEvalResult* fairgen = nullptr;
+  const GeneratorEvalResult* er = nullptr;
+  for (const auto& r : *results) {
+    if (r.model == "FairGen") fairgen = &r;
+    if (r.model == "ER") er = &r;
+  }
+  ASSERT_NE(fairgen, nullptr);
+  ASSERT_NE(er, nullptr);
+  EXPECT_LT(MeanDiscrepancy(fairgen->protected_group),
+            MeanDiscrepancy(er->protected_group));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,88 @@
+#include "eval/disparity_probe.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+LabeledGraph DisparityData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_edges = 800;
+  cfg.num_classes = 3;
+  cfg.protected_size = 18;
+  cfg.protected_cohesion = 6.0;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  LabeledGraph out = data.MoveValueUnsafe();
+  out.name = "PROBE";
+  return out;
+}
+
+DisparityProbeConfig QuickProbe() {
+  DisparityProbeConfig cfg;
+  cfg.checkpoints = 3;
+  cfg.eval_walks = 40;
+  cfg.netgan.train.num_walks = 80;
+  cfg.netgan.train.walk_length = 8;
+  cfg.netgan.dim = 16;
+  cfg.netgan.hidden_dim = 16;
+  return cfg;
+}
+
+TEST(DisparityProbeTest, ProducesRequestedCheckpoints) {
+  LabeledGraph data = DisparityData(1);
+  auto points = ProbeDisparity(data, QuickProbe(), 1);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  ASSERT_EQ(points->size(), 3u);
+  uint32_t prev_iter = 0;
+  for (const DisparityPoint& p : *points) {
+    EXPECT_GT(p.iteration, prev_iter);
+    prev_iter = p.iteration;
+    EXPECT_TRUE(std::isfinite(p.overall_nll));
+    EXPECT_TRUE(std::isfinite(p.protected_nll));
+    EXPECT_GT(p.overall_nll, 0.0);
+    EXPECT_GT(p.protected_nll, 0.0);
+  }
+}
+
+TEST(DisparityProbeTest, OverallLossImprovesWithTraining) {
+  LabeledGraph data = DisparityData(2);
+  DisparityProbeConfig cfg = QuickProbe();
+  cfg.checkpoints = 4;
+  cfg.netgan.train.num_walks = 120;
+  auto points = ProbeDisparity(data, cfg, 2);
+  ASSERT_TRUE(points.ok());
+  EXPECT_LT(points->back().overall_nll, points->front().overall_nll);
+}
+
+TEST(DisparityProbeTest, DisparityGapEmergesOrPersists) {
+  // The Fig. 1 phenomenon: by the final checkpoint the protected loss sits
+  // above the overall loss (the model under-serves the minority).
+  LabeledGraph data = DisparityData(3);
+  DisparityProbeConfig cfg = QuickProbe();
+  cfg.checkpoints = 4;
+  cfg.netgan.train.num_walks = 150;
+  auto points = ProbeDisparity(data, cfg, 3);
+  ASSERT_TRUE(points.ok());
+  const DisparityPoint& last = points->back();
+  EXPECT_GT(last.protected_nll, last.overall_nll);
+}
+
+TEST(DisparityProbeTest, RequiresProtectedGroup) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.num_edges = 150;
+  Rng rng(4);
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  auto points = ProbeDisparity(*data, QuickProbe(), 4);
+  EXPECT_FALSE(points.ok());
+  EXPECT_TRUE(points.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace fairgen

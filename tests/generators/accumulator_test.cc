@@ -1,0 +1,86 @@
+#include "generators/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(EdgeScoreAccumulatorTest, CountsWalkTransitions) {
+  EdgeScoreAccumulator acc(5);
+  acc.AddWalk({0, 1, 2, 1});
+  // Transitions: 0-1, 1-2, 2-1 => edge {1,2} counted twice.
+  EXPECT_EQ(acc.num_scored_edges(), 2u);
+  EXPECT_NEAR(acc.total_score(), 3.0, 1e-12);
+}
+
+TEST(EdgeScoreAccumulatorTest, IgnoresSelfTransitions) {
+  EdgeScoreAccumulator acc(3);
+  acc.AddWalk({0, 0, 0, 1});
+  EXPECT_EQ(acc.num_scored_edges(), 1u);
+  EXPECT_NEAR(acc.total_score(), 1.0, 1e-12);
+}
+
+TEST(EdgeScoreAccumulatorTest, OrientationNormalized) {
+  EdgeScoreAccumulator acc(4);
+  acc.AddEdge(2, 1);
+  acc.AddEdge(1, 2);
+  EXPECT_EQ(acc.num_scored_edges(), 1u);
+  auto scored = acc.ScoredEdges();
+  ASSERT_EQ(scored.size(), 1u);
+  EXPECT_EQ(scored[0].first.u, 1u);
+  EXPECT_EQ(scored[0].first.v, 2u);
+  EXPECT_NEAR(scored[0].second, 2.0, 1e-12);
+}
+
+TEST(EdgeScoreAccumulatorTest, SelfEdgeIgnored) {
+  EdgeScoreAccumulator acc(3);
+  acc.AddEdge(1, 1);
+  EXPECT_EQ(acc.num_scored_edges(), 0u);
+}
+
+TEST(EdgeScoreAccumulatorTest, BuildTopEdgesKeepsHighestScores) {
+  EdgeScoreAccumulator acc(5);
+  acc.AddEdge(0, 1, 10.0);
+  acc.AddEdge(1, 2, 5.0);
+  acc.AddEdge(2, 3, 1.0);
+  auto g = acc.BuildTopEdges(2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_FALSE(g->HasEdge(2, 3));
+}
+
+TEST(EdgeScoreAccumulatorTest, BuildWithFewerCandidatesThanTarget) {
+  EdgeScoreAccumulator acc(4);
+  acc.AddEdge(0, 1);
+  auto g = acc.BuildTopEdges(10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(EdgeScoreAccumulatorTest, TieBreakIsDeterministic) {
+  EdgeScoreAccumulator a(5);
+  EdgeScoreAccumulator b(5);
+  for (auto* acc : {&a, &b}) {
+    acc->AddEdge(3, 4, 1.0);
+    acc->AddEdge(0, 1, 1.0);
+    acc->AddEdge(1, 2, 1.0);
+  }
+  auto ga = a.BuildTopEdges(2);
+  auto gb = b.BuildTopEdges(2);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(ga->ToEdgeList(), gb->ToEdgeList());
+  // Lowest edge key wins ties.
+  EXPECT_TRUE(ga->HasEdge(0, 1));
+  EXPECT_TRUE(ga->HasEdge(1, 2));
+}
+
+TEST(EdgeScoreAccumulatorDeathTest, OutOfRangeNode) {
+  EdgeScoreAccumulator acc(3);
+  EXPECT_DEATH(acc.AddEdge(0, 5), "");
+}
+
+}  // namespace
+}  // namespace fairgen

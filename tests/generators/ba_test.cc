@@ -1,0 +1,79 @@
+#include "generators/ba.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+#include "graph/components.h"
+#include "stats/metrics.h"
+
+namespace fairgen {
+namespace {
+
+TEST(SampleBarabasiAlbertTest, BasicShape) {
+  Rng rng(1);
+  auto g = SampleBarabasiAlbert(200, 3, 0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 200u);
+  EXPECT_GT(g->num_edges(), 400u);
+}
+
+TEST(SampleBarabasiAlbertTest, IsConnected) {
+  Rng rng(2);
+  auto g = SampleBarabasiAlbert(300, 2, 0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(LargestComponentSize(*g), 300u);
+}
+
+TEST(SampleBarabasiAlbertTest, HeavyTailedDegrees) {
+  Rng rng(3);
+  auto ba = SampleBarabasiAlbert(1000, 2, 0, rng);
+  ASSERT_TRUE(ba.ok());
+  auto er = SampleErdosRenyi(1000, ba->num_edges(), rng);
+  ASSERT_TRUE(er.ok());
+  // Preferential attachment produces far higher degree inequality and a
+  // larger max degree than a same-size ER graph.
+  EXPECT_GT(GiniCoefficient(*ba), GiniCoefficient(*er) + 0.1);
+  EXPECT_GT(ba->MaxDegree(), 2 * er->MaxDegree());
+}
+
+TEST(SampleBarabasiAlbertTest, TargetEdgeBudgetReached) {
+  Rng rng(4);
+  auto g = SampleBarabasiAlbert(150, 2, 900, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 900.0, 20.0);
+}
+
+TEST(SampleBarabasiAlbertTest, InvalidArgsRejected) {
+  Rng rng(5);
+  EXPECT_FALSE(SampleBarabasiAlbert(1, 2, 0, rng).ok());
+  EXPECT_FALSE(SampleBarabasiAlbert(10, 0, 0, rng).ok());
+}
+
+TEST(SampleBarabasiAlbertTest, EdgesPerNodeClampedToFeasible) {
+  Rng rng(6);
+  auto g = SampleBarabasiAlbert(5, 100, 0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g->num_edges(), 10u);
+}
+
+TEST(BarabasiAlbertGeneratorTest, MatchesEdgeBudgetApproximately) {
+  Rng rng(7);
+  auto input = SampleErdosRenyi(120, 600, rng);
+  ASSERT_TRUE(input.ok());
+  BarabasiAlbertGenerator gen;
+  ASSERT_TRUE(gen.Fit(*input, rng).ok());
+  EXPECT_EQ(gen.name(), "BA");
+  auto out = gen.Generate(rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_nodes(), 120u);
+  EXPECT_NEAR(static_cast<double>(out->num_edges()), 600.0, 30.0);
+}
+
+TEST(BarabasiAlbertGeneratorTest, GenerateBeforeFitFails) {
+  BarabasiAlbertGenerator gen;
+  Rng rng(8);
+  EXPECT_TRUE(gen.Generate(rng).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace fairgen

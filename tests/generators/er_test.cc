@@ -1,0 +1,100 @@
+#include "generators/er.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+
+namespace fairgen {
+namespace {
+
+TEST(SampleErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  auto g = SampleErdosRenyi(100, 250, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_edges(), 250u);
+}
+
+TEST(SampleErdosRenyiTest, NoSelfLoopsOrDuplicates) {
+  Rng rng(2);
+  auto g = SampleErdosRenyi(50, 400, rng);
+  ASSERT_TRUE(g.ok());
+  // Graph invariants guarantee this; re-verify through the edge list.
+  auto edges = g->ToEdgeList();
+  EXPECT_EQ(edges.size(), 400u);
+  for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+}
+
+TEST(SampleErdosRenyiTest, CompleteGraphReachable) {
+  Rng rng(3);
+  auto g = SampleErdosRenyi(6, 15, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 15u);
+}
+
+TEST(SampleErdosRenyiTest, TooManyEdgesRejected) {
+  Rng rng(4);
+  EXPECT_FALSE(SampleErdosRenyi(4, 7, rng).ok());
+}
+
+TEST(SampleErdosRenyiPTest, EdgeFractionMatchesP) {
+  Rng rng(5);
+  constexpr uint32_t kN = 200;
+  constexpr double kP = 0.05;
+  auto g = SampleErdosRenyiP(kN, kP, rng);
+  ASSERT_TRUE(g.ok());
+  double max_edges = kN * (kN - 1) / 2.0;
+  double observed = static_cast<double>(g->num_edges()) / max_edges;
+  EXPECT_NEAR(observed, kP, 0.01);
+}
+
+TEST(SampleErdosRenyiPTest, ZeroAndOne) {
+  Rng rng(6);
+  auto empty = SampleErdosRenyiP(10, 0.0, rng);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_edges(), 0u);
+  auto full = SampleErdosRenyiP(10, 1.0, rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_edges(), 45u);
+}
+
+TEST(SampleErdosRenyiPTest, InvalidPRejected) {
+  Rng rng(7);
+  EXPECT_FALSE(SampleErdosRenyiP(10, -0.1, rng).ok());
+  EXPECT_FALSE(SampleErdosRenyiP(10, 1.5, rng).ok());
+}
+
+TEST(ErdosRenyiGeneratorTest, PreservesCounts) {
+  Rng rng(8);
+  auto input = SampleErdosRenyi(80, 200, rng);
+  ASSERT_TRUE(input.ok());
+  ErdosRenyiGenerator gen;
+  ASSERT_TRUE(gen.Fit(*input, rng).ok());
+  EXPECT_EQ(gen.name(), "ER");
+  auto out = gen.Generate(rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_nodes(), 80u);
+  EXPECT_EQ(out->num_edges(), 200u);
+}
+
+TEST(ErdosRenyiGeneratorTest, GenerateBeforeFitFails) {
+  ErdosRenyiGenerator gen;
+  Rng rng(9);
+  EXPECT_TRUE(gen.Generate(rng).status().IsFailedPrecondition());
+}
+
+TEST(ErdosRenyiGeneratorTest, OutputIsRandomized) {
+  Rng rng(10);
+  auto input = SampleErdosRenyi(60, 150, rng);
+  ASSERT_TRUE(input.ok());
+  ErdosRenyiGenerator gen;
+  ASSERT_TRUE(gen.Fit(*input, rng).ok());
+  auto a = gen.Generate(rng);
+  auto b = gen.Generate(rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->ToEdgeList(), b->ToEdgeList());
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,111 @@
+#include "generators/gae.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fairgen {
+namespace {
+
+GaeConfig QuickConfig() {
+  GaeConfig cfg;
+  cfg.feature_dim = 12;
+  cfg.hidden_dim = 12;
+  cfg.latent_dim = 8;
+  cfg.epochs = 30;
+  cfg.edges_per_epoch = 128;
+  cfg.candidate_multiplier = 20.0;
+  return cfg;
+}
+
+LabeledGraph SmallGraph(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 80;
+  cfg.num_edges = 400;
+  cfg.num_classes = 2;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+TEST(NormalizedAdjacencyTest, RowsIncludeSelfLoop) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  auto s = NormalizedAdjacency(*g);
+  EXPECT_EQ(s->rows, 3u);
+  // Node 0: self loop + neighbor 1 -> 2 entries.
+  EXPECT_EQ(s->offsets[1] - s->offsets[0], 2u);
+  // Node 1: self loop + 2 neighbors -> 3 entries.
+  EXPECT_EQ(s->offsets[2] - s->offsets[1], 3u);
+}
+
+TEST(NormalizedAdjacencyTest, ValuesMatchFormula) {
+  auto g = Graph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  auto s = NormalizedAdjacency(*g);
+  // deg+1 = 2 for both: self = 1/2, cross = 1/2.
+  for (float v : s->values) {
+    EXPECT_NEAR(v, 0.5f, 1e-6);
+  }
+}
+
+TEST(NormalizedAdjacencyTest, OperatorIsSymmetric) {
+  LabeledGraph data = SmallGraph(1);
+  auto s = NormalizedAdjacency(data.graph);
+  // Apply to basis-like vectors and check <S e_i, e_j> == <e_i, S e_j>
+  // for a few pairs.
+  nn::Tensor x(data.graph.num_nodes(), 1);
+  x.at(3, 0) = 1.0f;
+  nn::Tensor sx = s->Apply(x);
+  nn::Tensor y(data.graph.num_nodes(), 1);
+  y.at(7, 0) = 1.0f;
+  nn::Tensor sy = s->Apply(y);
+  EXPECT_NEAR(sx.at(7, 0), sy.at(3, 0), 1e-6);
+}
+
+TEST(GaeGeneratorTest, TrainsAndGenerates) {
+  LabeledGraph data = SmallGraph(2);
+  GaeGenerator gen(QuickConfig());
+  EXPECT_EQ(gen.name(), "GAE");
+  Rng rng(2);
+  ASSERT_TRUE(gen.Fit(data.graph, rng).ok());
+  EXPECT_TRUE(std::isfinite(gen.final_loss()));
+  auto out = gen.Generate(rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_nodes(), data.graph.num_nodes());
+  EXPECT_LE(out->num_edges(), data.graph.num_edges());
+  EXPECT_GT(out->num_edges(), data.graph.num_edges() / 2);
+}
+
+TEST(GaeGeneratorTest, TrainingReducesLoss) {
+  LabeledGraph data = SmallGraph(3);
+  GaeConfig short_cfg = QuickConfig();
+  short_cfg.epochs = 2;
+  GaeGenerator short_gen(short_cfg);
+  GaeConfig long_cfg = QuickConfig();
+  long_cfg.epochs = 80;
+  GaeGenerator long_gen(long_cfg);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  ASSERT_TRUE(short_gen.Fit(data.graph, rng_a).ok());
+  ASSERT_TRUE(long_gen.Fit(data.graph, rng_b).ok());
+  EXPECT_LT(long_gen.final_loss(), short_gen.final_loss());
+}
+
+TEST(GaeGeneratorTest, RejectsEmptyGraph) {
+  GaeGenerator gen(QuickConfig());
+  Rng rng(4);
+  EXPECT_TRUE(gen.Fit(Graph::Empty(10), rng).IsInvalidArgument());
+}
+
+TEST(GaeGeneratorTest, GenerateBeforeFitFails) {
+  GaeGenerator gen(QuickConfig());
+  Rng rng(5);
+  EXPECT_TRUE(gen.Generate(rng).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace fairgen

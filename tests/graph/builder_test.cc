@@ -1,0 +1,80 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(GraphBuilderTest, BuildEmpty) {
+  GraphBuilder b(3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, AddEdgeNormalizesOrientation) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(2, 0).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  std::vector<Edge> edges = g->ToEdgeList();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 2u);
+}
+
+TEST(GraphBuilderTest, SelfLoopIgnoredSilently) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(1, 1).ok());
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, OutOfRangeRejected) {
+  GraphBuilder b(3);
+  Status s = b.AddEdge(0, 3);
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, BuilderIsReusable) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g1 = b.Build();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  auto g2 = b.Build();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->num_edges(), 1u);
+  EXPECT_EQ(g2->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder b(5);
+  ASSERT_TRUE(b.AddEdges({{0, 1}, {1, 2}, {3, 4}}).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, AddEdgesFailsAtomicallyOnBadEdge) {
+  GraphBuilder b(3);
+  Status s = b.AddEdges({{0, 1}, {0, 9}});
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, LargeStarGraph) {
+  constexpr uint32_t kN = 10000;
+  GraphBuilder b(kN);
+  for (NodeId v = 1; v < kN; ++v) {
+    ASSERT_TRUE(b.AddEdge(0, v).ok());
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), kN - 1);
+  EXPECT_EQ(g->Degree(0), kN - 1);
+  EXPECT_EQ(g->Degree(kN - 1), 1u);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,85 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = ConnectedComponents(*g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.largest, 4u);
+}
+
+TEST(ComponentsTest, TwoComponentsAndIsolate) {
+  auto g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = ConnectedComponents(*g);
+  EXPECT_EQ(info.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(info.largest, 3u);
+  EXPECT_EQ(info.label[0], info.label[1]);
+  EXPECT_EQ(info.label[1], info.label[2]);
+  EXPECT_EQ(info.label[3], info.label[4]);
+  EXPECT_NE(info.label[0], info.label[3]);
+  EXPECT_NE(info.label[5], info.label[0]);
+  EXPECT_NE(info.label[5], info.label[3]);
+}
+
+TEST(ComponentsTest, EmptyGraphAllSingletons) {
+  Graph g = Graph::Empty(4);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 4u);
+  EXPECT_EQ(info.largest, 1u);
+}
+
+TEST(ComponentsTest, ZeroNodeGraph) {
+  Graph g = Graph::Empty(0);
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 0u);
+  EXPECT_EQ(info.largest, 0u);
+}
+
+TEST(ComponentsTest, SizesSumToNodeCount) {
+  Rng rng(3);
+  auto g = SampleErdosRenyi(200, 150, rng);
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = ConnectedComponents(*g);
+  uint64_t total = 0;
+  for (uint32_t s : info.sizes) total += s;
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(ComponentsTest, LabelsAreConsistentWithEdges) {
+  Rng rng(5);
+  auto g = SampleErdosRenyi(100, 120, rng);
+  ASSERT_TRUE(g.ok());
+  ComponentInfo info = ConnectedComponents(*g);
+  for (const Edge& e : g->ToEdgeList()) {
+    EXPECT_EQ(info.label[e.u], info.label[e.v]);
+  }
+}
+
+TEST(LargestComponentTest, SizeMatchesInfo) {
+  auto g = Graph::FromEdges(6, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(LargestComponentSize(*g), 4u);
+}
+
+TEST(LargestComponentTest, NodesBelongToLargest) {
+  auto g = Graph::FromEdges(6, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> nodes = LargestComponentNodes(*g);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{2, 3, 4, 5}));
+}
+
+TEST(LargestComponentTest, EmptyGraph) {
+  EXPECT_TRUE(LargestComponentNodes(Graph::Empty(0)).empty());
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,105 @@
+#include "graph/conductance.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+Graph TwoTrianglesBridged() {
+  // Triangle {0,1,2} and triangle {3,4,5} connected by bridge 2-3.
+  return Graph::FromEdges(
+             6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}})
+      .MoveValueUnsafe();
+}
+
+TEST(CutSizeTest, CountsCrossingEdges) {
+  Graph g = TwoTrianglesBridged();
+  EXPECT_EQ(CutSize(g, {0, 1, 2}), 1u);
+  EXPECT_EQ(CutSize(g, {0, 1}), 2u);
+  EXPECT_EQ(CutSize(g, {0, 1, 2, 3, 4, 5}), 0u);
+}
+
+TEST(ConductanceTest, BridgedTriangles) {
+  Graph g = TwoTrianglesBridged();
+  auto phi = Conductance(g, {0, 1, 2});
+  ASSERT_TRUE(phi.ok());
+  // cut = 1, vol(S) = 2+2+3 = 7, vol(complement) = 7 -> phi = 1/7.
+  EXPECT_NEAR(*phi, 1.0 / 7.0, 1e-12);
+}
+
+TEST(ConductanceTest, UsesSmallerSideVolume) {
+  Graph g = TwoTrianglesBridged();
+  auto phi_small = Conductance(g, {0});
+  ASSERT_TRUE(phi_small.ok());
+  // cut = 2, vol({0}) = 2, vol(rest) = 12 -> denominator 2 -> phi = 1.
+  EXPECT_NEAR(*phi_small, 1.0, 1e-12);
+}
+
+TEST(ConductanceTest, ComplementSymmetric) {
+  Graph g = TwoTrianglesBridged();
+  auto a = Conductance(g, {0, 1, 2});
+  auto b = Conductance(g, {3, 4, 5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(*a, *b, 1e-12);
+}
+
+TEST(ConductanceTest, EmptySetRejected) {
+  Graph g = TwoTrianglesBridged();
+  EXPECT_FALSE(Conductance(g, {}).ok());
+}
+
+TEST(ConductanceTest, FullSetRejected) {
+  Graph g = TwoTrianglesBridged();
+  EXPECT_FALSE(Conductance(g, {0, 1, 2, 3, 4, 5}).ok());
+}
+
+TEST(ConductanceTest, ZeroVolumeSetRejected) {
+  auto g = Graph::FromEdges(3, {{0, 1}});  // node 2 isolated
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(Conductance(*g, {2}).ok());
+}
+
+TEST(ConductanceTest, RangeIsZeroToOne) {
+  Rng rng(7);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.num_edges = 600;
+  cfg.num_classes = 3;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  for (int32_t c = 0; c < 3; ++c) {
+    std::vector<NodeId> community;
+    for (NodeId v = 0; v < data->graph.num_nodes(); ++v) {
+      if (data->labels[v] == c) community.push_back(v);
+    }
+    auto phi = Conductance(data->graph, community);
+    ASSERT_TRUE(phi.ok());
+    EXPECT_GE(*phi, 0.0);
+    EXPECT_LE(*phi, 1.0);
+  }
+}
+
+TEST(ConductanceTest, PlantedCommunityHasLowConductance) {
+  Rng rng(11);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 1200;
+  cfg.num_classes = 4;
+  cfg.intra_class_affinity = 10.0;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::vector<NodeId> community;
+  for (NodeId v = 0; v < data->graph.num_nodes(); ++v) {
+    if (data->labels[v] == 0) community.push_back(v);
+  }
+  auto phi = Conductance(data->graph, community);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_LT(*phi, 0.4);
+}
+
+}  // namespace
+}  // namespace fairgen

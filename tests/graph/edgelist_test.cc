@@ -1,0 +1,105 @@
+#include "graph/edgelist.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+class EdgeListTest : public testing::Test {
+ protected:
+  std::string WriteTempFile(const std::string& content) {
+    std::string path = testing::TempDir() + "/fairgen_edgelist_" +
+                       testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       ".txt";
+    std::ofstream out(path);
+    out << content;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(EdgeListTest, LoadsBasicFile) {
+  std::string path = WriteTempFile("0 1\n1 2\n0 2\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST_F(EdgeListTest, SkipsCommentsAndBlankLines) {
+  std::string path = WriteTempFile("# comment\n% also comment\n\n0 1\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST_F(EdgeListTest, InfersNodeCountFromMaxId) {
+  std::string path = WriteTempFile("0 7\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 8u);
+}
+
+TEST_F(EdgeListTest, HonorsLargerExplicitNodeCount) {
+  std::string path = WriteTempFile("0 1\n");
+  auto g = LoadEdgeList(path, 10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10u);
+}
+
+TEST_F(EdgeListTest, MalformedLineFails) {
+  std::string path = WriteTempFile("0 1\njunk\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(EdgeListTest, NonNumericIdFails) {
+  std::string path = WriteTempFile("0 abc\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST_F(EdgeListTest, MissingFileFails) {
+  auto g = LoadEdgeList("/no/such/file/anywhere.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(EdgeListTest, SaveLoadRoundTrips) {
+  auto original = Graph::FromEdges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  ASSERT_TRUE(original.ok());
+  std::string path = testing::TempDir() + "/fairgen_roundtrip.txt";
+  paths_.push_back(path);
+  ASSERT_TRUE(SaveEdgeList(*original, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original->num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+  for (const Edge& e : original->ToEdgeList()) {
+    EXPECT_TRUE(loaded->HasEdge(e.u, e.v));
+  }
+}
+
+TEST_F(EdgeListTest, TabSeparatedAccepted) {
+  std::string path = WriteTempFile("0\t1\n2\t3\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace fairgen

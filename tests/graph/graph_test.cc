@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 0-2 (triangle), 2-3 (tail).
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  return g.MoveValueUnsafe();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::Empty(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.Degree(v), 0u);
+    EXPECT_TRUE(g.Neighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = TriangleWithTail();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(GraphTest, AdjacencyIsSymmetric) {
+  Graph g = TriangleWithTail();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));  // out of range is just "no edge"
+}
+
+TEST(GraphTest, DuplicateEdgesCollapsed) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_EQ(g->Degree(0), 1u);
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  auto g = Graph::FromEdges(3, {{0, 0}, {1, 1}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphTest, OutOfRangeEndpointRejected) {
+  auto g = Graph::FromEdges(3, {{0, 5}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphTest, ToEdgeListCanonical) {
+  Graph g = TriangleWithTail();
+  std::vector<Edge> edges = g.ToEdgeList();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, e.v);
+  }
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end(),
+                             [](const Edge& a, const Edge& b) {
+                               return a.u != b.u ? a.u < b.u : a.v < b.v;
+                             }));
+}
+
+TEST(GraphTest, EdgeListRoundTrips) {
+  Graph g = TriangleWithTail();
+  auto g2 = Graph::FromEdges(g.num_nodes(), g.ToEdgeList());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), g.num_edges());
+  for (const Edge& e : g.ToEdgeList()) {
+    EXPECT_TRUE(g2->HasEdge(e.u, e.v));
+  }
+}
+
+TEST(GraphTest, DegreesVector) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.Degrees(), (std::vector<uint32_t>{2, 2, 3, 1}));
+}
+
+TEST(GraphTest, Volume) {
+  Graph g = TriangleWithTail();
+  std::vector<NodeId> all{0, 1, 2, 3};
+  EXPECT_EQ(g.Volume(all), 2 * g.num_edges());
+  std::vector<NodeId> pair{2, 3};
+  EXPECT_EQ(g.Volume(pair), 4u);
+}
+
+TEST(GraphTest, MaxDegree) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_EQ(Graph::Empty(3).MaxDegree(), 0u);
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  Graph g = TriangleWithTail();
+  Graph copy = g;
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+  EXPECT_TRUE(copy.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,81 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+Graph Path5() {
+  // 0-1-2-3-4 path.
+  return Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+      .MoveValueUnsafe();
+}
+
+TEST(InducedSubgraphTest, ExtractsInternalEdgesOnly) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {1, 2, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_nodes(), 3u);
+  // Only 1-2 survives: 2-3 and 3-4 touch the excluded node 3.
+  EXPECT_EQ(sub->graph.num_edges(), 1u);
+  EXPECT_TRUE(sub->graph.HasEdge(0, 1));  // local ids of 1 and 2
+  EXPECT_EQ(sub->to_parent, (std::vector<NodeId>{1, 2, 4}));
+}
+
+TEST(InducedSubgraphTest, FullSetIsIsomorphicCopy) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_edges(), g.num_edges());
+}
+
+TEST(InducedSubgraphTest, EmptySet) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_nodes(), 0u);
+  EXPECT_EQ(sub->graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraphTest, NonContiguousRelabeling) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {4, 3});  // order preserved in mapping
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->to_parent, (std::vector<NodeId>{4, 3}));
+  EXPECT_TRUE(sub->graph.HasEdge(0, 1));
+}
+
+TEST(InducedSubgraphTest, DuplicateNodeRejected) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {1, 1});
+  EXPECT_FALSE(sub.ok());
+  EXPECT_TRUE(sub.status().IsInvalidArgument());
+}
+
+TEST(InducedSubgraphTest, OutOfRangeNodeRejected) {
+  Graph g = Path5();
+  auto sub = InducedSubgraph(g, {0, 9});
+  EXPECT_FALSE(sub.ok());
+}
+
+TEST(NodeMaskTest, MarksMembers) {
+  std::vector<uint8_t> mask = NodeMask(5, {1, 3});
+  EXPECT_EQ(mask, (std::vector<uint8_t>{0, 1, 0, 1, 0}));
+}
+
+TEST(NodeMaskTest, IgnoresOutOfRange) {
+  std::vector<uint8_t> mask = NodeMask(3, {1, 7});
+  EXPECT_EQ(mask, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(ComplementSetTest, Complements) {
+  std::vector<NodeId> comp = ComplementSet(5, {1, 3});
+  EXPECT_EQ(comp, (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(ComplementSetTest, EmptyInputGivesAll) {
+  EXPECT_EQ(ComplementSet(3, {}), (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,118 @@
+#include "graph/transition.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+#include "graph/subgraph.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+TEST(TransitionTest, PreservesProbabilityMass) {
+  Rng rng(3);
+  auto g = SampleErdosRenyi(50, 120, rng);
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<double> x(g->num_nodes(), 0.0);
+  x[0] = 0.5;
+  x[10] = 0.5;
+  for (int step = 0; step < 5; ++step) {
+    x = op.Apply(x);
+    EXPECT_NEAR(TransitionOperator::Mass(x), 1.0, 1e-9);
+  }
+}
+
+TEST(TransitionTest, LazyWalkKeepsHalfMassInPlace) {
+  // Path 0-1: one step from node 0 keeps 1/2 at 0, moves 1/2 to 1.
+  auto g = Graph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<double> x{1.0, 0.0};
+  x = op.Apply(x);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+}
+
+TEST(TransitionTest, DistributesOverNeighbors) {
+  // Star center 0 with leaves 1,2,3.
+  auto g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<double> x{1.0, 0.0, 0.0, 0.0};
+  x = op.Apply(x);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  for (int leaf = 1; leaf <= 3; ++leaf) {
+    EXPECT_NEAR(x[leaf], 0.5 / 3.0, 1e-12);
+  }
+}
+
+TEST(TransitionTest, IsolatedNodeKeepsMass) {
+  auto g = Graph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<double> x{0.0, 0.0, 1.0};
+  x = op.Apply(x);
+  EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(TransitionTest, StationaryDistributionIsDegreeProportional) {
+  Rng rng(5);
+  auto g = SampleErdosRenyi(30, 90, rng);
+  ASSERT_TRUE(g.ok());
+  // Restrict to the largest component by starting from the degree
+  // distribution itself: pi(v) = d(v)/2m is stationary for the lazy walk.
+  double total_degree = 2.0 * static_cast<double>(g->num_edges());
+  std::vector<double> pi(g->num_nodes());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    pi[v] = static_cast<double>(g->Degree(v)) / total_degree;
+  }
+  TransitionOperator op(*g);
+  std::vector<double> next = op.Apply(pi);
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    EXPECT_NEAR(next[v], pi[v], 1e-9);
+  }
+}
+
+TEST(TransitionTest, TruncatedMassIsMonotoneNonIncreasing) {
+  Rng rng(7);
+  auto g = SampleErdosRenyi(60, 200, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> set{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<uint8_t> mask = NodeMask(g->num_nodes(), set);
+  TransitionOperator op(*g);
+  double prev = 1.0;
+  for (uint32_t t = 1; t <= 6; ++t) {
+    std::vector<double> dist = op.TruncatedPower(0, t, mask);
+    double mass = TransitionOperator::Mass(dist);
+    EXPECT_LE(mass, prev + 1e-12);
+    EXPECT_GE(mass, 0.0);
+    prev = mass;
+  }
+}
+
+TEST(TransitionTest, TruncatedPowerZeroStepsIsIndicator) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<uint8_t> mask{1, 1, 0};
+  std::vector<double> dist = op.TruncatedPower(0, 0, mask);
+  EXPECT_NEAR(dist[0], 1.0, 1e-12);
+  EXPECT_NEAR(dist[1], 0.0, 1e-12);
+}
+
+TEST(TransitionTest, TruncationDiscardsOutsideMass) {
+  // Path 0-1-2 with mask {0,1}: after one step from 1, the mass that went
+  // to 2 is discarded.
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  TransitionOperator op(*g);
+  std::vector<uint8_t> mask{1, 1, 0};
+  std::vector<double> dist = op.TruncatedPower(1, 1, mask);
+  // From 1: 1/2 stays, 1/4 to 0, 1/4 to 2 (discarded).
+  EXPECT_NEAR(TransitionOperator::Mass(dist), 0.75, 1e-12);
+  EXPECT_NEAR(dist[2], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fairgen

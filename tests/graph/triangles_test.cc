@@ -1,0 +1,100 @@
+#include "graph/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+TEST(TrianglesTest, SingleTriangle) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountTriangles(*g), 1u);
+}
+
+TEST(TrianglesTest, PathHasNoTriangles) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountTriangles(*g), 0u);
+}
+
+TEST(TrianglesTest, CompleteGraphK5) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  auto g = Graph::FromEdges(5, edges);
+  ASSERT_TRUE(g.ok());
+  // C(5,3) = 10.
+  EXPECT_EQ(CountTriangles(*g), 10u);
+}
+
+TEST(TrianglesTest, BipartiteHasNoTriangles) {
+  // Complete bipartite K_{3,3}.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 3; v < 6; ++v) edges.push_back({u, v});
+  }
+  auto g = Graph::FromEdges(6, edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountTriangles(*g), 0u);
+}
+
+TEST(TrianglesTest, TwoSharedEdgeTriangles) {
+  // Diamond: 0-1-2-0 and 0-2-3-0 share the edge 0-2.
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountTriangles(*g), 2u);
+}
+
+TEST(TrianglesTest, EmptyGraph) {
+  EXPECT_EQ(CountTriangles(Graph::Empty(10)), 0u);
+}
+
+// Brute-force reference.
+uint64_t TrianglesBrute(const Graph& g) {
+  uint64_t count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      if (!g.HasEdge(u, v)) continue;
+      for (NodeId w = v + 1; w < g.num_nodes(); ++w) {
+        if (g.HasEdge(u, w) && g.HasEdge(v, w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+class TriangleRandomTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleRandomTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(GetParam());
+  auto g = SampleErdosRenyi(40, 120, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountTriangles(*g), TrianglesBrute(*g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleRandomTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(PerNodeTrianglesTest, SumsToThreeTimesTriangles) {
+  Rng rng(17);
+  auto g = SampleErdosRenyi(50, 200, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<uint64_t> per_node = PerNodeTriangles(*g);
+  uint64_t total = 0;
+  for (uint64_t t : per_node) total += t;
+  EXPECT_EQ(total, 3 * CountTriangles(*g));
+}
+
+TEST(PerNodeTrianglesTest, CornerCounts) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  std::vector<uint64_t> per_node = PerNodeTriangles(*g);
+  EXPECT_EQ(per_node, (std::vector<uint64_t>{1, 1, 1, 0}));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,127 @@
+// Cross-cutting property tests: invariants that must hold for EVERY
+// generator in the zoo, across random datasets and seeds.
+
+#include <gtest/gtest.h>
+
+#include "eval/model_zoo.h"
+#include "graph/components.h"
+#include "stats/metrics.h"
+
+namespace fairgen {
+namespace {
+
+ZooConfig TinyZoo() {
+  ZooConfig cfg;
+  cfg.labels_per_class = 3;
+  cfg.walk_budget.num_walks = 40;
+  cfg.walk_budget.epochs = 1;
+  cfg.walk_budget.gen_transition_multiplier = 2.0;
+  cfg.fairgen.num_walks = 40;
+  cfg.fairgen.self_paced_cycles = 2;
+  cfg.fairgen.generator_epochs = 1;
+  cfg.fairgen.embedding_dim = 16;
+  cfg.fairgen.ffn_dim = 24;
+  cfg.fairgen.gen_transition_multiplier = 2.0;
+  cfg.gae.epochs = 10;
+  return cfg;
+}
+
+LabeledGraph RandomData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  Rng seed_rng(seed);
+  cfg.num_nodes = 60 + seed_rng.UniformU32(60);
+  cfg.num_edges = cfg.num_nodes * (3 + seed_rng.UniformU32(4));
+  cfg.num_classes = 2 + seed_rng.UniformU32(3);
+  cfg.protected_size = 8 + seed_rng.UniformU32(8);
+  auto data = GenerateSynthetic(cfg, seed_rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+class ZooInvariantsTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZooInvariantsTest, EveryModelProducesAValidSameSizeGraph) {
+  uint64_t seed = GetParam();
+  LabeledGraph data = RandomData(seed);
+  auto zoo = MakeModelZoo(data, TinyZoo(), seed);
+  ASSERT_TRUE(zoo.ok());
+  for (auto& model : *zoo) {
+    SCOPED_TRACE(model->name());
+    Rng rng(seed);
+    ASSERT_TRUE(model->Fit(data.graph, rng).ok());
+    auto generated = model->Generate(rng);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+
+    // Same vertex set.
+    EXPECT_EQ(generated->num_nodes(), data.graph.num_nodes());
+    // Edge budget respected (within 10% slack for BA's stochastic growth).
+    EXPECT_LE(generated->num_edges(), data.graph.num_edges() * 11 / 10);
+    EXPECT_GE(generated->num_edges(), data.graph.num_edges() / 2);
+    // No self loops, no duplicates, canonical orientation — and all
+    // metrics finite.
+    for (const Edge& e : generated->ToEdgeList()) {
+      EXPECT_LT(e.u, e.v);
+      EXPECT_LT(e.v, generated->num_nodes());
+    }
+    GraphMetrics m = ComputeMetrics(*generated);
+    for (double v : m.ToArray()) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZooInvariantsTest,
+                         testing::Values(101, 202, 303));
+
+class DeterminismTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, FairGenPipelineIsSeedDeterministic) {
+  uint64_t seed = GetParam();
+  LabeledGraph data = RandomData(seed);
+  auto run = [&]() {
+    auto trainer = MakeFairGen(data, TinyZoo(), FairGenVariant::kFull,
+                               seed);
+    EXPECT_TRUE(trainer.ok());
+    Rng rng(seed);
+    EXPECT_TRUE((*trainer)->Fit(data.graph, rng).ok());
+    auto generated = (*trainer)->Generate(rng);
+    EXPECT_TRUE(generated.ok());
+    return generated->ToEdgeList();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, testing::Values(7, 77));
+
+TEST(ZooInvariantsTest, GeneratedGraphsDifferAcrossSeeds) {
+  LabeledGraph data = RandomData(404);
+  auto run = [&](uint64_t seed) {
+    auto trainer =
+        MakeFairGen(data, TinyZoo(), FairGenVariant::kFull, seed);
+    EXPECT_TRUE(trainer.ok());
+    Rng rng(seed);
+    EXPECT_TRUE((*trainer)->Fit(data.graph, rng).ok());
+    auto generated = (*trainer)->Generate(rng);
+    EXPECT_TRUE(generated.ok());
+    return generated->ToEdgeList();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(ZooInvariantsTest, FairGenAssemblyReportConsistent) {
+  LabeledGraph data = RandomData(505);
+  auto trainer = MakeFairGen(data, TinyZoo(), FairGenVariant::kFull, 505);
+  ASSERT_TRUE(trainer.ok());
+  Rng rng(505);
+  ASSERT_TRUE((*trainer)->Fit(data.graph, rng).ok());
+  auto generated = (*trainer)->Generate(rng);
+  ASSERT_TRUE(generated.ok());
+  const AssemblyReport& report = (*trainer)->last_assembly_report();
+  EXPECT_EQ(report.assembled_edges, generated->num_edges());
+  EXPECT_EQ(report.target_edges, data.graph.num_edges());
+  EXPECT_EQ(report.protected_volume_achieved,
+            generated->Volume(data.protected_set));
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,117 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace fairgen::nn {
+namespace {
+
+TEST(AutogradTest, LeafProperties) {
+  Var p = MakeParameter(Tensor::Scalar(1.0f));
+  Var c = MakeConstant(Tensor::Scalar(2.0f));
+  EXPECT_TRUE(p->requires_grad);
+  EXPECT_FALSE(c->requires_grad);
+  EXPECT_TRUE(p->parents.empty());
+}
+
+TEST(AutogradTest, SimpleChainGradient) {
+  // y = 3 * x, dy/dx = 3.
+  Var x = MakeParameter(Tensor::Scalar(2.0f));
+  Var y = Scale(x, 3.0f);
+  ZeroGrad({x});
+  Backward(y);
+  EXPECT_FLOAT_EQ(y->value.ScalarValue(), 6.0f);
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 3.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwardCalls) {
+  Var x = MakeParameter(Tensor::Scalar(1.0f));
+  ZeroGrad({x});
+  Backward(Scale(x, 2.0f));
+  Backward(Scale(x, 5.0f));
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 7.0f);
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Var x = MakeParameter(Tensor::Scalar(1.0f));
+  ZeroGrad({x});
+  Backward(Scale(x, 2.0f));
+  ZeroGrad({x});
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsPaths) {
+  // y = x*x + x*x via shared subexpressions: dy/dx through both paths.
+  Var x = MakeParameter(Tensor::Scalar(3.0f));
+  Var sq = Mul(x, x);        // 9, d/dx = 2x = 6
+  Var y = Add(sq, sq);       // 18, dy/dsq = 2
+  ZeroGrad({x});
+  Backward(y);
+  EXPECT_FLOAT_EQ(y->value.ScalarValue(), 18.0f);
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 12.0f);
+}
+
+TEST(AutogradTest, ConstantsReceiveNoGradient) {
+  Var x = MakeParameter(Tensor::Scalar(2.0f));
+  Var c = MakeConstant(Tensor::Scalar(4.0f));
+  Var y = Mul(x, c);
+  ZeroGrad({x});
+  Backward(y);
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 4.0f);
+  // Constant's grad buffer stays empty or zero.
+  EXPECT_TRUE(c->grad.empty() || c->grad.ScalarValue() == 0.0f);
+}
+
+TEST(AutogradTest, NoGradGraphIsCheap) {
+  Var a = MakeConstant(Tensor::Scalar(1.0f));
+  Var b = MakeConstant(Tensor::Scalar(2.0f));
+  Var y = Add(a, b);
+  EXPECT_FALSE(y->requires_grad);
+  EXPECT_TRUE(y->parents.empty());  // op node skips parent tracking
+  Backward(y);                      // no-op, must not crash
+}
+
+TEST(AutogradTest, DeepChain) {
+  Var x = MakeParameter(Tensor::Scalar(1.0f));
+  Var y = x;
+  for (int i = 0; i < 100; ++i) {
+    y = Scale(y, 1.01f);
+  }
+  ZeroGrad({x});
+  Backward(y);
+  float expected = std::pow(1.01f, 100.0f);
+  EXPECT_NEAR(x->grad.ScalarValue(), expected, expected * 1e-4);
+}
+
+TEST(AutogradTest, GradNormSquared) {
+  Var x = MakeParameter(Tensor(1, 2, std::vector<float>{1.0f, 1.0f}));
+  ZeroGrad({x});
+  Backward(SumAll(Scale(x, 3.0f)));
+  EXPECT_NEAR(GradNormSquared({x}), 18.0, 1e-5);
+}
+
+TEST(AutogradDeathTest, NonScalarRootRejected) {
+  Var x = MakeParameter(Tensor(2, 2));
+  Var y = Scale(x, 1.0f);
+  EXPECT_DEATH(Backward(y), "scalar");
+}
+
+TEST(AutogradTest, InteriorGradsResetBetweenBackwards) {
+  // Reusing an interior node across two Backward calls must not double
+  // count its stale gradient.
+  Var x = MakeParameter(Tensor::Scalar(2.0f));
+  Var mid = Scale(x, 2.0f);
+  Var y1 = Scale(mid, 1.0f);
+  Var y2 = Scale(mid, 1.0f);
+  ZeroGrad({x});
+  Backward(y1);
+  Backward(y2);
+  // Each backward contributes 2; total 4.
+  EXPECT_FLOAT_EQ(x->grad.ScalarValue(), 4.0f);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

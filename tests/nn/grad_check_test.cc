@@ -1,0 +1,81 @@
+// Tests of the gradient checker itself — including the negative control:
+// it must FLAG a deliberately wrong backward rule, otherwise every other
+// grad test in this suite is meaningless.
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace fairgen::nn {
+namespace {
+
+// An op with an intentionally wrong backward: forward y = 2x, backward
+// claims dy/dx = 3.
+Var BuggyDouble(const Var& x) {
+  Tensor out = x->value;
+  out.Scale(2.0f);
+  return internal::MakeOpNode(
+      std::move(out), {x},
+      [](Node& n) { n.parents[0]->grad.AddScaled(n.grad, 3.0f); },
+      "buggy_double");
+}
+
+TEST(GradCheckTest, AcceptsCorrectGradient) {
+  Rng rng(1);
+  Var x = MakeParameter(Tensor::Randn(3, 3, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(Square(x)); };
+  Rng check_rng(2);
+  auto result = CheckGradients(loss, {x}, 9, check_rng);
+  EXPECT_LT(result.max_rel_error, 1e-2);
+  EXPECT_EQ(result.checks, 9u);
+}
+
+TEST(GradCheckTest, FlagsWrongGradient) {
+  Rng rng(3);
+  Var x = MakeParameter(Tensor::Randn(3, 3, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(BuggyDouble(x)); };
+  Rng check_rng(4);
+  auto result = CheckGradients(loss, {x}, 9, check_rng);
+  // Analytic 3/9, numeric 2/9: relative error (1/9)/(5/9) = 0.2.
+  EXPECT_GT(result.max_rel_error, 0.15);
+}
+
+TEST(GradCheckTest, FlagsMissingGradient) {
+  // Forward correct, backward does nothing: analytic 0 vs numeric 2/9.
+  auto silent = [](const Var& x) {
+    Tensor out = x->value;
+    out.Scale(2.0f);
+    return internal::MakeOpNode(std::move(out), {x}, [](Node&) {},
+                                "silent_double");
+  };
+  Rng rng(5);
+  Var x = MakeParameter(Tensor::Randn(3, 3, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(silent(x)); };
+  Rng check_rng(6);
+  auto result = CheckGradients(loss, {x}, 9, check_rng);
+  EXPECT_GT(result.max_rel_error, 0.9);  // |0-n|/(0+n) = 1
+}
+
+TEST(GradCheckTest, ChecksAreCappedByParameterSize) {
+  Rng rng(7);
+  Var x = MakeParameter(Tensor::Randn(1, 2, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(Square(x)); };
+  Rng check_rng(8);
+  auto result = CheckGradients(loss, {x}, 100, check_rng);
+  EXPECT_EQ(result.checks, 2u);
+}
+
+TEST(GradCheckTest, MultipleParamsAllProbed) {
+  Rng rng(9);
+  Var a = MakeParameter(Tensor::Randn(2, 2, 1.0f, rng));
+  Var b = MakeParameter(Tensor::Randn(2, 2, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(Square(Add(a, b))); };
+  Rng check_rng(10);
+  auto result = CheckGradients(loss, {a, b}, 4, check_rng);
+  EXPECT_EQ(result.checks, 8u);
+  EXPECT_LT(result.max_rel_error, 1e-2);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

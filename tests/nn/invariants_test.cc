@@ -1,0 +1,117 @@
+// Numeric invariants of the nn substrate that the training pipeline
+// depends on but that individual op grad-checks do not capture.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/transformer.h"
+
+namespace fairgen::nn {
+namespace {
+
+TEST(SoftmaxInvariants, RowsArePositiveAndSumToOne) {
+  Rng rng(1);
+  Var x = MakeParameter(Tensor::Randn(6, 9, 3.0f, rng));
+  Var y = SoftmaxRows(x);
+  for (size_t r = 0; r < y->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < y->cols(); ++c) {
+      EXPECT_GT(y->value.at(r, c), 0.0f);
+      sum += y->value.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxInvariants, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(2);
+  Var x = MakeParameter(Tensor::Randn(4, 7, 2.0f, rng));
+  Var soft = SoftmaxRows(x);
+  Var log_soft = LogSoftmaxRows(x);
+  for (size_t i = 0; i < soft->value.size(); ++i) {
+    EXPECT_NEAR(log_soft->value.data()[i],
+                std::log(soft->value.data()[i]), 1e-4);
+  }
+}
+
+TEST(SoftmaxInvariants, ShiftInvariance) {
+  Rng rng(3);
+  Var x = MakeParameter(Tensor::Randn(3, 5, 1.0f, rng));
+  Var shifted = AddScalar(x, 100.0f);
+  Var a = SoftmaxRows(x);
+  Var b = SoftmaxRows(shifted);
+  for (size_t i = 0; i < a->value.size(); ++i) {
+    EXPECT_NEAR(a->value.data()[i], b->value.data()[i], 1e-5);
+  }
+}
+
+TEST(SequenceNllInvariants, MatchesManualComputation) {
+  Tensor logits_t(2, 3, std::vector<float>{1.0f, 2.0f, 0.5f,
+                                           0.0f, -1.0f, 3.0f});
+  Var logits = MakeParameter(logits_t);
+  std::vector<uint32_t> targets{1, 2};
+  Var nll = SequenceNll(logits, targets);
+  // Manual: per-row -log softmax at target, averaged.
+  auto row_nll = [&](size_t r, uint32_t t) {
+    double denom = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      denom += std::exp(logits_t.at(r, c));
+    }
+    return -std::log(std::exp(logits_t.at(r, t)) / denom);
+  };
+  double expected = 0.5 * (row_nll(0, 1) + row_nll(1, 2));
+  EXPECT_NEAR(nll->value.ScalarValue(), expected, 1e-5);
+}
+
+TEST(TiedProjectionInvariants, EmbeddingRowControlsLogitColumn) {
+  // The generator's output projection is tied to the node embedding
+  // table: boosting node k's embedding along the hidden direction raises
+  // logits for k specifically.
+  Rng rng(4);
+  TransformerConfig cfg;
+  cfg.vocab_size = 8;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_dim = 12;
+  cfg.max_len = 8;
+  TransformerLM lm(cfg, rng);
+
+  std::vector<uint32_t> prefix{0, 1, 2};
+  Var before = lm.NextLogits(prefix);
+  // Scale node 5's embedding strongly.
+  Var table = lm.node_embeddings();
+  for (size_t c = 0; c < cfg.dim; ++c) {
+    table->value.at(5, c) *= 10.0f;
+  }
+  Var after = lm.NextLogits(prefix);
+  double delta5 =
+      std::abs(after->value.at(0, 5) - before->value.at(0, 5));
+  double delta_other =
+      std::abs(after->value.at(0, 3) - before->value.at(0, 3));
+  EXPECT_GT(delta5, 10.0 * (delta_other + 1e-6));
+}
+
+TEST(NegativePenaltyInvariants, NeverNegative) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Var logits = MakeParameter(Tensor::Randn(4, 6, 2.0f, rng));
+    std::vector<uint32_t> targets{0, 1, 2, 3};
+    Var penalty = NegativeWalkPenalty(logits, targets, -std::log(6.0f));
+    EXPECT_GE(penalty->value.ScalarValue(), 0.0f);
+  }
+}
+
+TEST(BceInvariants, SymmetricUnderLabelFlip) {
+  // BCE(z, 1) == BCE(-z, 0).
+  Var a = MakeParameter(Tensor(1, 1, 1.7f));
+  Var b = MakeParameter(Tensor(1, 1, -1.7f));
+  Var la = BceWithLogits(a, {1.0f});
+  Var lb = BceWithLogits(b, {0.0f});
+  EXPECT_NEAR(la->value.ScalarValue(), lb->value.ScalarValue(), 1e-6);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

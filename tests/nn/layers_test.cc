@@ -1,0 +1,146 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/loss.h"
+
+namespace fairgen::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  Var x = MakeConstant(Tensor::Randn(5, 4, 1.0f, rng));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->rows(), 5u);
+  EXPECT_EQ(y->cols(), 3u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear layer(4, 3, rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  Var x = MakeConstant(Tensor(1, 4));  // zero input
+  Var y = layer.Forward(x);
+  for (size_t i = 0; i < y->value.size(); ++i) {
+    EXPECT_EQ(y->value.data()[i], 0.0f);
+  }
+}
+
+TEST(LinearTest, GradCheck) {
+  Rng rng(3);
+  Linear layer(4, 3, rng);
+  Var x = MakeConstant(Tensor::Randn(5, 4, 1.0f, rng));
+  auto loss = [&]() { return MeanAll(Square(layer.Forward(x))); };
+  Rng check_rng(7);
+  auto result = CheckGradients(loss, layer.Parameters(), 8, check_rng);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+TEST(EmbeddingTest, LookupMatchesTable) {
+  Rng rng(4);
+  Embedding emb(10, 5, rng);
+  Var rows = emb.Forward({3, 3, 7});
+  EXPECT_EQ(rows->rows(), 3u);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(rows->value.at(0, c), emb.table()->value.at(3, c));
+    EXPECT_EQ(rows->value.at(1, c), emb.table()->value.at(3, c));
+    EXPECT_EQ(rows->value.at(2, c), emb.table()->value.at(7, c));
+  }
+}
+
+TEST(EmbeddingTest, RepeatedIdsAccumulateGradients) {
+  Rng rng(5);
+  Embedding emb(6, 3, rng);
+  ZeroGrad(emb.Parameters());
+  Var rows = emb.Forward({2, 2});
+  Backward(SumAll(rows));
+  // Row 2 used twice: gradient 2 per coordinate; others zero.
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(emb.table()->grad.at(2, c), 2.0f);
+    EXPECT_FLOAT_EQ(emb.table()->grad.at(0, c), 0.0f);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(6);
+  LayerNorm ln(8);
+  Var x = MakeConstant(Tensor::Randn(4, 8, 3.0f, rng));
+  Var y = ln.Forward(x);
+  // With unit gain and zero bias, each output row has ~zero mean and ~unit
+  // variance.
+  for (size_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < 8; ++c) mean += y->value.at(r, c);
+    mean /= 8.0;
+    double var = 0.0;
+    for (size_t c = 0; c < 8; ++c) {
+      double d = y->value.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, ParameterCount) {
+  LayerNorm ln(16);
+  EXPECT_EQ(ln.Parameters().size(), 2u);
+  EXPECT_EQ(ln.NumParameters(), 32u);
+}
+
+TEST(MlpTest, ShapesAndDepth) {
+  Rng rng(7);
+  Mlp mlp({6, 12, 4}, rng);
+  Var x = MakeConstant(Tensor::Randn(3, 6, 1.0f, rng));
+  Var y = mlp.Forward(x);
+  EXPECT_EQ(y->rows(), 3u);
+  EXPECT_EQ(y->cols(), 4u);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);  // 2 layers x (W, b)
+}
+
+TEST(MlpTest, TrainsToFitSmallClassification) {
+  // The MLP (the d_theta architecture) must be able to fit a linearly
+  // separable 2-class problem.
+  Rng rng(8);
+  Mlp mlp({2, 8, 2}, rng);
+  Tensor features(20, 2);
+  std::vector<uint32_t> labels(20);
+  for (size_t i = 0; i < 20; ++i) {
+    float x0 = static_cast<float>(rng.Normal());
+    features.at(i, 0) = x0;
+    features.at(i, 1) = static_cast<float>(rng.Normal()) * 0.1f;
+    labels[i] = x0 > 0.0f ? 1 : 0;
+  }
+  Var x = MakeConstant(features);
+  std::vector<Var> params = mlp.Parameters();
+  for (int step = 0; step < 300; ++step) {
+    ZeroGrad(params);
+    Var loss = SoftmaxCrossEntropy(mlp.Forward(x), labels);
+    Backward(loss);
+    for (const Var& p : params) {
+      p->value.AddScaled(p->grad, -0.2f);
+    }
+  }
+  Var logits = mlp.Forward(x);
+  int correct = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    uint32_t pred =
+        logits->value.at(i, 1) > logits->value.at(i, 0) ? 1 : 0;
+    if (pred == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 19);
+}
+
+TEST(MlpDeathTest, RequiresAtLeastTwoDims) {
+  Rng rng(9);
+  EXPECT_DEATH(Mlp({5}, rng), "");
+}
+
+}  // namespace
+}  // namespace fairgen::nn

@@ -1,0 +1,141 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+
+namespace fairgen::nn {
+namespace {
+
+TEST(SequenceNllTest, UniformLogitsGiveLogVocab) {
+  Var logits = MakeParameter(Tensor(3, 5));  // all-zero logits = uniform
+  Var nll = SequenceNll(logits, {0, 1, 2});
+  EXPECT_NEAR(nll->value.ScalarValue(), std::log(5.0f), 1e-5);
+}
+
+TEST(SequenceNllTest, ConfidentCorrectPredictionNearZero) {
+  Tensor t(2, 3);
+  t.at(0, 1) = 20.0f;
+  t.at(1, 2) = 20.0f;
+  Var logits = MakeParameter(t);
+  Var nll = SequenceNll(logits, {1, 2});
+  EXPECT_LT(nll->value.ScalarValue(), 1e-3);
+}
+
+TEST(SequenceNllTest, ConfidentWrongPredictionLarge) {
+  Tensor t(1, 3);
+  t.at(0, 0) = 20.0f;
+  Var logits = MakeParameter(t);
+  Var nll = SequenceNll(logits, {2});
+  EXPECT_GT(nll->value.ScalarValue(), 10.0f);
+}
+
+TEST(SequenceNllTest, GradCheck) {
+  Rng rng(1);
+  Var logits = MakeParameter(Tensor::Randn(4, 6, 1.0f, rng));
+  std::vector<uint32_t> targets{0, 5, 2, 2};
+  auto loss = [&]() { return SequenceNll(logits, targets); };
+  Rng check_rng(2);
+  auto result = CheckGradients(loss, {logits}, 10, check_rng);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+TEST(NegativeWalkPenaltyTest, ZeroWhenBelowFloor) {
+  // All-uniform logits give log p = -log V = floor, so relu(0) = 0.
+  Var logits = MakeParameter(Tensor(2, 4));
+  float floor = -std::log(4.0f);
+  Var penalty = NegativeWalkPenalty(logits, {0, 1}, floor);
+  EXPECT_NEAR(penalty->value.ScalarValue(), 0.0f, 1e-5);
+}
+
+TEST(NegativeWalkPenaltyTest, PositiveWhenModelConfident) {
+  Tensor t(1, 4);
+  t.at(0, 2) = 10.0f;  // model assigns target 2 high probability
+  Var logits = MakeParameter(t);
+  float floor = -std::log(4.0f);
+  Var penalty = NegativeWalkPenalty(logits, {2}, floor);
+  EXPECT_GT(penalty->value.ScalarValue(), 0.5f);
+}
+
+TEST(NegativeWalkPenaltyTest, GradPushesProbabilityDown) {
+  Rng rng(3);
+  Var logits = MakeParameter(Tensor::Randn(1, 4, 0.1f, rng));
+  logits->value.at(0, 1) = 3.0f;
+  ZeroGrad({logits});
+  Var penalty =
+      NegativeWalkPenalty(logits, {1}, -std::log(4.0f));
+  Backward(penalty);
+  // Gradient w.r.t. the over-confident logit must be positive (gradient
+  // descent will lower it).
+  EXPECT_GT(logits->grad.at(0, 1), 0.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, MatchesManualComputation) {
+  Tensor t(1, 2);
+  t.at(0, 0) = 1.0f;
+  t.at(0, 1) = -1.0f;
+  Var logits = MakeParameter(t);
+  Var ce = SoftmaxCrossEntropy(logits, {0});
+  float expected = std::log(1.0f + std::exp(-2.0f));
+  EXPECT_NEAR(ce->value.ScalarValue(), expected, 1e-5);
+}
+
+TEST(WeightedSoftmaxCrossEntropyTest, WeightsScaleContributions) {
+  Tensor t(2, 2);  // uniform logits: per-row CE = log 2
+  Var logits = MakeParameter(t);
+  Var weighted =
+      WeightedSoftmaxCrossEntropy(logits, {0, 1}, {2.0f, 0.0f});
+  EXPECT_NEAR(weighted->value.ScalarValue(), 2.0f * std::log(2.0f), 1e-5);
+}
+
+TEST(WeightedSoftmaxCrossEntropyTest, CostSensitiveGradientRatio) {
+  // The Eq. 9 mechanism: a protected example with a much larger xi must
+  // receive a proportionally larger gradient.
+  Rng rng(4);
+  Tensor t = Tensor::Randn(2, 3, 0.5f, rng);
+  Var a = MakeParameter(t);
+  Var b = MakeParameter(t);
+  ZeroGrad({a});
+  ZeroGrad({b});
+  Backward(WeightedSoftmaxCrossEntropy(a, {0, 1}, {1.0f, 0.0f}));
+  Backward(WeightedSoftmaxCrossEntropy(b, {0, 1}, {10.0f, 0.0f}));
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(b->grad.at(0, c), 10.0f * a->grad.at(0, c), 1e-4);
+  }
+}
+
+TEST(BceWithLogitsTest, MatchesClosedForm) {
+  Tensor t(1, 2);
+  t.at(0, 0) = 0.0f;   // p = 0.5
+  t.at(0, 1) = 2.0f;   // p = sigmoid(2)
+  Var logits = MakeParameter(t);
+  Var loss = BceWithLogits(logits, {1.0f, 0.0f});
+  float expected =
+      0.5f * (std::log(2.0f) + (2.0f + std::log1p(std::exp(-2.0f))));
+  EXPECT_NEAR(loss->value.ScalarValue(), expected, 1e-5);
+}
+
+TEST(BceWithLogitsTest, GradCheck) {
+  Rng rng(5);
+  Var logits = MakeParameter(Tensor::Randn(3, 3, 1.0f, rng));
+  std::vector<float> targets{1, 0, 0, 1, 1, 0, 0, 0, 1};
+  auto loss = [&]() { return BceWithLogits(logits, targets); };
+  Rng check_rng(6);
+  auto result = CheckGradients(loss, {logits}, 9, check_rng);
+  EXPECT_LT(result.max_rel_error, 2e-2);
+}
+
+TEST(BceWithLogitsTest, StableAtExtremeLogits) {
+  Tensor t(1, 2);
+  t.at(0, 0) = 100.0f;
+  t.at(0, 1) = -100.0f;
+  Var logits = MakeParameter(t);
+  Var loss = BceWithLogits(logits, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(loss->value.ScalarValue()));
+  EXPECT_NEAR(loss->value.ScalarValue(), 0.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

@@ -1,0 +1,268 @@
+// Finite-difference gradient verification for every differentiable op.
+//
+// Each case builds a small scalar loss from randomly initialized parameter
+// tensors and checks analytic gradients from Backward() against central
+// differences via CheckGradients().
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/grad_check.h"
+#include "nn/ops.h"
+
+namespace fairgen::nn {
+namespace {
+
+constexpr double kTolerance = 2e-2;  // float32 + fd eps 1e-3
+
+struct OpCase {
+  std::string name;
+  // Builds (params, loss_fn) from an rng.
+  std::function<std::pair<std::vector<Var>, std::function<Var()>>(Rng&)>
+      make;
+};
+
+std::pair<std::vector<Var>, std::function<Var()>> Unary(
+    Rng& rng, std::function<Var(const Var&)> op, float scale = 1.0f) {
+  Var x = MakeParameter(Tensor::Randn(3, 4, scale, rng));
+  auto loss = [x, op]() { return MeanAll(op(x)); };
+  return {{x}, loss};
+}
+
+std::vector<OpCase> AllCases() {
+  std::vector<OpCase> cases;
+  cases.push_back({"add", [](Rng& rng) {
+                     Var a = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     Var b = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     auto loss = [a, b]() { return MeanAll(Add(a, b)); };
+                     return std::make_pair(std::vector<Var>{a, b},
+                                           std::function<Var()>(loss));
+                   }});
+  cases.push_back({"sub", [](Rng& rng) {
+                     Var a = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     Var b = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     auto loss = [a, b]() {
+                       return MeanAll(Square(Sub(a, b)));
+                     };
+                     return std::make_pair(std::vector<Var>{a, b},
+                                           std::function<Var()>(loss));
+                   }});
+  cases.push_back({"mul", [](Rng& rng) {
+                     Var a = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     Var b = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     auto loss = [a, b]() { return MeanAll(Mul(a, b)); };
+                     return std::make_pair(std::vector<Var>{a, b},
+                                           std::function<Var()>(loss));
+                   }});
+  cases.push_back({"scale", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Scale(x, -2.5f);
+                     });
+                   }});
+  cases.push_back({"add_scalar", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(AddScalar(x, 0.7f));
+                     });
+                   }});
+  cases.push_back(
+      {"add_row_broadcast", [](Rng& rng) {
+         Var a = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+         Var b = MakeParameter(Tensor::Randn(1, 4, 1.0f, rng));
+         auto loss = [a, b]() {
+           return MeanAll(Square(AddRowBroadcast(a, b)));
+         };
+         return std::make_pair(std::vector<Var>{a, b},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back({"tanh", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return TanhOp(x);
+                     });
+                   }});
+  cases.push_back({"sigmoid", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return SigmoidOp(x);
+                     });
+                   }});
+  cases.push_back({"gelu", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) { return Gelu(x); });
+                   }});
+  cases.push_back({"square", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(x);
+                     });
+                   }});
+  cases.push_back({"log_of_sigmoid", [](Rng& rng) {
+                     // Log over strictly positive inputs.
+                     return Unary(rng, [](const Var& x) {
+                       return LogOp(SigmoidOp(x));
+                     });
+                   }});
+  cases.push_back({"matmul", [](Rng& rng) {
+                     Var a = MakeParameter(Tensor::Randn(3, 4, 0.7f, rng));
+                     Var b = MakeParameter(Tensor::Randn(4, 5, 0.7f, rng));
+                     auto loss = [a, b]() {
+                       return MeanAll(Square(MatMulOp(a, b)));
+                     };
+                     return std::make_pair(std::vector<Var>{a, b},
+                                           std::function<Var()>(loss));
+                   }});
+  cases.push_back({"transpose", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(TransposeOp(x));
+                     });
+                   }});
+  cases.push_back({"slice_cols", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(SliceCols(x, 1, 2));
+                     });
+                   }});
+  cases.push_back(
+      {"concat_cols", [](Rng& rng) {
+         Var a = MakeParameter(Tensor::Randn(3, 2, 1.0f, rng));
+         Var b = MakeParameter(Tensor::Randn(3, 3, 1.0f, rng));
+         auto loss = [a, b]() {
+           return MeanAll(Square(ConcatCols({a, b})));
+         };
+         return std::make_pair(std::vector<Var>{a, b},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"gather_rows", [](Rng& rng) {
+         Var table = MakeParameter(Tensor::Randn(6, 3, 1.0f, rng));
+         std::vector<uint32_t> ids{0, 2, 2, 5};
+         auto loss = [table, ids]() {
+           return MeanAll(Square(GatherRows(table, ids)));
+         };
+         return std::make_pair(std::vector<Var>{table},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back({"row", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(Row(x, 1));
+                     });
+                   }});
+  cases.push_back({"sum_all", [](Rng& rng) {
+                     Var x = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+                     auto loss = [x]() { return SumAll(Square(x)); };
+                     return std::make_pair(std::vector<Var>{x},
+                                           std::function<Var()>(loss));
+                   }});
+  cases.push_back({"softmax_rows", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(SoftmaxRows(x));
+                     });
+                   }});
+  cases.push_back({"log_softmax_rows", [](Rng& rng) {
+                     return Unary(rng, [](const Var& x) {
+                       return Square(LogSoftmaxRows(x));
+                     });
+                   }});
+  cases.push_back(
+      {"pick_per_row", [](Rng& rng) {
+         Var x = MakeParameter(Tensor::Randn(4, 5, 1.0f, rng));
+         std::vector<uint32_t> targets{1, 0, 4, 2};
+         auto loss = [x, targets]() {
+           return MeanAll(PickPerRow(LogSoftmaxRows(x), targets));
+         };
+         return std::make_pair(std::vector<Var>{x},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"layer_norm", [](Rng& rng) {
+         Var x = MakeParameter(Tensor::Randn(3, 6, 1.0f, rng));
+         Var gain = MakeParameter(Tensor::Randn(1, 6, 0.5f, rng));
+         Var bias = MakeParameter(Tensor::Randn(1, 6, 0.5f, rng));
+         auto loss = [x, gain, bias]() {
+           return MeanAll(Square(LayerNormRows(x, gain, bias)));
+         };
+         return std::make_pair(std::vector<Var>{x, gain, bias},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"weighted_column_sum", [](Rng& rng) {
+         Var x = MakeParameter(Tensor::Randn(5, 1, 1.0f, rng));
+         std::vector<float> weights{0.5f, -1.0f, 2.0f, 0.0f, 0.25f};
+         auto loss = [x, weights]() {
+           return WeightedColumnSum(Square(x), weights);
+         };
+         return std::make_pair(std::vector<Var>{x},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"abs_smooth_region", [](Rng& rng) {
+         // Keep values away from the kink at 0 where the subgradient and
+         // the finite difference legitimately disagree.
+         Var x = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+         for (size_t i = 0; i < x->value.size(); ++i) {
+           float& v = x->value.data()[i];
+           v = v >= 0.0f ? v + 0.5f : v - 0.5f;
+         }
+         auto loss = [x]() { return MeanAll(AbsOp(x)); };
+         return std::make_pair(std::vector<Var>{x},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"relu_smooth_region", [](Rng& rng) {
+         Var x = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+         for (size_t i = 0; i < x->value.size(); ++i) {
+           float& v = x->value.data()[i];
+           v = v >= 0.0f ? v + 0.5f : v - 0.5f;
+         }
+         auto loss = [x]() { return MeanAll(Relu(x)); };
+         return std::make_pair(std::vector<Var>{x},
+                               std::function<Var()>(loss));
+       }});
+  cases.push_back(
+      {"spmm", [](Rng& rng) {
+         // Symmetric 3x3 sparse operator.
+         auto s = std::make_shared<SparseMatrix>();
+         s->rows = 3;
+         s->cols = 3;
+         s->offsets = {0, 2, 4, 6};
+         s->indices = {0, 1, 0, 2, 1, 2};
+         s->values = {0.5f, 0.25f, 0.25f, 0.75f, 0.75f, -0.5f};
+         Var x = MakeParameter(Tensor::Randn(3, 4, 1.0f, rng));
+         auto loss = [s, x]() { return MeanAll(Square(SpMM(s, x))); };
+         return std::make_pair(std::vector<Var>{x},
+                               std::function<Var()>(loss));
+       }});
+  return cases;
+}
+
+class OpsGradTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(OpsGradTest, AnalyticMatchesNumeric) {
+  std::vector<OpCase> cases = AllCases();
+  const OpCase& c = cases[GetParam()];
+  SCOPED_TRACE(c.name);
+  Rng rng(1234 + GetParam());
+  auto [params, loss_fn] = c.make(rng);
+  Rng check_rng(77);
+  GradCheckResult result =
+      CheckGradients(loss_fn, params, /*checks_per_param=*/8, check_rng);
+  EXPECT_GT(result.checks, 0u);
+  EXPECT_LT(result.max_rel_error, kTolerance)
+      << c.name << ": max_abs_error=" << result.max_abs_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, OpsGradTest, testing::Range<size_t>(0, 26),
+    [](const testing::TestParamInfo<size_t>& info) {
+      static const auto* names = new std::vector<std::string>([] {
+        std::vector<std::string> out;
+        for (const OpCase& c : AllCases()) out.push_back(c.name);
+        return out;
+      }());
+      return (*names)[info.param];
+    });
+
+TEST(OpsGradSanity, CaseCountMatchesRange) {
+  EXPECT_EQ(AllCases().size(), 26u);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

@@ -1,0 +1,134 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace fairgen::nn {
+namespace {
+
+// Minimizes f(x) = ||x - target||^2 with the given optimizer; returns the
+// final distance to the target.
+template <typename Optim>
+float MinimizeQuadratic(Optim& optim, const Var& x, const Tensor& target,
+                        int steps) {
+  Var t = MakeConstant(target);
+  for (int i = 0; i < steps; ++i) {
+    optim.ZeroGrad();
+    Var loss = MeanAll(Square(Sub(x, t)));
+    Backward(loss);
+    optim.Step();
+  }
+  float dist = 0.0f;
+  for (size_t i = 0; i < x->value.size(); ++i) {
+    float d = x->value.data()[i] - target.data()[i];
+    dist += d * d;
+  }
+  return std::sqrt(dist);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Var x = MakeParameter(Tensor::Randn(2, 3, 1.0f, rng));
+  Tensor target(2, 3, 0.7f);
+  Sgd sgd({x}, 0.3f);
+  EXPECT_LT(MinimizeQuadratic(sgd, x, target, 100), 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Rng rng(2);
+  Tensor init = Tensor::Randn(2, 3, 1.0f, rng);
+  Tensor target(2, 3, -0.4f);
+
+  Var plain_x = MakeParameter(init);
+  Sgd plain({plain_x}, 0.05f);
+  float plain_dist = MinimizeQuadratic(plain, plain_x, target, 40);
+
+  Var mom_x = MakeParameter(init);
+  Sgd momentum({mom_x}, 0.05f, 0.9f);
+  float mom_dist = MinimizeQuadratic(momentum, mom_x, target, 40);
+
+  EXPECT_LT(mom_dist, plain_dist);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Var x = MakeParameter(Tensor(1, 4, 1.0f));
+  Sgd sgd({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  sgd.ZeroGrad();
+  sgd.Step();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x->value.data()[i], 1.0f - 0.1f * 0.5f, 1e-6);
+  }
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(3);
+  Var x = MakeParameter(Tensor::Randn(3, 3, 2.0f, rng));
+  Tensor target(3, 3, 1.5f);
+  Adam adam({x}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(adam, x, target, 300), 1e-2f);
+}
+
+TEST(AdamTest, HandlesIllConditionedScales) {
+  // One coordinate's gradient is 100x the other's; Adam normalizes per
+  // coordinate so both should converge.
+  Var x = MakeParameter(Tensor(1, 2, 1.0f));
+  Var scale = MakeConstant(Tensor(1, 2, std::vector<float>{10.0f, 0.1f}));
+  Adam adam({x}, 0.05f);
+  for (int i = 0; i < 400; ++i) {
+    adam.ZeroGrad();
+    Var loss = MeanAll(Square(Mul(x, scale)));
+    Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(x->value.at(0, 0), 0.0f, 1e-2);
+  EXPECT_NEAR(x->value.at(0, 1), 0.0f, 0.2);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Var x = MakeParameter(Tensor(1, 2));
+  Sgd sgd({x}, 1.0f);
+  sgd.ZeroGrad();
+  x->grad.at(0, 0) = 3.0f;
+  x->grad.at(0, 1) = 4.0f;  // norm 5
+  double pre = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(x->grad.at(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(x->grad.at(0, 1), 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  Var x = MakeParameter(Tensor(1, 1));
+  Sgd sgd({x}, 1.0f);
+  sgd.ZeroGrad();
+  x->grad.at(0, 0) = 0.5f;
+  sgd.ClipGradNorm(1.0);
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 0.5f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Var x = MakeParameter(Tensor(2, 2, 1.0f));
+  Adam adam({x}, 0.1f);
+  x->grad.Fill(7.0f);
+  adam.ZeroGrad();
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(x->grad.data()[i], 0.0f);
+}
+
+TEST(OptimizerDeathTest, RejectsConstantParams) {
+  Var c = MakeConstant(Tensor(1, 1));
+  EXPECT_DEATH(Sgd({c}, 0.1f), "requires_grad");
+}
+
+TEST(AdamTest, LearningRateAccessors) {
+  Var x = MakeParameter(Tensor(1, 1));
+  Adam adam({x}, 0.1f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.1f);
+  adam.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.01f);
+}
+
+}  // namespace
+}  // namespace fairgen::nn

@@ -1,0 +1,141 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fairgen::nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FALSE(t.empty());
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(2, 2, 3.5f);
+  EXPECT_EQ(t.at(1, 1), 3.5f);
+}
+
+TEST(TensorTest, DataConstructorChecksSize) {
+  Tensor t(2, 2, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor t(2, 3);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t.data()[5], 9.0f);
+  EXPECT_EQ(t.row(1)[2], 9.0f);
+}
+
+TEST(TensorTest, ScalarHelpers) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s.ScalarValue(), 2.5f);
+}
+
+TEST(TensorTest, AddAndScale) {
+  Tensor a(1, 3, std::vector<float>{1, 2, 3});
+  Tensor b(1, 3, std::vector<float>{10, 20, 30});
+  a.Add(b);
+  EXPECT_EQ(a.at(0, 2), 33.0f);
+  a.Scale(0.5f);
+  EXPECT_EQ(a.at(0, 0), 5.5f);
+  a.AddScaled(b, -0.1f);
+  EXPECT_NEAR(a.at(0, 1), 11.0f - 2.0f, 1e-6);
+}
+
+TEST(TensorTest, SumAndNorm) {
+  Tensor t(1, 4, std::vector<float>{1, -2, 2, 4});
+  EXPECT_EQ(t.Sum(), 5.0f);
+  EXPECT_NEAR(t.Norm(), 5.0f, 1e-6);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn(100, 100, 2.0f, rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    sum += t.data()[i];
+    sum_sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  double mean = sum / t.size();
+  double var = sum_sq / t.size() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(TensorTest, RandUniformBounds) {
+  Rng rng(2);
+  Tensor t = Tensor::RandUniform(50, 50, 0.3f, rng);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.data()[i], -0.3f);
+    EXPECT_LE(t.data()[i], 0.3f);
+  }
+}
+
+TEST(TensorTest, MatMulCorrectness) {
+  Tensor a(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorTest, MatMulTransAMatchesExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn(4, 3, 1.0f, rng);
+  Tensor b = Tensor::Randn(4, 5, 1.0f, rng);
+  Tensor expect = MatMul(Transpose(a), b);
+  Tensor got = MatMulTransA(a, b);
+  ASSERT_TRUE(got.SameShape(expect));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-4);
+  }
+}
+
+TEST(TensorTest, MatMulTransBMatchesExplicitTranspose) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn(3, 4, 1.0f, rng);
+  Tensor b = Tensor::Randn(5, 4, 1.0f, rng);
+  Tensor expect = MatMul(a, Transpose(b));
+  Tensor got = MatMulTransB(a, b);
+  ASSERT_TRUE(got.SameShape(expect));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-4);
+  }
+}
+
+TEST(TensorTest, TransposeInvolution) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(3, 7, 1.0f, rng);
+  Tensor tt = Transpose(Transpose(a));
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(tt.data()[i], a.data()[i]);
+  }
+}
+
+TEST(TensorDeathTest, MatMulShapeMismatchAborts) {
+  Tensor a(2, 3);
+  Tensor b(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "matmul shape mismatch");
+}
+
+TEST(TensorDeathTest, ScalarValueRequiresScalar) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.ScalarValue(), "");
+}
+
+}  // namespace
+}  // namespace fairgen::nn

@@ -1,0 +1,161 @@
+#include "rng/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairgen {
+namespace {
+
+TEST(AliasTableTest, NormalizesWeights) {
+  AliasTable table({1.0, 3.0});
+  EXPECT_NEAR(table.Probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.Probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTableTest, SampleFrequenciesMatchWeights) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(42);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double expected = weights[i] / total;
+    double observed = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.01) << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0});
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.Sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable table({5.0});
+  Rng rng(2);
+  EXPECT_EQ(table.Sample(rng), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table({1e-6, 1e6});
+  Rng rng(3);
+  int zero_count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (table.Sample(rng) == 0) ++zero_count;
+  }
+  EXPECT_LE(zero_count, 2);
+}
+
+TEST(AliasTableDeathTest, RejectsAllZero) {
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "zero");
+}
+
+TEST(AliasTableDeathTest, RejectsNegative) {
+  EXPECT_DEATH(AliasTable({1.0, -0.5}), "negative");
+}
+
+TEST(SampleDiscreteTest, MatchesDistribution) {
+  std::vector<double> weights{2.0, 1.0, 1.0};
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[SampleDiscrete(weights, rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.25, 0.01);
+}
+
+TEST(SampleDiscreteTest, AllZeroReturnsSize) {
+  std::vector<double> weights{0.0, 0.0};
+  Rng rng(1);
+  EXPECT_EQ(SampleDiscrete(weights, rng), 2u);
+}
+
+TEST(ShuffleTest, IsPermutation) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  Rng rng(5);
+  Shuffle(v, rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(ShuffleTest, UniformPositions) {
+  // Element 0 should land in each slot of a 4-vector about equally often.
+  Rng rng(9);
+  std::vector<int> position_counts(4, 0);
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v{0, 1, 2, 3};
+    Shuffle(v, rng);
+    for (int i = 0; i < 4; ++i) {
+      if (v[i] == 0) ++position_counts[i];
+    }
+  }
+  for (int c : position_counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 0.25, 0.02);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, ReturnsDistinct) {
+  Rng rng(11);
+  std::vector<uint32_t> sample = SampleWithoutReplacement(100, 20, rng);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 20u);
+  EXPECT_EQ(unique.size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, KGreaterThanNReturnsAll) {
+  Rng rng(13);
+  std::vector<uint32_t> sample = SampleWithoutReplacement(5, 10, rng);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleWithoutReplacementTest, ApproximatelyUniformInclusion) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t v : SampleWithoutReplacement(10, 3, rng)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 0.3, 0.02);
+  }
+}
+
+TEST(KFoldSplitTest, PartitionsAllIndices) {
+  Rng rng(19);
+  auto folds = KFoldSplit(103, 10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+  std::set<uint32_t> seen;
+  for (const auto& fold : folds) {
+    for (uint32_t idx : fold) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(KFoldSplitTest, FoldSizesBalanced) {
+  Rng rng(23);
+  auto folds = KFoldSplit(100, 10, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

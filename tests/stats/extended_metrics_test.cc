@@ -1,0 +1,168 @@
+#include "stats/extended_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "generators/ba.h"
+#include "generators/er.h"
+
+namespace fairgen {
+namespace {
+
+Graph Triangle() {
+  return Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}).MoveValueUnsafe();
+}
+
+Graph Path4() {
+  return Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}).MoveValueUnsafe();
+}
+
+TEST(GlobalClusteringTest, TriangleIsOne) {
+  EXPECT_NEAR(GlobalClusteringCoefficient(Triangle()), 1.0, 1e-12);
+}
+
+TEST(GlobalClusteringTest, PathIsZero) {
+  EXPECT_EQ(GlobalClusteringCoefficient(Path4()), 0.0);
+}
+
+TEST(GlobalClusteringTest, LollipopMatchesHandComputed) {
+  // Triangle {0,1,2} + pendant 2-3: triangles=1, wedges: d = {2,2,3,1}
+  // -> 1 + 1 + 3 + 0 = 5; C = 3/5.
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(GlobalClusteringCoefficient(*g), 0.6, 1e-12);
+}
+
+TEST(GlobalClusteringTest, EmptyGraphIsZero) {
+  EXPECT_EQ(GlobalClusteringCoefficient(Graph::Empty(5)), 0.0);
+}
+
+TEST(AverageClusteringTest, TriangleIsOne) {
+  EXPECT_NEAR(AverageClusteringCoefficient(Triangle()), 1.0, 1e-12);
+}
+
+TEST(AverageClusteringTest, LollipopMatchesHandComputed) {
+  // Local: node0 = 1/1, node1 = 1/1, node2 = 1/3; node3 skipped (d<2).
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(AverageClusteringCoefficient(*g), (1.0 + 1.0 + 1.0 / 3) / 3,
+              1e-12);
+}
+
+TEST(AverageClusteringTest, DegreeOneNodesExcluded) {
+  EXPECT_EQ(AverageClusteringCoefficient(Path4()), 0.0);
+}
+
+TEST(AssortativityTest, RegularGraphUndefinedIsZero) {
+  // Cycle: all degrees equal -> zero variance -> defined as 0.
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < 6; ++v) edges.push_back({v, (v + 1) % 6});
+  auto g = Graph::FromEdges(6, edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(DegreeAssortativity(*g), 0.0);
+}
+
+TEST(AssortativityTest, StarIsStronglyDisassortative) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v < 10; ++v) edges.push_back({0, v});
+  auto g = Graph::FromEdges(10, edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LT(DegreeAssortativity(*g), -0.9);
+}
+
+TEST(AssortativityTest, BAGraphIsDisassortative) {
+  // Preferential attachment produces negative degree correlation.
+  Rng rng(3);
+  auto g = SampleBarabasiAlbert(800, 2, 0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LT(DegreeAssortativity(*g), 0.0);
+}
+
+TEST(AssortativityTest, WithinValidRange) {
+  Rng rng(5);
+  auto g = SampleErdosRenyi(120, 400, rng);
+  ASSERT_TRUE(g.ok());
+  double r = DegreeAssortativity(*g);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(PathLengthTest, PathGraphExact) {
+  // Path 0-1-2-3: distances 1,2,3,1,2,1 (x2 directions) -> mean = 10/6.
+  Rng rng(1);
+  EXPECT_NEAR(CharacteristicPathLength(Path4(), 0, rng), 10.0 / 6.0, 1e-12);
+}
+
+TEST(PathLengthTest, CompleteGraphIsOne) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  auto g = Graph::FromEdges(5, edges);
+  ASSERT_TRUE(g.ok());
+  Rng rng(2);
+  EXPECT_NEAR(CharacteristicPathLength(*g, 0, rng), 1.0, 1e-12);
+}
+
+TEST(PathLengthTest, DisconnectedPairsIgnored) {
+  auto g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  EXPECT_NEAR(CharacteristicPathLength(*g, 0, rng), 1.0, 1e-12);
+}
+
+TEST(PathLengthTest, SampledEstimateTracksExact) {
+  Rng rng(7);
+  auto g = SampleErdosRenyi(300, 1200, rng);
+  ASSERT_TRUE(g.ok());
+  Rng rng_exact(8);
+  Rng rng_sample(9);
+  double exact = CharacteristicPathLength(*g, 0, rng_exact);
+  double sampled = CharacteristicPathLength(*g, 60, rng_sample);
+  EXPECT_NEAR(sampled, exact, 0.15 * exact);
+}
+
+TEST(PathLengthTest, EmptyAndTinyGraphs) {
+  Rng rng(4);
+  EXPECT_EQ(CharacteristicPathLength(Graph::Empty(0), 0, rng), 0.0);
+  EXPECT_EQ(CharacteristicPathLength(Graph::Empty(3), 0, rng), 0.0);
+}
+
+TEST(ExtendedMetricsTest, AggregateFieldsConsistent) {
+  Rng rng(11);
+  auto g = SampleErdosRenyi(150, 500, rng);
+  ASSERT_TRUE(g.ok());
+  ExtendedGraphMetrics m = ComputeExtendedMetrics(*g, 0, rng);
+  EXPECT_NEAR(m.global_clustering, GlobalClusteringCoefficient(*g), 1e-12);
+  EXPECT_NEAR(m.average_clustering, AverageClusteringCoefficient(*g),
+              1e-12);
+  EXPECT_GT(m.characteristic_path_length, 1.0);
+  EXPECT_GT(m.lcc_fraction, 0.8);
+  EXPECT_LE(m.lcc_fraction, 1.0);
+}
+
+TEST(ExtendedMetricsTest, ClusteredGraphBeatsERInClustering) {
+  // A planted-partition graph has more triangles than ER at equal size —
+  // the property Fig. 4's triangle panel exercises.
+  Rng rng(13);
+  std::vector<Edge> edges;
+  // Three 10-cliques plus sparse random cross edges.
+  for (int block = 0; block < 3; ++block) {
+    NodeId base = static_cast<NodeId>(10 * block);
+    for (NodeId u = 0; u < 10; ++u) {
+      for (NodeId v = u + 1; v < 10; ++v) {
+        edges.push_back({base + u, base + v});
+      }
+    }
+  }
+  auto clustered = Graph::FromEdges(30, edges);
+  ASSERT_TRUE(clustered.ok());
+  auto er = SampleErdosRenyi(30, clustered->num_edges(), rng);
+  ASSERT_TRUE(er.ok());
+  EXPECT_GT(GlobalClusteringCoefficient(*clustered),
+            GlobalClusteringCoefficient(*er) + 0.2);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,159 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "generators/ba.h"
+#include "generators/er.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+Graph Triangle() {
+  return Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}).MoveValueUnsafe();
+}
+
+TEST(MetricsTest, AverageDegree) {
+  EXPECT_NEAR(AverageDegree(Triangle()), 2.0, 1e-12);
+  EXPECT_EQ(AverageDegree(Graph::Empty(5)), 0.0);
+  EXPECT_EQ(AverageDegree(Graph::Empty(0)), 0.0);
+}
+
+TEST(MetricsTest, GiniZeroForRegularGraph) {
+  // Triangle is 2-regular: perfect equality.
+  EXPECT_NEAR(GiniCoefficient(Triangle()), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, GiniHighForStar) {
+  std::vector<Edge> edges;
+  constexpr uint32_t kN = 101;
+  for (NodeId v = 1; v < kN; ++v) edges.push_back({0, v});
+  auto g = Graph::FromEdges(kN, edges);
+  ASSERT_TRUE(g.ok());
+  // Star degree sequence is extremely unequal.
+  EXPECT_GT(GiniCoefficient(*g), 0.45);
+  EXPECT_LE(GiniCoefficient(*g), 1.0);
+}
+
+TEST(MetricsTest, GiniZeroOnEmptyDegrees) {
+  EXPECT_EQ(GiniCoefficient(Graph::Empty(4)), 0.0);
+}
+
+TEST(MetricsTest, GiniMatchesHandComputedExample) {
+  // Degrees after build: path 0-1-2 gives d = {1, 2, 1}.
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  // Sorted d = {1,1,2}; G = 2(1*1+2*1+3*2)/(3*4) - 4/3 = 18/12 - 4/3 = 1/6.
+  EXPECT_NEAR(GiniCoefficient(*g), 1.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, EdgeEntropyMaximalForRegularGraph) {
+  // A cycle is 2-regular: degree distribution is uniform and the relative
+  // entropy is exactly 1.
+  std::vector<Edge> edges;
+  constexpr uint32_t kN = 20;
+  for (NodeId v = 0; v < kN; ++v) edges.push_back({v, (v + 1) % kN});
+  auto g = Graph::FromEdges(kN, edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(EdgeDistributionEntropy(*g), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, EdgeEntropyLowerForStar) {
+  std::vector<Edge> edges;
+  constexpr uint32_t kN = 20;
+  for (NodeId v = 1; v < kN; ++v) edges.push_back({0, v});
+  auto star = Graph::FromEdges(kN, edges);
+  ASSERT_TRUE(star.ok());
+  EXPECT_LT(EdgeDistributionEntropy(*star), 0.95);
+  EXPECT_GT(EdgeDistributionEntropy(*star), 0.0);
+}
+
+TEST(MetricsTest, EdgeEntropyEdgeCases) {
+  EXPECT_EQ(EdgeDistributionEntropy(Graph::Empty(5)), 0.0);
+  EXPECT_EQ(EdgeDistributionEntropy(Graph::Empty(0)), 0.0);
+  auto tiny = Graph::FromEdges(1, {});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(EdgeDistributionEntropy(*tiny), 0.0);
+}
+
+TEST(MetricsTest, PowerLawExponentOnPureParetoDegrees) {
+  // BA graphs have approximately power-law degree distributions; the MLE
+  // should land in a plausible range (BA theory: gamma = 3, finite-size
+  // estimates are lower).
+  Rng rng(3);
+  auto g = SampleBarabasiAlbert(3000, 2, 0, rng);
+  ASSERT_TRUE(g.ok());
+  double gamma = PowerLawExponent(*g);
+  EXPECT_GT(gamma, 1.5);
+  EXPECT_LT(gamma, 4.0);
+}
+
+TEST(MetricsTest, PowerLawExponentDegenerateRegular) {
+  // All degrees equal: the estimator formally diverges; we return a large
+  // finite sentinel.
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  ASSERT_TRUE(g.ok());
+  double gamma = PowerLawExponent(*g);
+  EXPECT_GT(gamma, 4.0);
+  EXPECT_TRUE(std::isfinite(gamma));
+}
+
+TEST(MetricsTest, PowerLawExponentIgnoresIsolatedNodes) {
+  auto with_isolate = Graph::FromEdges(5, {{0, 1}, {1, 2}, {1, 3}});
+  auto without = Graph::FromEdges(4, {{0, 1}, {1, 2}, {1, 3}});
+  ASSERT_TRUE(with_isolate.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(PowerLawExponent(*with_isolate), PowerLawExponent(*without),
+              1e-12);
+}
+
+TEST(MetricsTest, PowerLawExponentEmptyGraphIsZero) {
+  EXPECT_EQ(PowerLawExponent(Graph::Empty(3)), 0.0);
+}
+
+TEST(MetricsTest, ComputeMetricsAggregatesAll) {
+  Graph g = Triangle();
+  GraphMetrics m = ComputeMetrics(g);
+  EXPECT_NEAR(m.average_degree, 2.0, 1e-12);
+  EXPECT_EQ(m.lcc, 3.0);
+  EXPECT_EQ(m.triangle_count, 1.0);
+  EXPECT_NEAR(m.gini, 0.0, 1e-9);
+  auto arr = m.ToArray();
+  EXPECT_EQ(arr[0], m.average_degree);
+  EXPECT_EQ(arr[1], m.lcc);
+  EXPECT_EQ(arr[2], m.triangle_count);
+  EXPECT_EQ(arr[3], m.power_law_exponent);
+  EXPECT_EQ(arr[4], m.gini);
+  EXPECT_EQ(arr[5], m.edge_entropy);
+}
+
+TEST(MetricsTest, MetricNamesArityMatches) {
+  EXPECT_EQ(MetricNames().size(), kNumGraphMetrics);
+  EXPECT_EQ(MetricNames()[0], "AvgDegree");
+  EXPECT_EQ(MetricNames()[5], "EdgeEntropy");
+}
+
+class MetricsRandomGraphTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsRandomGraphTest, AllMetricsFiniteOnRandomGraphs) {
+  Rng rng(GetParam());
+  auto g = SampleErdosRenyi(150, 400, rng);
+  ASSERT_TRUE(g.ok());
+  GraphMetrics m = ComputeMetrics(*g);
+  for (double v : m.ToArray()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_GE(m.gini, 0.0);
+  EXPECT_LE(m.gini, 1.0);
+  EXPECT_GE(m.edge_entropy, 0.0);
+  EXPECT_LE(m.edge_entropy, 1.0 + 1e-9);
+  EXPECT_LE(m.lcc, 150.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsRandomGraphTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fairgen

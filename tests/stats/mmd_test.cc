@@ -1,0 +1,134 @@
+#include "stats/mmd.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/ba.h"
+#include "generators/er.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace {
+
+TEST(GaussianMmdTest, IdenticalSamplesGiveZero) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  auto mmd = GaussianMmd(x, x, 1.0);
+  ASSERT_TRUE(mmd.ok());
+  EXPECT_NEAR(*mmd, 0.0, 1e-12);
+}
+
+TEST(GaussianMmdTest, SeparatedSamplesGiveLargeValue) {
+  std::vector<double> x{0.0, 0.1, 0.2};
+  std::vector<double> y{10.0, 10.1, 10.2};
+  auto mmd = GaussianMmd(x, y, 1.0);
+  ASSERT_TRUE(mmd.ok());
+  EXPECT_GT(*mmd, 1.5);  // kernels within each ~1, across ~0 -> MMD² ~ 2
+}
+
+TEST(GaussianMmdTest, MonotoneInSeparation) {
+  std::vector<double> x{0.0, 0.5, 1.0};
+  auto near = GaussianMmd(x, {0.2, 0.7, 1.2}, 1.0);
+  auto far = GaussianMmd(x, {3.0, 3.5, 4.0}, 1.0);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(*near, *far);
+}
+
+TEST(GaussianMmdTest, SameDistributionSmallValue) {
+  Rng rng(1);
+  std::vector<double> x(400);
+  std::vector<double> y(400);
+  for (double& v : x) v = rng.Normal();
+  for (double& v : y) v = rng.Normal();
+  auto mmd = GaussianMmd(x, y, 1.0);
+  ASSERT_TRUE(mmd.ok());
+  EXPECT_LT(*mmd, 0.02);
+}
+
+TEST(GaussianMmdTest, RejectsBadInputs) {
+  std::vector<double> x{1.0};
+  EXPECT_FALSE(GaussianMmd({}, x, 1.0).ok());
+  EXPECT_FALSE(GaussianMmd(x, {}, 1.0).ok());
+  EXPECT_FALSE(GaussianMmd(x, x, 0.0).ok());
+  EXPECT_FALSE(GaussianMmd(x, x, -1.0).ok());
+}
+
+TEST(MedianHeuristicTest, SimpleMedian) {
+  // Pooled {0, 1}: single distance 1.
+  EXPECT_NEAR(MedianHeuristic({0.0}, {1.0}), 1.0, 1e-12);
+}
+
+TEST(MedianHeuristicTest, AllEqualFallsBackToOne) {
+  EXPECT_EQ(MedianHeuristic({2.0, 2.0}, {2.0}), 1.0);
+}
+
+TEST(DegreeMmdTest, SelfComparisonIsZero) {
+  Rng rng(2);
+  auto g = SampleErdosRenyi(80, 240, rng);
+  ASSERT_TRUE(g.ok());
+  auto mmd = DegreeMmd(*g, *g);
+  ASSERT_TRUE(mmd.ok());
+  EXPECT_NEAR(*mmd, 0.0, 1e-12);
+}
+
+TEST(DegreeMmdTest, SameModelSmallerThanDifferentModel) {
+  // Two ER draws are closer in degree distribution than ER vs BA.
+  Rng rng(3);
+  auto er1 = SampleErdosRenyi(300, 900, rng);
+  auto er2 = SampleErdosRenyi(300, 900, rng);
+  auto ba = SampleBarabasiAlbert(300, 3, 900, rng);
+  ASSERT_TRUE(er1.ok());
+  ASSERT_TRUE(er2.ok());
+  ASSERT_TRUE(ba.ok());
+  auto same = DegreeMmd(*er1, *er2);
+  auto diff = DegreeMmd(*er1, *ba);
+  ASSERT_TRUE(same.ok());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(*same, *diff);
+}
+
+TEST(ClusteringMmdTest, CliqueVsTreeIsLarge) {
+  // 3 disjoint 5-cliques (clustering 1) vs a star-ish tree (clustering 0).
+  std::vector<Edge> clique_edges;
+  for (int b = 0; b < 3; ++b) {
+    NodeId base = static_cast<NodeId>(5 * b);
+    for (NodeId u = 0; u < 5; ++u) {
+      for (NodeId v = u + 1; v < 5; ++v) {
+        clique_edges.push_back({base + u, base + v});
+      }
+    }
+  }
+  auto cliques = Graph::FromEdges(15, clique_edges);
+  ASSERT_TRUE(cliques.ok());
+  std::vector<Edge> tree_edges;
+  for (NodeId v = 1; v < 15; ++v) tree_edges.push_back({(v - 1) / 2, v});
+  auto tree = Graph::FromEdges(15, tree_edges);
+  ASSERT_TRUE(tree.ok());
+  auto same = ClusteringMmd(*cliques, *cliques);
+  auto diff = ClusteringMmd(*cliques, *tree);
+  ASSERT_TRUE(same.ok());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(*same, 0.0, 1e-12);
+  EXPECT_GT(*diff, 0.5);
+}
+
+TEST(ClusteringMmdTest, RejectsDegenerateGraphs) {
+  auto path = Graph::FromEdges(2, {{0, 1}});  // no node with degree >= 2
+  ASSERT_TRUE(path.ok());
+  Rng rng(4);
+  auto g = SampleErdosRenyi(30, 90, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(ClusteringMmd(*path, *g).ok());
+}
+
+TEST(LocalClusteringSamplesTest, ValuesInUnitInterval) {
+  Rng rng(5);
+  auto g = SampleErdosRenyi(100, 500, rng);
+  ASSERT_TRUE(g.ok());
+  for (double c : LocalClusteringSamples(*g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,158 @@
+#include "walk/context_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fairgen {
+namespace {
+
+LabeledGraph MakeData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 150;
+  cfg.num_edges = 900;
+  cfg.num_classes = 3;
+  cfg.intra_class_affinity = 10.0;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+ContextSamplerConfig DefaultConfig() {
+  ContextSamplerConfig cfg;
+  cfg.walk_length = 8;
+  cfg.general_ratio = 0.5;
+  return cfg;
+}
+
+TEST(ContextSamplerTest, StartsUnlabeled) {
+  LabeledGraph data = MakeData(1);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  EXPECT_FALSE(sampler.has_labeled_nodes());
+  EXPECT_EQ(sampler.num_labeled(), 0u);
+}
+
+TEST(ContextSamplerTest, SetLabelsValidates) {
+  LabeledGraph data = MakeData(2);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  EXPECT_FALSE(sampler.SetLabels({0, 1}).ok());  // wrong size
+  std::vector<int32_t> bad(data.graph.num_nodes(), kUnlabeled);
+  bad[0] = 7;  // out of range class
+  EXPECT_FALSE(sampler.SetLabels(bad).ok());
+  std::vector<int32_t> good(data.graph.num_nodes(), kUnlabeled);
+  good[0] = 2;
+  EXPECT_TRUE(sampler.SetLabels(good).ok());
+  EXPECT_EQ(sampler.num_labeled(), 1u);
+  EXPECT_EQ(sampler.ClassNodes(2).size(), 1u);
+}
+
+TEST(ContextSamplerTest, UnlabeledSamplerFallsBackToGeneral) {
+  LabeledGraph data = MakeData(3);
+  ContextSamplerConfig cfg = DefaultConfig();
+  cfg.general_ratio = 0.0;  // would always pick label-informed...
+  ContextSampler sampler(data.graph, cfg, 3);
+  Rng rng(3);
+  // ...but with no labels it must not crash and must return a full walk.
+  Walk w = sampler.Sample(rng);
+  EXPECT_EQ(w.size(), cfg.walk_length);
+}
+
+TEST(ContextSamplerTest, WalksHaveConfiguredLength) {
+  LabeledGraph data = MakeData(4);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  ASSERT_TRUE(sampler.SetLabels(data.labels).ok());
+  Rng rng(4);
+  for (const Walk& w : sampler.SampleBatch(25, rng)) {
+    EXPECT_EQ(w.size(), 8u);
+  }
+}
+
+TEST(ContextSamplerTest, LabelInformedWalkRequiresLabeledClass) {
+  LabeledGraph data = MakeData(5);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  Rng rng(5);
+  auto walk = sampler.SampleLabelInformed(0, rng);
+  EXPECT_FALSE(walk.ok());
+  EXPECT_TRUE(walk.status().IsFailedPrecondition());
+  EXPECT_FALSE(sampler.SampleLabelInformed(9, rng).ok());
+}
+
+TEST(ContextSamplerTest, LabelInformedWalkStartsAtLabeledNode) {
+  LabeledGraph data = MakeData(6);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  ASSERT_TRUE(sampler.SetLabels(data.labels).ok());
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto walk = sampler.SampleLabelInformed(1, rng);
+    ASSERT_TRUE(walk.ok());
+    EXPECT_EQ(data.labels[walk->front()], 1);
+  }
+}
+
+TEST(ContextSamplerTest, LabelInformedWalkMostlyStaysInClass) {
+  // With fully labeled planted communities, the tiered preference should
+  // keep the vast majority of visited nodes in the start class.
+  LabeledGraph data = MakeData(7);
+  ContextSampler sampler(data.graph, DefaultConfig(), 3);
+  ASSERT_TRUE(sampler.SetLabels(data.labels).ok());
+  Rng rng(7);
+  int in_class = 0;
+  int total = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto walk = sampler.SampleLabelInformed(0, rng);
+    ASSERT_TRUE(walk.ok());
+    for (NodeId v : *walk) {
+      ++total;
+      if (data.labels[v] == 0) ++in_class;
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_class) / total, 0.95);
+}
+
+TEST(ContextSamplerTest, GeneralRatioOneNeverUsesLabels) {
+  LabeledGraph data = MakeData(8);
+  ContextSamplerConfig cfg = DefaultConfig();
+  cfg.general_ratio = 1.0;
+  ContextSampler sampler(data.graph, cfg, 3);
+  ASSERT_TRUE(sampler.SetLabels(data.labels).ok());
+  Rng rng(8);
+  // Start nodes of general walks follow the walker's start distribution
+  // (positive-degree uniform); with labels from all classes the class of
+  // start nodes should NOT be concentrated.
+  std::vector<int> class_counts(3, 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    Walk w = sampler.Sample(rng);
+    ++class_counts[data.labels[w.front()]];
+  }
+  for (int c : class_counts) {
+    EXPECT_GT(c, 40);  // all classes represented
+  }
+}
+
+TEST(ContextSamplerTest, ClassBalancedSamplingWithRatioZero) {
+  // With r=0 every walk is label-informed, sampled uniformly over classes.
+  LabeledGraph data = MakeData(9);
+  ContextSamplerConfig cfg = DefaultConfig();
+  cfg.general_ratio = 0.0;
+  ContextSampler sampler(data.graph, cfg, 3);
+  // Label only a handful per class (few-shot).
+  Rng seed_rng(9);
+  std::vector<int32_t> few = FewShotLabels(data, 3, seed_rng);
+  ASSERT_TRUE(sampler.SetLabels(few).ok());
+  Rng rng(10);
+  std::vector<int> class_counts(3, 0);
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Walk w = sampler.Sample(rng);
+    int32_t start_class = few[w.front()];
+    ASSERT_NE(start_class, kUnlabeled);
+    ++class_counts[start_class];
+  }
+  for (int c : class_counts) {
+    EXPECT_NEAR(c / static_cast<double>(kTrials), 1.0 / 3.0, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,181 @@
+#include "walk/diffusion_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/subgraph.h"
+#include "walk/random_walk.h"
+
+namespace fairgen {
+namespace {
+
+LabeledGraph CommunityGraph(uint64_t seed, double affinity = 12.0) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 1200;
+  cfg.num_classes = 4;
+  cfg.intra_class_affinity = affinity;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+std::vector<NodeId> ClassNodes(const LabeledGraph& data, int32_t c) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
+    if (data.labels[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(DiffusionCoreTest, CoreIsSubsetOfInput) {
+  LabeledGraph data = CommunityGraph(1);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  auto core = ComputeDiffusionCore(data.graph, community, {0.9, 2});
+  ASSERT_TRUE(core.ok());
+  std::vector<uint8_t> mask = NodeMask(data.graph.num_nodes(), community);
+  for (NodeId v : core->core) {
+    EXPECT_TRUE(mask[v]);
+  }
+  EXPECT_LE(core->core.size(), community.size());
+}
+
+TEST(DiffusionCoreTest, TightCommunityHasNonEmptyCore) {
+  LabeledGraph data = CommunityGraph(2, /*affinity=*/15.0);
+  std::vector<NodeId> community = ClassNodes(data, 1);
+  auto core = ComputeDiffusionCore(data.graph, community, {0.9, 2});
+  ASSERT_TRUE(core.ok());
+  EXPECT_GT(core->core.size(), 0u);
+}
+
+TEST(DiffusionCoreTest, EscapeProbabilitiesAlignedAndBounded) {
+  LabeledGraph data = CommunityGraph(3);
+  std::vector<NodeId> community = ClassNodes(data, 2);
+  auto core = ComputeDiffusionCore(data.graph, community, {0.5, 3});
+  ASSERT_TRUE(core.ok());
+  ASSERT_EQ(core->escape_probability.size(), community.size());
+  for (double e : core->escape_probability) {
+    EXPECT_GE(e, -1e-9);
+    EXPECT_LE(e, 1.0 + 1e-9);
+  }
+}
+
+TEST(DiffusionCoreTest, MembershipMatchesThreshold) {
+  LabeledGraph data = CommunityGraph(4);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  DiffusionCoreOptions opts{0.8, 2};
+  auto core = ComputeDiffusionCore(data.graph, community, opts);
+  ASSERT_TRUE(core.ok());
+  double threshold = opts.delta * core->conductance;
+  std::vector<uint8_t> in_core =
+      NodeMask(data.graph.num_nodes(), core->core);
+  for (size_t i = 0; i < community.size(); ++i) {
+    bool expected = core->escape_probability[i] < threshold;
+    EXPECT_EQ(static_cast<bool>(in_core[community[i]]), expected);
+  }
+}
+
+TEST(DiffusionCoreTest, LargerDeltaGivesLargerCore) {
+  LabeledGraph data = CommunityGraph(5);
+  std::vector<NodeId> community = ClassNodes(data, 1);
+  auto small = ComputeDiffusionCore(data.graph, community, {0.3, 2});
+  auto large = ComputeDiffusionCore(data.graph, community, {0.95, 2});
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(small->core.size(), large->core.size());
+}
+
+TEST(DiffusionCoreTest, MoreStepsShrinkCore) {
+  LabeledGraph data = CommunityGraph(6);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  auto short_t = ComputeDiffusionCore(data.graph, community, {0.9, 1});
+  auto long_t = ComputeDiffusionCore(data.graph, community, {0.9, 5});
+  ASSERT_TRUE(short_t.ok());
+  ASSERT_TRUE(long_t.ok());
+  EXPECT_GE(short_t->core.size(), long_t->core.size());
+}
+
+TEST(DiffusionCoreTest, InvalidParamsRejected) {
+  LabeledGraph data = CommunityGraph(7);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  EXPECT_FALSE(ComputeDiffusionCore(data.graph, community, {0.0, 2}).ok());
+  EXPECT_FALSE(ComputeDiffusionCore(data.graph, community, {1.0, 2}).ok());
+  EXPECT_FALSE(ComputeDiffusionCore(data.graph, community, {0.5, 0}).ok());
+}
+
+TEST(EscapeProbabilityTest, MatchesDiffusionCoreValues) {
+  LabeledGraph data = CommunityGraph(8);
+  std::vector<NodeId> community = ClassNodes(data, 3);
+  auto core = ComputeDiffusionCore(data.graph, community, {0.5, 3});
+  ASSERT_TRUE(core.ok());
+  for (size_t i = 0; i < std::min<size_t>(5, community.size()); ++i) {
+    auto escape = EscapeProbability(data.graph, community, community[i], 3);
+    ASSERT_TRUE(escape.ok());
+    EXPECT_NEAR(*escape, core->escape_probability[i], 1e-9);
+  }
+}
+
+TEST(EscapeProbabilityTest, SourceOutsideSetRejected) {
+  LabeledGraph data = CommunityGraph(9);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  std::vector<NodeId> other = ClassNodes(data, 1);
+  EXPECT_FALSE(EscapeProbability(data.graph, community, other[0], 2).ok());
+}
+
+TEST(Lemma21BoundTest, Formula) {
+  EXPECT_NEAR(Lemma21Bound(10, 0.5, 0.1), 0.5, 1e-12);
+  EXPECT_EQ(Lemma21Bound(10, 0.9, 0.5), 0.0);  // clamped at zero
+  EXPECT_NEAR(Lemma21Bound(1, 0.1, 0.1), 0.99, 1e-12);
+}
+
+// Empirical validation of Lemma 2.1: T-length lazy walks started from
+// diffusion-core members stay inside S with probability at least
+// 1 - T*delta*phi(S). We verify with the *non-lazy* uniform walker too
+// conservative a check, so we simulate the lazy walk directly.
+class Lemma21EmpiricalTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(Lemma21EmpiricalTest, BoundHoldsEmpirically) {
+  const uint32_t walk_length = GetParam();
+  LabeledGraph data = CommunityGraph(10 + walk_length, 15.0);
+  std::vector<NodeId> community = ClassNodes(data, 0);
+  DiffusionCoreOptions opts{0.9, 2};
+  auto core = ComputeDiffusionCore(data.graph, community, opts);
+  ASSERT_TRUE(core.ok());
+  if (core->core.empty()) GTEST_SKIP() << "empty core for this seed";
+
+  double bound = Lemma21Bound(walk_length, opts.delta, core->conductance);
+  std::vector<uint8_t> mask = NodeMask(data.graph.num_nodes(), community);
+
+  Rng rng(99 + walk_length);
+  constexpr int kTrials = 4000;
+  int stayed = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NodeId cur = core->core[rng.UniformU32(
+        static_cast<uint32_t>(core->core.size()))];
+    bool inside = true;
+    for (uint32_t t = 0; t < walk_length && inside; ++t) {
+      // Lazy step: stay with probability 1/2.
+      if (rng.Bernoulli(0.5)) continue;
+      auto nbrs = data.graph.Neighbors(cur);
+      if (nbrs.empty()) continue;
+      cur = nbrs[rng.UniformU32(static_cast<uint32_t>(nbrs.size()))];
+      inside = mask[cur];
+    }
+    if (inside) ++stayed;
+  }
+  double stay_rate = static_cast<double>(stayed) / kTrials;
+  // Allow 3-sigma sampling slack below the bound.
+  double slack = 3.0 * std::sqrt(0.25 / kTrials);
+  EXPECT_GE(stay_rate, bound - slack)
+      << "bound " << bound << " violated at T=" << walk_length;
+}
+
+INSTANTIATE_TEST_SUITE_P(WalkLengths, Lemma21EmpiricalTest,
+                         testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace fairgen

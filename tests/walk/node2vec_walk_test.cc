@@ -1,0 +1,135 @@
+#include "walk/node2vec_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+
+namespace fairgen {
+namespace {
+
+TEST(Node2VecWalkerTest, WalkLengthAndAdjacency) {
+  Rng rng(1);
+  auto g = SampleErdosRenyi(50, 200, rng);
+  ASSERT_TRUE(g.ok());
+  Node2VecWalker walker(*g, {1.0, 1.0});
+  for (int trial = 0; trial < 20; ++trial) {
+    Walk w = walker.SampleWalk(0, 10, rng);
+    EXPECT_EQ(w.size(), 10u);
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      EXPECT_TRUE(g->HasEdge(w[i], w[i + 1]) || w[i] == w[i + 1]);
+    }
+  }
+}
+
+TEST(Node2VecWalkerTest, LengthOneWalkIsJustStart) {
+  Rng rng(2);
+  auto g = SampleErdosRenyi(10, 20, rng);
+  ASSERT_TRUE(g.ok());
+  Node2VecWalker walker(*g, {});
+  Walk w = walker.SampleWalk(3, 1, rng);
+  EXPECT_EQ(w, (Walk{3}));
+}
+
+TEST(Node2VecWalkerTest, DeadEndAbsorbs) {
+  auto g = Graph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  Node2VecWalker walker(*g, {});
+  Walk w = walker.SampleWalk(2, 4, rng);
+  EXPECT_EQ(w, (Walk{2, 2, 2, 2}));
+}
+
+TEST(Node2VecWalkerTest, LowPEncouragesBacktracking) {
+  // Path graph 0-1-2: from 1 (arrived from 0), low p should return to 0
+  // far more often than high p.
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  auto backtrack_rate = [&](double p, double q, uint64_t seed) {
+    Rng rng(seed);
+    Node2VecWalker walker(*g, {p, q});
+    int backtracks = 0;
+    int total = 0;
+    for (int i = 0; i < 20000; ++i) {
+      Walk w = walker.SampleWalk(0, 3, rng);
+      // w = {0, 1, ?}; the third step chooses between 0 (backtrack, weight
+      // 1/p) and 2 (explore, weight 1/q since 2 is not adjacent to 0).
+      if (w[1] != 1) continue;
+      ++total;
+      if (w[2] == 0) ++backtracks;
+    }
+    EXPECT_GT(total, 0);
+    return static_cast<double>(backtracks) / total;
+  };
+  double low_p_rate = backtrack_rate(0.1, 1.0, 4);
+  double high_p_rate = backtrack_rate(10.0, 1.0, 5);
+  // Expected: (1/p) / (1/p + 1/q) = 0.909 vs 0.091.
+  EXPECT_NEAR(low_p_rate, 0.909, 0.03);
+  EXPECT_NEAR(high_p_rate, 0.091, 0.03);
+}
+
+TEST(Node2VecWalkerTest, LowQEncouragesExploration) {
+  // Lollipop: triangle {0,1,2} plus pendant 2-3. From 1 arrived via 0:
+  // neighbor 0 has weight 1/p, neighbor 2 (adjacent to 0) has weight 1.
+  auto g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  // With (p=1, q) the DFS-ness only matters from node 2 onwards; verify
+  // that from 2 (arrived via 1), node 3 (not adjacent to 1) gets weight
+  // 1/q relative to 0 (adjacent, weight 1) and 1 (backtrack, 1/p).
+  auto explore_rate = [&](double q, uint64_t seed) {
+    Rng rng(seed);
+    Node2VecWalker walker(*g, {1.0, q});
+    int explored = 0;
+    int total = 0;
+    for (int i = 0; i < 30000; ++i) {
+      Walk w = walker.SampleWalk(1, 3, rng);
+      if (w[1] != 2) continue;
+      ++total;
+      if (w[2] == 3) ++explored;
+    }
+    EXPECT_GT(total, 0);
+    return static_cast<double>(explored) / total;
+  };
+  // weights from 2 (prev=1): {1: 1/p=1, 0: 1, 3: 1/q}.
+  EXPECT_GT(explore_rate(0.2, 6), explore_rate(5.0, 7) + 0.3);
+}
+
+TEST(Node2VecWalkerTest, UnitParamsMatchFirstOrderDistribution) {
+  // With p=q=1 every neighbor is equally likely regardless of history.
+  auto g = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(8);
+  Node2VecWalker walker(*g, {1.0, 1.0});
+  std::vector<int> counts(4, 0);
+  constexpr int kTrials = 30000;
+  int considered = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    Walk w = walker.SampleWalk(1, 3, rng);
+    if (w[1] != 0) continue;  // condition on moving 1 -> 0
+    ++considered;
+    ++counts[w[2]];
+  }
+  // From 0 (neighbors 1,2,3) all should be ~1/3.
+  for (int v : {1, 2, 3}) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(considered), 1.0 / 3.0,
+                0.03);
+  }
+}
+
+TEST(Node2VecWalkerTest, SampleWalksBatches) {
+  Rng rng(9);
+  auto g = SampleErdosRenyi(30, 80, rng);
+  ASSERT_TRUE(g.ok());
+  Node2VecWalker walker(*g, {0.5, 2.0});
+  std::vector<Walk> walks = walker.SampleWalks(12, 7, rng);
+  EXPECT_EQ(walks.size(), 12u);
+  for (const Walk& w : walks) EXPECT_EQ(w.size(), 7u);
+}
+
+TEST(Node2VecWalkerDeathTest, RejectsNonPositiveParams) {
+  auto g = Graph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_DEATH(Node2VecWalker(*g, {0.0, 1.0}), "");
+}
+
+}  // namespace
+}  // namespace fairgen

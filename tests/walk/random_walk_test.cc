@@ -1,0 +1,117 @@
+#include "walk/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/er.h"
+#include "graph/subgraph.h"
+
+namespace fairgen {
+namespace {
+
+TEST(RandomWalkerTest, WalkHasRequestedLength) {
+  Rng rng(1);
+  auto g = SampleErdosRenyi(40, 100, rng);
+  ASSERT_TRUE(g.ok());
+  RandomWalker walker(*g);
+  for (uint32_t len : {1u, 2u, 5u, 10u, 32u}) {
+    Walk w = walker.UniformWalk(0, len, rng);
+    EXPECT_EQ(w.size(), len);
+  }
+}
+
+TEST(RandomWalkerTest, ConsecutiveNodesAreAdjacent) {
+  Rng rng(2);
+  auto g = SampleErdosRenyi(50, 200, rng);
+  ASSERT_TRUE(g.ok());
+  RandomWalker walker(*g);
+  for (int trial = 0; trial < 20; ++trial) {
+    Walk w = walker.UniformWalk(walker.SampleStartNode(rng), 12, rng);
+    for (size_t i = 0; i + 1 < w.size(); ++i) {
+      EXPECT_TRUE(g->HasEdge(w[i], w[i + 1]) || w[i] == w[i + 1]);
+    }
+  }
+}
+
+TEST(RandomWalkerTest, IsolatedNodeAbsorbs) {
+  auto g = Graph::FromEdges(3, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  RandomWalker walker(*g);
+  Walk w = walker.UniformWalk(2, 5, rng);
+  EXPECT_EQ(w, (Walk{2, 2, 2, 2, 2}));
+}
+
+TEST(RandomWalkerTest, StartNodeHasPositiveDegree) {
+  auto g = Graph::FromEdges(5, {{0, 1}});  // nodes 2,3,4 isolated
+  ASSERT_TRUE(g.ok());
+  Rng rng(4);
+  RandomWalker walker(*g);
+  for (int i = 0; i < 50; ++i) {
+    NodeId start = walker.SampleStartNode(rng);
+    EXPECT_LE(start, 1u);
+  }
+}
+
+TEST(RandomWalkerTest, SampleUniformWalksCount) {
+  Rng rng(5);
+  auto g = SampleErdosRenyi(30, 60, rng);
+  ASSERT_TRUE(g.ok());
+  RandomWalker walker(*g);
+  std::vector<Walk> walks = walker.SampleUniformWalks(17, 6, rng);
+  EXPECT_EQ(walks.size(), 17u);
+  for (const Walk& w : walks) EXPECT_EQ(w.size(), 6u);
+}
+
+TEST(RandomWalkerTest, UniformNeighborDistribution) {
+  // From the center of a 4-star, each leaf should be hit ~uniformly.
+  auto g = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(6);
+  RandomWalker walker(*g);
+  std::vector<int> counts(5, 0);
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    Walk w = walker.UniformWalk(0, 2, rng);
+    ++counts[w[1]];
+  }
+  for (int leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_NEAR(counts[leaf] / static_cast<double>(kTrials), 0.25, 0.02);
+  }
+}
+
+TEST(MaskedWalkTest, StaysInsideMask) {
+  Rng rng(7);
+  auto g = SampleErdosRenyi(60, 300, rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> set{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<uint8_t> mask = NodeMask(g->num_nodes(), set);
+  RandomWalker walker(*g);
+  for (int trial = 0; trial < 50; ++trial) {
+    Walk w = walker.MaskedWalk(0, 10, mask, rng);
+    for (NodeId v : w) {
+      EXPECT_TRUE(mask[v]) << "walk left the mask at " << v;
+    }
+  }
+}
+
+TEST(MaskedWalkTest, StaysPutWhenNoMaskedNeighbor) {
+  auto g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(8);
+  RandomWalker walker(*g);
+  std::vector<uint8_t> mask{1, 0, 0};
+  Walk w = walker.MaskedWalk(0, 4, mask, rng);
+  EXPECT_EQ(w, (Walk{0, 0, 0, 0}));
+}
+
+TEST(MaskedWalkDeathTest, RejectsUnmaskedStart) {
+  auto g = Graph::FromEdges(2, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(9);
+  RandomWalker walker(*g);
+  std::vector<uint8_t> mask{0, 1};
+  EXPECT_DEATH(walker.MaskedWalk(0, 3, mask, rng), "mask");
+}
+
+}  // namespace
+}  // namespace fairgen

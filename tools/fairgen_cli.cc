@@ -1,0 +1,380 @@
+// fairgen — command-line front end for the FairGen library.
+//
+// Subcommands:
+//   stats     <edges.txt>                      print the six Table-II metrics
+//   generate  <edges.txt> --out=<file> [...]   fit a model and emit a
+//                                              synthetic edge list
+//   evaluate  <edges.txt> [...]                fit + generate + report the
+//                                              Eq. 15/16 discrepancies
+//   core      <edges.txt> --nodes=<file>       diffusion core of a node set
+//
+// Shared flags:
+//   --model=fairgen|fairgen-r|fairgen-nospl|fairgen-noparity|
+//           er|ba|gae|netgan|taggen            (default fairgen)
+//   --labels=<file>      "node label" per line (few-shot supervision)
+//   --protected=<file>   one protected node id per line
+//   --seed=<n>           RNG seed (default 7)
+//   --walks=<n>          training walks per round (default 300)
+//   --cycles=<n>         self-paced cycles (default 4)
+//   --epochs=<n>         generator epochs per cycle (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/trainer.h"
+#include "generators/ba.h"
+#include "generators/er.h"
+#include "generators/gae.h"
+#include "generators/netgan.h"
+#include "generators/taggen.h"
+#include "graph/edgelist.h"
+#include "graph/subgraph.h"
+#include "stats/discrepancy.h"
+#include "stats/extended_metrics.h"
+#include "walk/diffusion_core.h"
+
+namespace fairgen::cli {
+namespace {
+
+struct Options {
+  std::string command;
+  std::string edges_path;
+  std::string model = "fairgen";
+  std::string labels_path;
+  std::string protected_path;
+  std::string nodes_path;
+  std::string out_path;
+  std::string save_model_path;
+  std::string load_model_path;
+  uint64_t seed = 7;
+  uint32_t walks = 300;
+  uint32_t cycles = 4;
+  uint32_t epochs = 2;
+  uint32_t threads = 1;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fairgen <stats|generate|evaluate|core> <edges.txt> [flags]\n"
+      "flags: --model=<name> --labels=<file> --protected=<file>\n"
+      "       --nodes=<file> --out=<file> --seed=<n> --walks=<n>\n"
+      "       --cycles=<n> --epochs=<n> --threads=<n>\n"
+      "       --save-model=<ckpt> --load-model=<ckpt> (fairgen models)\n");
+  return 2;
+}
+
+Result<Options> Parse(int argc, char** argv) {
+  if (argc < 3) return Status::InvalidArgument("missing command or input");
+  Options opts;
+  opts.command = argv[1];
+  opts.edges_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&arg](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (StrStartsWith(arg, "--model=")) {
+      opts.model = value("--model=");
+    } else if (StrStartsWith(arg, "--labels=")) {
+      opts.labels_path = value("--labels=");
+    } else if (StrStartsWith(arg, "--protected=")) {
+      opts.protected_path = value("--protected=");
+    } else if (StrStartsWith(arg, "--nodes=")) {
+      opts.nodes_path = value("--nodes=");
+    } else if (StrStartsWith(arg, "--out=")) {
+      opts.out_path = value("--out=");
+    } else if (StrStartsWith(arg, "--seed=")) {
+      opts.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--walks=")) {
+      opts.walks = std::strtoul(value("--walks=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--cycles=")) {
+      opts.cycles = std::strtoul(value("--cycles=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--epochs=")) {
+      opts.epochs = std::strtoul(value("--epochs=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--threads=")) {
+      opts.threads = std::strtoul(value("--threads=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--save-model=")) {
+      opts.save_model_path = value("--save-model=");
+    } else if (StrStartsWith(arg, "--load-model=")) {
+      opts.load_model_path = value("--load-model=");
+    } else {
+      return Status::InvalidArgument("unknown flag: " + std::string(arg));
+    }
+  }
+  return opts;
+}
+
+/// Reads "node label" pairs; returns a per-node label vector.
+Result<std::vector<int32_t>> LoadLabels(const std::string& path,
+                                        uint32_t num_nodes) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open labels: " + path);
+  }
+  std::vector<int32_t> labels(num_nodes, kUnlabeled);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = StrSplitWhitespace(trimmed);
+    if (fields.size() < 2) {
+      return Status::IOError("malformed label at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    uint64_t node = std::strtoull(fields[0].c_str(), nullptr, 10);
+    int64_t label = std::strtoll(fields[1].c_str(), nullptr, 10);
+    if (node >= num_nodes || label < 0) {
+      return Status::InvalidArgument("bad label entry at " + path + ":" +
+                                     std::to_string(line_no));
+    }
+    labels[node] = static_cast<int32_t>(label);
+  }
+  return labels;
+}
+
+/// Reads one node id per line.
+Result<std::vector<NodeId>> LoadNodeSet(const std::string& path,
+                                        uint32_t num_nodes) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open node set: " + path);
+  }
+  std::vector<NodeId> nodes;
+  std::string line;
+  while (std::getline(file, line)) {
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    uint64_t node = std::strtoull(std::string(trimmed).c_str(), nullptr, 10);
+    if (node >= num_nodes) {
+      return Status::InvalidArgument("node out of range: " +
+                                     std::string(trimmed));
+    }
+    nodes.push_back(static_cast<NodeId>(node));
+  }
+  return nodes;
+}
+
+Result<std::unique_ptr<GraphGenerator>> BuildModel(const Options& opts,
+                                                   const Graph& graph) {
+  const std::string& m = opts.model;
+  if (m == "er") return std::unique_ptr<GraphGenerator>(
+      std::make_unique<ErdosRenyiGenerator>());
+  if (m == "ba") return std::unique_ptr<GraphGenerator>(
+      std::make_unique<BarabasiAlbertGenerator>());
+  if (m == "gae") return std::unique_ptr<GraphGenerator>(
+      std::make_unique<GaeGenerator>());
+  if (m == "vgae") {
+    GaeConfig cfg;
+    cfg.variational = true;
+    return std::unique_ptr<GraphGenerator>(
+        std::make_unique<GaeGenerator>(cfg));
+  }
+  if (m == "netgan" || m == "taggen") {
+    WalkLMTrainConfig train;
+    train.num_walks = opts.walks;
+    train.epochs = opts.epochs;
+    if (m == "netgan") {
+      NetGanConfig cfg;
+      cfg.train = train;
+      return std::unique_ptr<GraphGenerator>(
+          std::make_unique<NetGanGenerator>(cfg));
+    }
+    TagGenConfig cfg;
+    cfg.train = train;
+    return std::unique_ptr<GraphGenerator>(
+        std::make_unique<TagGenGenerator>(cfg));
+  }
+
+  FairGenConfig cfg;
+  cfg.num_walks = opts.walks;
+  cfg.self_paced_cycles = opts.cycles;
+  cfg.generator_epochs = opts.epochs;
+  cfg.num_threads = opts.threads;
+  if (m == "fairgen") {
+    cfg.variant = FairGenVariant::kFull;
+  } else if (m == "fairgen-r") {
+    cfg.variant = FairGenVariant::kRandom;
+  } else if (m == "fairgen-nospl") {
+    cfg.variant = FairGenVariant::kNoSelfPaced;
+  } else if (m == "fairgen-noparity") {
+    cfg.variant = FairGenVariant::kNoParity;
+  } else {
+    return Status::InvalidArgument("unknown model: " + m);
+  }
+  auto trainer = std::make_unique<FairGenTrainer>(cfg);
+
+  std::vector<int32_t> labels(graph.num_nodes(), kUnlabeled);
+  std::vector<NodeId> protected_set;
+  if (!opts.labels_path.empty()) {
+    FAIRGEN_ASSIGN_OR_RETURN(labels,
+                             LoadLabels(opts.labels_path, graph.num_nodes()));
+  }
+  if (!opts.protected_path.empty()) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        protected_set, LoadNodeSet(opts.protected_path, graph.num_nodes()));
+  }
+  FAIRGEN_RETURN_NOT_OK(trainer->SetSupervision(labels, protected_set));
+  return std::unique_ptr<GraphGenerator>(std::move(trainer));
+}
+
+void PrintMetrics(const char* title, const Graph& graph) {
+  GraphMetrics m = ComputeMetrics(graph);
+  std::printf("%s: n=%u m=%llu\n", title, graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  auto arr = m.ToArray();
+  for (size_t i = 0; i < kNumGraphMetrics; ++i) {
+    std::printf("  %-14s %.6g\n", MetricNames()[i].c_str(), arr[i]);
+  }
+}
+
+Status RunStats(const Options& opts) {
+  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
+  PrintMetrics("graph", graph);
+  Rng rng(opts.seed);
+  ExtendedGraphMetrics ext =
+      ComputeExtendedMetrics(graph, /*path_samples=*/256, rng);
+  std::printf("  %-14s %.6g\n", "GlobalClust", ext.global_clustering);
+  std::printf("  %-14s %.6g\n", "AvgClust", ext.average_clustering);
+  std::printf("  %-14s %.6g\n", "Assortativity", ext.assortativity);
+  std::printf("  %-14s %.6g\n", "CharPathLen",
+              ext.characteristic_path_length);
+  std::printf("  %-14s %.6g\n", "LccFraction", ext.lcc_fraction);
+  if (!opts.protected_path.empty()) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        auto protected_set,
+        LoadNodeSet(opts.protected_path, graph.num_nodes()));
+    FAIRGEN_ASSIGN_OR_RETURN(Subgraph sub,
+                             InducedSubgraph(graph, protected_set));
+    PrintMetrics("protected subgraph", sub.graph);
+  }
+  return Status::OK();
+}
+
+Status RunGenerate(const Options& opts) {
+  if (opts.out_path.empty()) {
+    return Status::InvalidArgument("generate requires --out=<file>");
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
+  FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
+  Rng rng(opts.seed);
+  auto* fairgen_trainer = dynamic_cast<FairGenTrainer*>(model.get());
+  if (!opts.load_model_path.empty()) {
+    if (fairgen_trainer == nullptr) {
+      return Status::InvalidArgument(
+          "--load-model is only supported for fairgen* models");
+    }
+    FAIRGEN_RETURN_NOT_OK(fairgen_trainer->Prepare(graph, rng));
+    FAIRGEN_RETURN_NOT_OK(
+        fairgen_trainer->LoadCheckpoint(opts.load_model_path));
+    std::fprintf(stderr, "restored checkpoint %s\n",
+                 opts.load_model_path.c_str());
+  } else {
+    std::fprintf(stderr, "fitting %s on n=%u m=%llu...\n",
+                 model->name().c_str(), graph.num_nodes(),
+                 static_cast<unsigned long long>(graph.num_edges()));
+    FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
+  }
+  if (!opts.save_model_path.empty()) {
+    if (fairgen_trainer == nullptr) {
+      return Status::InvalidArgument(
+          "--save-model is only supported for fairgen* models");
+    }
+    FAIRGEN_RETURN_NOT_OK(
+        fairgen_trainer->SaveCheckpoint(opts.save_model_path));
+    std::fprintf(stderr, "saved checkpoint %s\n",
+                 opts.save_model_path.c_str());
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
+  FAIRGEN_RETURN_NOT_OK(SaveEdgeList(generated, opts.out_path));
+  std::printf("wrote %llu edges to %s\n",
+              static_cast<unsigned long long>(generated.num_edges()),
+              opts.out_path.c_str());
+  return Status::OK();
+}
+
+Status RunEvaluate(const Options& opts) {
+  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
+  FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
+  Rng rng(opts.seed);
+  FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
+  FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
+
+  FAIRGEN_ASSIGN_OR_RETURN(auto overall,
+                           OverallDiscrepancy(graph, generated));
+  std::vector<std::string> header{"scope"};
+  for (const auto& name : MetricNames()) header.push_back(name);
+  Table table(header);
+  table.AddRow("overall R",
+               std::vector<double>(overall.begin(), overall.end()));
+  if (!opts.protected_path.empty()) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        auto protected_set,
+        LoadNodeSet(opts.protected_path, graph.num_nodes()));
+    FAIRGEN_ASSIGN_OR_RETURN(
+        auto prot, ProtectedDiscrepancy(graph, generated, protected_set));
+    table.AddRow("protected R+",
+                 std::vector<double>(prot.begin(), prot.end()));
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  return Status::OK();
+}
+
+Status RunCore(const Options& opts) {
+  if (opts.nodes_path.empty()) {
+    return Status::InvalidArgument("core requires --nodes=<file>");
+  }
+  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
+  FAIRGEN_ASSIGN_OR_RETURN(auto nodes,
+                           LoadNodeSet(opts.nodes_path, graph.num_nodes()));
+  DiffusionCoreOptions core_opts;
+  core_opts.delta = 0.9;
+  core_opts.t = 2;
+  FAIRGEN_ASSIGN_OR_RETURN(DiffusionCore core,
+                           ComputeDiffusionCore(graph, nodes, core_opts));
+  std::printf("|S|=%zu phi(S)=%.4f |core|=%zu\n", nodes.size(),
+              core.conductance, core.core.size());
+  std::printf("Lemma 2.1 bound for T=10: %.4f\n",
+              Lemma21Bound(10, core_opts.delta, core.conductance));
+  for (NodeId v : core.core) std::printf("%u\n", v);
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  auto opts = Parse(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return Usage();
+  }
+  SetLogLevel(LogLevel::kWarning);
+  Status status;
+  if (opts->command == "stats") {
+    status = RunStats(*opts);
+  } else if (opts->command == "generate") {
+    status = RunGenerate(*opts);
+  } else if (opts->command == "evaluate") {
+    status = RunEvaluate(*opts);
+  } else if (opts->command == "core") {
+    status = RunCore(*opts);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairgen::cli
+
+int main(int argc, char** argv) { return fairgen::cli::Main(argc, argv); }
