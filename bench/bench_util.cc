@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace fairgen::bench {
@@ -23,6 +24,8 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "  --scale=<f>        dataset scale for the quick profile "
           "(default 0.05)\n"
           "  --seed=<n>         RNG seed (default 7)\n"
+          "  --threads=<n>      worker threads (0 = default; results are\n"
+          "                     identical for every value)\n"
           "  --datasets=A,B     restrict to named Table-I datasets\n"
           "  --csv=<path>       also write results as CSV\n",
           description);
@@ -36,6 +39,9 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     } else if (StrStartsWith(arg, "--seed=")) {
       options.seed =
           std::strtoull(std::string(arg.substr(7)).c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--threads=")) {
+      options.threads = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(10)).c_str(), nullptr, 10));
     } else if (StrStartsWith(arg, "--datasets=")) {
       options.datasets = std::string(arg.substr(11));
     } else if (StrStartsWith(arg, "--csv=")) {
@@ -46,6 +52,7 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     }
   }
   SetLogLevel(LogLevel::kWarning);
+  if (options.threads != 0) SetDefaultNumThreads(options.threads);
   return options;
 }
 
@@ -66,8 +73,6 @@ ZooConfig MakeZooConfig(const BenchOptions& options) {
     cfg.fairgen.num_heads = 4;
     cfg.fairgen.ffn_dim = 200;
     cfg.fairgen.gen_transition_multiplier = 8.0;
-    cfg.fairgen.num_threads = 8;
-    cfg.walk_budget.num_threads = 8;
     cfg.gae.epochs = 200;
   } else {
     cfg.labels_per_class = 5;
@@ -84,6 +89,10 @@ ZooConfig MakeZooConfig(const BenchOptions& options) {
     cfg.fairgen.gen_transition_multiplier = 3.0;
     cfg.gae.epochs = 40;
   }
+  // 0 defers to the process-wide default, which --threads overrides at
+  // startup; results are bit-identical for every thread count.
+  cfg.fairgen.num_threads = options.threads;
+  cfg.walk_budget.num_threads = options.threads;
   return cfg;
 }
 

@@ -20,6 +20,7 @@ struct BenchOptions {
   bool full = false;          ///< --full
   double scale = 0.05;        ///< --scale=<f>: dataset scale when not full
   uint64_t seed = 7;          ///< --seed=<n>
+  uint32_t threads = 0;       ///< --threads=<n>: 0 = process default
   std::string datasets;       ///< --datasets=BLOG,ACM (empty = all)
   std::string output_csv;     ///< --csv=<path>: also write the table as CSV
 

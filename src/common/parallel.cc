@@ -1,0 +1,144 @@
+#include "common/parallel.h"
+
+namespace fairgen {
+
+namespace {
+
+// Set while the current thread executes tasks of a parallel region (both
+// pool workers and callers participating in their own Run).
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<uint32_t> g_default_num_threads{0};
+
+// Worker threads to spawn: hardware concurrency capped at 16 (the walk
+// sampling and O(n^2) kernels this library parallelizes saturate well
+// before that), minus one for the calling thread. At least one worker is
+// kept even on single-core machines so the scheduling machinery is always
+// exercised (and can be raced under TSan).
+uint32_t NumPoolWorkers() {
+  uint32_t hw = std::thread::hardware_concurrency();
+  uint32_t capped = std::clamp<uint32_t>(hw == 0 ? 1 : hw, 2, 16);
+  return capped - 1;
+}
+
+}  // namespace
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+void SetDefaultNumThreads(uint32_t num_threads) {
+  g_default_num_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+uint32_t DefaultNumThreads() {
+  return g_default_num_threads.load(std::memory_order_relaxed);
+}
+
+namespace parallel_internal {
+
+uint32_t ResolveNumThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  uint32_t fallback = DefaultNumThreads();
+  if (fallback != 0) return fallback;
+  return ThreadPool::Global().max_parallelism();
+}
+
+}  // namespace parallel_internal
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() {
+  uint32_t workers = NumPoolWorkers();
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ExecuteTasks(Job& job) {
+  bool saved = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  while (true) {
+    size_t i = job.next.fetch_add(1);
+    if (i >= job.num_tasks) break;
+    (*job.task)(i);
+    job.completed.fetch_add(1);
+  }
+  tls_in_parallel_region = saved;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_ != nullptr && job_seq_ != seen_seq);
+    });
+    if (shutdown_) return;
+    seen_seq = job_seq_;
+    Job* job = job_;
+    if (job->active_workers >= job->max_workers ||
+        job->next.load() >= job->num_tasks) {
+      continue;  // enough hands on deck (or nothing left to claim)
+    }
+    ++job->active_workers;
+    lock.unlock();
+    ExecuteTasks(*job);
+    lock.lock();
+    --job->active_workers;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, uint32_t parallelism,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  // Inline execution when parallelism cannot or must not be used: a single
+  // task, an explicit serial request, no workers, or a nested call from
+  // inside another parallel region (which would deadlock on run_mu_).
+  if (num_tasks == 1 || parallelism <= 1 || workers_.empty() ||
+      tls_in_parallel_region) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.task = &task;
+  job.num_tasks = num_tasks;
+  job.max_workers = parallelism - 1;  // the caller is the remaining thread
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  ExecuteTasks(job);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.active_workers == 0 && job.completed.load() == job.num_tasks;
+  });
+  job_ = nullptr;
+}
+
+std::vector<Rng> SplitRngs(Rng& rng, size_t k) {
+  std::vector<Rng> streams;
+  streams.reserve(k);
+  for (size_t i = 0; i < k; ++i) streams.push_back(rng.Split());
+  return streams;
+}
+
+}  // namespace fairgen

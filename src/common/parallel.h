@@ -1,0 +1,170 @@
+#ifndef FAIRGEN_COMMON_PARALLEL_H_
+#define FAIRGEN_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace fairgen {
+
+/// \brief Lazily-initialized process-wide worker pool behind the
+/// `ParallelFor` / `ParallelReduce` primitives.
+///
+/// Determinism contract: the pool only *schedules* work; callers decompose
+/// a range into chunks whose layout depends solely on `(begin, end, grain)`
+/// — never on the thread count — and combine per-chunk results in chunk
+/// order. Under that contract every parallel kernel in the library is
+/// bit-identical at `num_threads = N` and `num_threads = 1` for a fixed
+/// seed (see DESIGN.md, "Threading model").
+///
+/// Lifetime: workers are spawned on the first parallel call and joined by
+/// the static destructor at process exit. One job runs at a time; a `Run`
+/// issued from inside another parallel region executes inline (serially) on
+/// the calling thread, so nested calls cannot deadlock.
+class ThreadPool {
+ public:
+  /// The process-wide pool (created on first use).
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Maximum useful parallelism: worker threads plus the calling thread.
+  uint32_t max_parallelism() const {
+    return static_cast<uint32_t>(workers_.size()) + 1;
+  }
+
+  /// Invokes `task(i)` for every i in [0, num_tasks), using at most
+  /// `parallelism` threads (the calling thread participates). Blocks until
+  /// every task has finished. Tasks must not throw.
+  void Run(size_t num_tasks, uint32_t parallelism,
+           const std::function<void(size_t)>& task);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    uint32_t max_workers = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    uint32_t active_workers = 0;  // guarded by mu_
+  };
+
+  ThreadPool();
+  void WorkerLoop();
+  static void ExecuteTasks(Job& job);
+
+  std::mutex run_mu_;  // serializes concurrent Run() calls
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;       // guarded by mu_
+  uint64_t job_seq_ = 0;     // guarded by mu_
+  bool shutdown_ = false;    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+/// True while the calling thread is executing inside a parallel region
+/// (used to run nested parallel calls inline).
+bool InParallelRegion();
+
+/// Process-wide default worker count used when a call site passes
+/// `num_threads = 0`. `0` (the initial value) means "all pool threads".
+/// Thread counts never affect results — only wall-clock — so this is purely
+/// a performance knob (CLI `--threads`, bench `--threads`).
+void SetDefaultNumThreads(uint32_t num_threads);
+uint32_t DefaultNumThreads();
+
+namespace parallel_internal {
+
+/// Maps the `num_threads` convention (0 = default) onto a concrete count.
+uint32_t ResolveNumThreads(uint32_t requested);
+
+}  // namespace parallel_internal
+
+/// Number of chunks the range [begin, end) splits into at `grain` elements
+/// per chunk (the last chunk may be short). Depends only on the arguments.
+inline size_t ParallelNumChunks(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  size_t g = std::max<size_t>(size_t{1}, grain);
+  return (end - begin + g - 1) / g;
+}
+
+/// \brief Invokes `fn(chunk_begin, chunk_end, chunk_index)` for every grain
+/// sized chunk of [begin, end). Chunk layout is independent of the thread
+/// count; chunks run concurrently, so `fn` must only write chunk-local or
+/// disjoint state. `num_threads = 0` uses the process default, `1` runs
+/// serially (same chunk layout).
+template <typename Fn>
+void ParallelForChunks(size_t begin, size_t end, size_t grain, Fn&& fn,
+                       uint32_t num_threads = 0) {
+  const size_t g = std::max<size_t>(size_t{1}, grain);
+  const size_t chunks = ParallelNumChunks(begin, end, grain);
+  if (chunks == 0) return;
+  const std::function<void(size_t)> task = [begin, end, g, &fn](size_t c) {
+    size_t lo = begin + c * g;
+    size_t hi = std::min(end, lo + g);
+    fn(lo, hi, c);
+  };
+  ThreadPool::Global().Run(
+      chunks, parallel_internal::ResolveNumThreads(num_threads), task);
+}
+
+/// \brief Invokes `fn(i)` for every i in [begin, end), `grain` indices per
+/// scheduled chunk. Same determinism/aliasing rules as ParallelForChunks.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn,
+                 uint32_t num_threads = 0) {
+  ParallelForChunks(
+      begin, end, grain,
+      [&fn](size_t lo, size_t hi, size_t /*chunk*/) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      num_threads);
+}
+
+/// \brief Ordered parallel reduction: evaluates
+/// `map(chunk_begin, chunk_end, chunk_index) -> T` per chunk concurrently,
+/// then folds the partials with `combine(acc, partial)` in ascending chunk
+/// order on the calling thread. Because both the chunk layout and the fold
+/// order are independent of the thread count, floating-point results are
+/// bit-identical across `num_threads` settings.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 MapFn&& map, CombineFn&& combine, uint32_t num_threads = 0) {
+  const size_t chunks = ParallelNumChunks(begin, end, grain);
+  if (chunks == 0) return identity;
+  std::vector<T> partials(chunks, identity);
+  ParallelForChunks(
+      begin, end, grain,
+      [&partials, &map](size_t lo, size_t hi, size_t c) {
+        partials[c] = map(lo, hi, c);
+      },
+      num_threads);
+  T acc = std::move(identity);
+  for (T& partial : partials) {
+    acc = combine(std::move(acc), std::move(partial));
+  }
+  return acc;
+}
+
+/// \brief Pre-splits `k` independent RNG streams from `rng`.
+///
+/// The streams depend only on the state of `rng` and on `k`; handing stream
+/// i to the worker processing chunk i makes randomized parallel kernels
+/// reproducible regardless of which thread runs which chunk (`rng` itself
+/// advances by exactly 2k draws).
+std::vector<Rng> SplitRngs(Rng& rng, size_t k);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_PARALLEL_H_

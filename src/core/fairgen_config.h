@@ -67,7 +67,9 @@ struct FairGenConfig {
   // --- Generation / assembly ----------------------------------------------
   double gen_transition_multiplier = 8.0;
   float temperature = 1.0f;
-  /// Worker threads for generation-time walk sampling. 1 = sequential.
+  /// Worker threads for generation-time walk sampling. 1 = sequential,
+  /// 0 = the process-wide default (common/parallel.h). Results are
+  /// bit-identical for every setting; this only trades wall-clock.
   uint32_t num_threads = 1;
 
   // --- Variant -------------------------------------------------------------

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 #include <string>
 
 #include "common/logging.h"
@@ -264,8 +263,8 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
   dataset_ = WalkDataset();
   dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
   Node2VecWalker neg_walker(graph, config_.negative_walk);
-  dataset_.AddNegatives(
-      neg_walker.SampleWalks(config_.num_walks, config_.walk_length, rng));
+  dataset_.AddNegatives(neg_walker.SampleWalks(
+      config_.num_walks, config_.walk_length, rng, config_.num_threads));
 
   SelfPacedScheduler scheduler(config_.lambda, config_.lambda_growth);
   loss_history_.clear();
@@ -332,47 +331,24 @@ EdgeScoreAccumulator FairGenTrainer::AccumulateWalks(Rng& rng) const {
         class_nodes.end());
   }
 
-  auto sample_into = [this, &class_nodes](EdgeScoreAccumulator& acc,
-                                          uint64_t budget, Rng worker_rng) {
-    uint64_t transitions = 0;
-    while (transitions < budget) {
-      uint32_t start;
-      if (!class_nodes.empty() &&
-          !worker_rng.Bernoulli(config_.general_ratio)) {
-        const auto& members = class_nodes[worker_rng.UniformU32(
-            static_cast<uint32_t>(class_nodes.size()))];
-        start = members[worker_rng.UniformU32(
-            static_cast<uint32_t>(members.size()))];
-      } else {
-        start = start_table_->Sample(worker_rng);
-      }
-      Walk walk = model_->generator().SampleWalk(
-          start, config_.walk_length, worker_rng, config_.temperature);
-      acc.AddWalk(walk);
-      transitions += walk.size() - 1;
-    }
-  };
-
-  EdgeScoreAccumulator acc(fitted_graph_.num_nodes());
-  uint32_t threads = std::max<uint32_t>(1, config_.num_threads);
-  if (threads == 1) {
-    sample_into(acc, target_transitions, rng.Split());
-    return acc;
-  }
-  std::vector<EdgeScoreAccumulator> partials(
-      threads, EdgeScoreAccumulator(fitted_graph_.num_nodes()));
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  uint64_t per_thread = (target_transitions + threads - 1) / threads;
-  for (uint32_t t = 0; t < threads; ++t) {
-    workers.emplace_back(sample_into, std::ref(partials[t]), per_thread,
-                         rng.Split());
-  }
-  for (std::thread& w : workers) w.join();
-  for (const EdgeScoreAccumulator& partial : partials) {
-    acc.Merge(partial);
-  }
-  return acc;
+  // Model forward passes are read-only and thread-safe, so the walk
+  // sampling runs on the shared deterministic runtime (common/parallel.h).
+  return AccumulateWalkScores(
+      fitted_graph_.num_nodes(), target_transitions, config_.num_threads,
+      rng, [this, &class_nodes](Rng& worker_rng) {
+        uint32_t start;
+        if (!class_nodes.empty() &&
+            !worker_rng.Bernoulli(config_.general_ratio)) {
+          const auto& members = class_nodes[worker_rng.UniformU32(
+              static_cast<uint32_t>(class_nodes.size()))];
+          start = members[worker_rng.UniformU32(
+              static_cast<uint32_t>(members.size()))];
+        } else {
+          start = start_table_->Sample(worker_rng);
+        }
+        return model_->generator().SampleWalk(
+            start, config_.walk_length, worker_rng, config_.temperature);
+      });
 }
 
 namespace {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "rng/sampling.h"
 
 namespace fairgen {
@@ -15,6 +18,55 @@ inline float FastSigmoid(float x) {
   x = std::clamp(x, -8.0f, 8.0f);
   return 1.0f / (1.0f + std::exp(-x));
 }
+
+// Walks per synchronous SGD wave. Each wave's gradients are computed
+// against the embeddings as of the wave start and applied in walk order,
+// so the schedule — and therefore the trained embeddings — is independent
+// of the thread count. Fixed (never derived from the pool size).
+constexpr size_t kWaveWalks = 32;
+
+// One embedding row touched by a walk: the snapshot it was read at
+// (`base`) and the walk's locally-updated copy (`cur`). The apply step
+// adds `cur - base` back into the shared tensor.
+struct RowUpdate {
+  bool is_out;
+  NodeId node;
+  std::vector<float> base;
+  std::vector<float> cur;
+};
+
+// Copy-on-touch view of the two embedding tables, private to one walk.
+// Reads materialize a local copy of the row; updates stay local until the
+// serial apply step, preserving online-SGD semantics *within* a walk while
+// walks of the same wave see only the wave-start state of each other's
+// rows. std::deque keeps row pointers stable across later touches.
+class WalkOverlay {
+ public:
+  WalkOverlay(const nn::Tensor& in_emb, const nn::Tensor& out_emb, size_t d,
+              std::deque<RowUpdate>* rows)
+      : in_emb_(in_emb), out_emb_(out_emb), d_(d), rows_(rows) {}
+
+  float* Row(bool is_out, NodeId node) {
+    uint64_t key = (static_cast<uint64_t>(node) << 1) | (is_out ? 1u : 0u);
+    auto [it, inserted] = index_.try_emplace(key, rows_->size());
+    if (inserted) {
+      const nn::Tensor& src = is_out ? out_emb_ : in_emb_;
+      RowUpdate& row = rows_->emplace_back();
+      row.is_out = is_out;
+      row.node = node;
+      row.base.assign(src.row(node), src.row(node) + d_);
+      row.cur = row.base;
+    }
+    return (*rows_)[it->second].cur.data();
+  }
+
+ private:
+  const nn::Tensor& in_emb_;
+  const nn::Tensor& out_emb_;
+  size_t d_;
+  std::deque<RowUpdate>* rows_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
 
 }  // namespace
 
@@ -37,12 +89,10 @@ Node2VecModel Node2VecModel::Train(const Graph& graph,
   AliasTable neg_table(neg_weights);
 
   Node2VecWalker walker(graph, config.walk);
-  RandomWalker starts(graph);
 
   const uint64_t total_walks = static_cast<uint64_t>(config.epochs) *
                                config.walks_per_node * n;
   uint64_t walk_counter = 0;
-  std::vector<float> grad_center(d);
 
   for (uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
     // One pass visits every node `walks_per_node` times in random order.
@@ -50,39 +100,70 @@ Node2VecModel Node2VecModel::Train(const Graph& graph,
     for (NodeId v = 0; v < n; ++v) order[v] = v;
     for (uint32_t rep = 0; rep < config.walks_per_node; ++rep) {
       Shuffle(order, rng);
-      for (NodeId start : order) {
-        float progress = static_cast<float>(walk_counter) /
-                         static_cast<float>(total_walks);
-        float lr = std::max(config.lr * (1.0f - progress), config.lr * 0.05f);
-        ++walk_counter;
-        if (graph.Degree(start) == 0) continue;
-        Walk walk = walker.SampleWalk(start, config.walk_length, rng);
-        for (size_t i = 0; i < walk.size(); ++i) {
-          NodeId center = walk[i];
-          size_t lo = i >= config.window ? i - config.window : 0;
-          size_t hi = std::min(walk.size() - 1, i + config.window);
-          for (size_t j = lo; j <= hi; ++j) {
-            if (j == i) continue;
-            NodeId context = walk[j];
-            std::fill(grad_center.begin(), grad_center.end(), 0.0f);
-            float* vc = in_emb.row(center);
-            // Positive pair + `negatives` sampled negatives.
-            for (uint32_t s = 0; s <= config.negatives; ++s) {
-              NodeId target = (s == 0) ? context : neg_table.Sample(rng);
-              if (s > 0 && target == context) continue;
-              float label = (s == 0) ? 1.0f : 0.0f;
-              float* vo = out_emb.row(target);
-              float dot = 0.0f;
-              for (size_t k = 0; k < d; ++k) dot += vc[k] * vo[k];
-              float g = (FastSigmoid(dot) - label) * lr;
-              for (size_t k = 0; k < d; ++k) {
-                grad_center[k] += g * vo[k];
-                vo[k] -= g * vc[k];
+      for (size_t wave_begin = 0; wave_begin < n;
+           wave_begin += kWaveWalks) {
+        const size_t wave = std::min(kWaveWalks, n - wave_begin);
+        std::vector<Rng> streams = SplitRngs(rng, wave);
+        std::vector<std::deque<RowUpdate>> updates(wave);
+
+        ParallelFor(
+            size_t{0}, wave, size_t{1},
+            [&](size_t b) {
+              NodeId start = order[wave_begin + b];
+              if (graph.Degree(start) == 0) return;
+              float progress = static_cast<float>(walk_counter + b) /
+                               static_cast<float>(total_walks);
+              float lr = std::max(config.lr * (1.0f - progress),
+                                  config.lr * 0.05f);
+              Rng& walk_rng = streams[b];
+              Walk walk =
+                  walker.SampleWalk(start, config.walk_length, walk_rng);
+              WalkOverlay overlay(in_emb, out_emb, d, &updates[b]);
+              std::vector<float> grad_center(d);
+              for (size_t i = 0; i < walk.size(); ++i) {
+                NodeId center = walk[i];
+                size_t lo = i >= config.window ? i - config.window : 0;
+                size_t hi = std::min(walk.size() - 1, i + config.window);
+                for (size_t j = lo; j <= hi; ++j) {
+                  if (j == i) continue;
+                  NodeId context = walk[j];
+                  std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+                  // Positive pair + `negatives` sampled negatives.
+                  for (uint32_t s = 0; s <= config.negatives; ++s) {
+                    NodeId target =
+                        (s == 0) ? context : neg_table.Sample(walk_rng);
+                    if (s > 0 && target == context) continue;
+                    float label = (s == 0) ? 1.0f : 0.0f;
+                    const float* vc = overlay.Row(false, center);
+                    float* vo = overlay.Row(true, target);
+                    float dot = 0.0f;
+                    for (size_t k = 0; k < d; ++k) dot += vc[k] * vo[k];
+                    float g = (FastSigmoid(dot) - label) * lr;
+                    for (size_t k = 0; k < d; ++k) {
+                      grad_center[k] += g * vo[k];
+                      vo[k] -= g * vc[k];
+                    }
+                  }
+                  float* vc = overlay.Row(false, center);
+                  for (size_t k = 0; k < d; ++k) vc[k] -= grad_center[k];
+                }
               }
+            },
+            config.num_threads);
+
+        // Serial apply, in walk order within the wave: the only writes to
+        // the shared tensors, so the wave's result cannot depend on how
+        // chunks were scheduled across threads.
+        for (size_t b = 0; b < wave; ++b) {
+          for (const RowUpdate& row : updates[b]) {
+            float* dst = row.is_out ? out_emb.row(row.node)
+                                    : in_emb.row(row.node);
+            for (size_t k = 0; k < d; ++k) {
+              dst[k] += row.cur[k] - row.base[k];
             }
-            for (size_t k = 0; k < d; ++k) vc[k] -= grad_center[k];
           }
         }
+        walk_counter += wave;
       }
     }
   }

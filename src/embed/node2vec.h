@@ -23,6 +23,10 @@ struct Node2VecConfig {
   uint32_t epochs = 2;
   float lr = 0.025f;          ///< initial SGD learning rate (linear decay)
   Node2VecParams walk;        ///< (p, q) bias parameters
+  /// Worker threads for the skip-gram epochs. 1 = sequential, 0 = the
+  /// process-wide default (common/parallel.h). Embeddings are
+  /// bit-identical for every setting; this only trades wall-clock.
+  uint32_t num_threads = 0;
 };
 
 /// \brief node2vec embeddings trained with skip-gram + negative sampling.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "graph/builder.h"
 
 namespace fairgen {
@@ -74,6 +75,54 @@ Result<Graph> EdgeScoreAccumulator::BuildTopEdges(
     ++taken;
   }
   return builder.Build();
+}
+
+namespace {
+
+// Walk sampling always decomposes into this many budget chunks, regardless
+// of the thread count — that (plus the ordered merge) is what makes the
+// accumulator bit-identical across `num_threads` settings. 64 chunks keep
+// every pool size busy while the per-chunk RNG-split cost stays trivial.
+constexpr uint64_t kWalkBudgetChunks = 64;
+
+}  // namespace
+
+EdgeScoreAccumulator AccumulateWalkScores(
+    uint32_t num_nodes, uint64_t target_transitions, uint32_t num_threads,
+    Rng& rng, const std::function<Walk(Rng&)>& sample_walk) {
+  const uint64_t chunks = std::min<uint64_t>(
+      kWalkBudgetChunks, std::max<uint64_t>(uint64_t{1}, target_transitions));
+  // Exact budget split: chunk c gets floor(target/chunks) transitions plus
+  // one unit of the remainder, so the chunks sum to the target exactly
+  // instead of overshooting by up to `chunks - 1` rounded-up shares.
+  const uint64_t base_budget = target_transitions / chunks;
+  const uint64_t remainder = target_transitions % chunks;
+
+  std::vector<Rng> streams = SplitRngs(rng, chunks);
+  std::vector<EdgeScoreAccumulator> partials(
+      chunks, EdgeScoreAccumulator(num_nodes));
+  ParallelFor(
+      size_t{0}, chunks, size_t{1},
+      [&](size_t c) {
+        const uint64_t budget = base_budget + (c < remainder ? 1 : 0);
+        Rng& worker_rng = streams[c];
+        EdgeScoreAccumulator& acc = partials[c];
+        uint64_t transitions = 0;
+        while (transitions < budget) {
+          Walk walk = sample_walk(worker_rng);
+          acc.AddWalk(walk);
+          // A degenerate single-node walk still consumes one unit so the
+          // loop always makes forward progress.
+          transitions += walk.size() > 1 ? walk.size() - 1 : 1;
+        }
+      },
+      num_threads);
+
+  EdgeScoreAccumulator acc(num_nodes);
+  for (const EdgeScoreAccumulator& partial : partials) {
+    acc.Merge(partial);
+  }
+  return acc;
 }
 
 }  // namespace fairgen

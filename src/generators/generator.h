@@ -2,6 +2,7 @@
 #define FAIRGEN_GENERATORS_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +85,25 @@ class EdgeScoreAccumulator {
   std::unordered_map<uint64_t, double> scores_;  // key = u * n + v, u < v
   double total_score_ = 0.0;
 };
+
+/// \brief Samples walks from `sample_walk` until `target_transitions` walk
+/// transitions have been accumulated, and returns the combined score
+/// accumulator. The shared generation-time sampling loop of
+/// `FairGenTrainer` and the walk-LM generators (NetGAN, TagGen).
+///
+/// The budget is divided over a fixed number of chunks — the per-chunk
+/// remainders distributed exactly, so the total never overshoots the
+/// single-thread budget — each driven by its own RNG stream pre-split from
+/// `rng` and merged in chunk order. Chunk layout, streams, and merge order
+/// are all independent of `num_threads`, so the result is bit-identical
+/// for any thread count (0 = process default, 1 = serial).
+///
+/// Every sampled walk advances the budget by at least one transition even
+/// when the walk degenerates to a single node (a dead-end start or a
+/// `walk_length == 1` configuration), guaranteeing termination.
+EdgeScoreAccumulator AccumulateWalkScores(
+    uint32_t num_nodes, uint64_t target_transitions, uint32_t num_threads,
+    Rng& rng, const std::function<Walk(Rng&)>& sample_walk);
 
 }  // namespace fairgen
 

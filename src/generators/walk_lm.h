@@ -4,7 +4,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -30,8 +29,9 @@ struct WalkLMTrainConfig {
   double gen_transition_multiplier = 8.0;
   /// Softmax temperature at generation time.
   float temperature = 1.0f;
-  /// Worker threads for generation-time walk sampling (model forward
-  /// passes are read-only and thread-safe). 1 = sequential.
+  /// Worker threads for generation-time walk sampling. 1 = sequential,
+  /// 0 = the process-wide default (common/parallel.h). Results are
+  /// bit-identical for every setting; this only trades wall-clock.
   uint32_t num_threads = 1;
 };
 
@@ -71,7 +71,7 @@ class WalkLMGenerator : public GraphGenerator {
     RandomWalker walker(graph);
     std::vector<Walk> corpus =
         walker.SampleUniformWalks(config_.num_walks, config_.walk_length,
-                                  rng);
+                                  rng, config_.num_threads);
     TrainOnWalks(corpus, rng);
 
     // Degree-proportional start distribution for generation.
@@ -151,44 +151,20 @@ class WalkLMGenerator : public GraphGenerator {
   virtual std::unique_ptr<LM> BuildModel(const Graph& graph, Rng& rng) = 0;
 
   /// Samples walks from the trained model into a score accumulator
-  /// (the B matrix of Sec. II-D). Parallelized over
-  /// `config_.num_threads` workers with independent RNG streams.
+  /// (the B matrix of Sec. II-D) on the shared deterministic parallel
+  /// runtime: `config_.num_threads` only changes wall-clock, never the
+  /// result (model forward passes are read-only and thread-safe).
   EdgeScoreAccumulator AccumulateWalks(Rng& rng) const {
     const uint64_t target_transitions = static_cast<uint64_t>(
         config_.gen_transition_multiplier *
         static_cast<double>(fitted_graph_.num_edges()));
-    auto sample_into = [this](EdgeScoreAccumulator& acc, uint64_t budget,
-                              Rng worker_rng) {
-      uint64_t transitions = 0;
-      while (transitions < budget) {
-        uint32_t start = start_table_->Sample(worker_rng);
-        Walk walk = model_->SampleWalk(start, config_.walk_length,
-                                       worker_rng, config_.temperature);
-        acc.AddWalk(walk);
-        transitions += walk.size() - 1;
-      }
-    };
-
-    EdgeScoreAccumulator acc(fitted_graph_.num_nodes());
-    uint32_t threads = std::max<uint32_t>(1, config_.num_threads);
-    if (threads == 1) {
-      sample_into(acc, target_transitions, rng.Split());
-      return acc;
-    }
-    std::vector<EdgeScoreAccumulator> partials(
-        threads, EdgeScoreAccumulator(fitted_graph_.num_nodes()));
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    uint64_t per_thread = (target_transitions + threads - 1) / threads;
-    for (uint32_t t = 0; t < threads; ++t) {
-      workers.emplace_back(sample_into, std::ref(partials[t]), per_thread,
-                           rng.Split());
-    }
-    for (std::thread& w : workers) w.join();
-    for (const EdgeScoreAccumulator& partial : partials) {
-      acc.Merge(partial);
-    }
-    return acc;
+    return AccumulateWalkScores(
+        fitted_graph_.num_nodes(), target_transitions, config_.num_threads,
+        rng, [this](Rng& worker_rng) {
+          uint32_t start = start_table_->Sample(worker_rng);
+          return model_->SampleWalk(start, config_.walk_length, worker_rng,
+                                    config_.temperature);
+        });
   }
 
   void ScaleGrads(float factor) {

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace fairgen {
 
 namespace {
+
+// Nodes per parallel chunk for the triangle kernels. Counts are integers,
+// so any chunking is exact; a fixed grain keeps scheduling cheap on small
+// graphs while still splitting large ones.
+constexpr size_t kTriangleGrain = 256;
 
 // Intersects two sorted ranges, invoking `fn` on each common element.
 template <typename Fn>
@@ -28,36 +35,46 @@ void ForEachCommon(std::span<const NodeId> a, std::span<const NodeId> b,
 }  // namespace
 
 uint64_t CountTriangles(const Graph& graph) {
-  uint64_t count = 0;
   // For each edge (u, v) with u < v, count common neighbors w > v; each
-  // triangle {u, v, w} with u < v < w is counted exactly once.
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    auto nu = graph.Neighbors(u);
-    for (NodeId v : nu) {
-      if (v <= u) continue;
-      ForEachCommon(nu, graph.Neighbors(v), [&](NodeId w) {
-        if (w > v) ++count;
-      });
-    }
-  }
-  return count;
+  // triangle {u, v, w} with u < v < w is counted exactly once. Chunks of
+  // u-rows reduce independently; integer partial sums combine exactly.
+  return ParallelReduce(
+      size_t{0}, graph.num_nodes(), kTriangleGrain, uint64_t{0},
+      [&graph](size_t lo, size_t hi, size_t /*chunk*/) {
+        uint64_t count = 0;
+        for (NodeId u = static_cast<NodeId>(lo); u < hi; ++u) {
+          auto nu = graph.Neighbors(u);
+          for (NodeId v : nu) {
+            if (v <= u) continue;
+            ForEachCommon(nu, graph.Neighbors(v), [&](NodeId w) {
+              if (w > v) ++count;
+            });
+          }
+        }
+        return count;
+      },
+      [](uint64_t acc, uint64_t partial) { return acc + partial; });
 }
 
 std::vector<uint64_t> PerNodeTriangles(const Graph& graph) {
+  // tri[u] = closed wedges at u: every neighbor pair (v, w) of u that is
+  // itself an edge. Counting from u's own adjacency list (each triangle at
+  // u is seen once via v and once via w, hence the /2) means each node
+  // writes only its own slot — embarrassingly parallel, no merge step —
+  // unlike the edge-oriented formulation, which scatters +1 to all three
+  // corners.
   std::vector<uint64_t> tri(graph.num_nodes(), 0);
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+  ParallelFor(size_t{0}, graph.num_nodes(), kTriangleGrain, [&](size_t n) {
+    NodeId u = static_cast<NodeId>(n);
     auto nu = graph.Neighbors(u);
+    uint64_t closed = 0;
     for (NodeId v : nu) {
-      if (v <= u) continue;
       ForEachCommon(nu, graph.Neighbors(v), [&](NodeId w) {
-        if (w > v) {
-          ++tri[u];
-          ++tri[v];
-          ++tri[w];
-        }
+        if (w != u && w != v) ++closed;
       });
     }
-  }
+    tri[u] = closed / 2;
+  });
   return tri;
 }
 

@@ -1,6 +1,7 @@
 #include "walk/node2vec_walk.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "rng/sampling.h"
 
 namespace fairgen {
@@ -54,12 +55,22 @@ Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
 }
 
 std::vector<Walk> Node2VecWalker::SampleWalks(size_t count, uint32_t length,
-                                              Rng& rng) const {
-  std::vector<fairgen::Walk> walks;
-  walks.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    walks.push_back(SampleWalk(base_.SampleStartNode(rng), length, rng));
-  }
+                                              Rng& rng,
+                                              uint32_t num_threads) const {
+  constexpr size_t kWalkGrain = 16;
+  std::vector<fairgen::Walk> walks(count);
+  std::vector<Rng> streams =
+      SplitRngs(rng, ParallelNumChunks(0, count, kWalkGrain));
+  ParallelForChunks(
+      size_t{0}, count, kWalkGrain,
+      [&](size_t lo, size_t hi, size_t chunk) {
+        Rng& chunk_rng = streams[chunk];
+        for (size_t i = lo; i < hi; ++i) {
+          walks[i] = SampleWalk(base_.SampleStartNode(chunk_rng), length,
+                                chunk_rng);
+        }
+      },
+      num_threads);
   return walks;
 }
 

@@ -34,8 +34,12 @@ class Node2VecWalker {
   fairgen::Walk SampleWalk(NodeId start, uint32_t length, Rng& rng) const;
 
   /// `count` biased walks from random (positive-degree) start nodes.
+  /// Sampled in fixed-size chunks with pre-split RNG streams on the shared
+  /// parallel runtime, so the returned walks are identical for every
+  /// `num_threads` setting (1 = sequential, 0 = the process default).
   std::vector<fairgen::Walk> SampleWalks(size_t count, uint32_t length,
-                                         Rng& rng) const;
+                                         Rng& rng,
+                                         uint32_t num_threads = 0) const;
 
   const Node2VecParams& params() const { return params_; }
 

@@ -1,6 +1,7 @@
 #include "walk/random_walk.h"
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace fairgen {
 
@@ -65,13 +66,22 @@ NodeId RandomWalker::SampleStartNode(Rng& rng) const {
 }
 
 std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,
-                                                   uint32_t length,
-                                                   Rng& rng) const {
-  std::vector<Walk> walks;
-  walks.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    walks.push_back(UniformWalk(SampleStartNode(rng), length, rng));
-  }
+                                                   uint32_t length, Rng& rng,
+                                                   uint32_t num_threads) const {
+  constexpr size_t kWalkGrain = 16;
+  std::vector<Walk> walks(count);
+  std::vector<Rng> streams =
+      SplitRngs(rng, ParallelNumChunks(0, count, kWalkGrain));
+  ParallelForChunks(
+      size_t{0}, count, kWalkGrain,
+      [&](size_t lo, size_t hi, size_t chunk) {
+        Rng& chunk_rng = streams[chunk];
+        for (size_t i = lo; i < hi; ++i) {
+          walks[i] = UniformWalk(SampleStartNode(chunk_rng), length,
+                                 chunk_rng);
+        }
+      },
+      num_threads);
   return walks;
 }
 

@@ -32,9 +32,13 @@ class RandomWalker {
   /// back to uniform over all nodes if the graph has no edges).
   NodeId SampleStartNode(Rng& rng) const;
 
-  /// `count` uniform walks from random start nodes.
+  /// `count` uniform walks from random start nodes. Sampled in fixed-size
+  /// chunks with pre-split RNG streams on the shared parallel runtime, so
+  /// the returned walks are identical for every `num_threads` setting
+  /// (1 = sequential, 0 = the process-wide default).
   std::vector<Walk> SampleUniformWalks(size_t count, uint32_t length,
-                                       Rng& rng) const;
+                                       Rng& rng,
+                                       uint32_t num_threads = 0) const;
 
   const Graph& graph() const { return *graph_; }
 

@@ -1,5 +1,7 @@
 // Tests for the accumulator merge and the multi-threaded generation path.
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
@@ -41,6 +43,63 @@ TEST(AccumulatorMergeDeathTest, NodeCountMismatch) {
   EdgeScoreAccumulator a(3);
   EdgeScoreAccumulator b(4);
   EXPECT_DEATH(a.Merge(b), "");
+}
+
+TEST(AccumulateWalkScoresTest, SingleNodeWalksStillTerminate) {
+  // Regression: walks of length 1 contribute 0 transitions, so the old
+  // `transitions += walk.size() - 1` accounting never advanced and the
+  // sampling loop spun forever. The accumulator must guarantee forward
+  // progress even when every walk is degenerate.
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    std::atomic<size_t> walks_sampled{0};
+    Rng rng(5);
+    EdgeScoreAccumulator acc = AccumulateWalkScores(
+        /*num_nodes=*/8, /*target_transitions=*/1000, threads, rng,
+        [&](Rng& walk_rng) {
+          ++walks_sampled;
+          return Walk{static_cast<NodeId>(walk_rng.NextU32() % 8)};
+        });
+    EXPECT_EQ(acc.num_scored_edges(), 0u);
+    EXPECT_GT(walks_sampled.load(), 0u);
+    // Each degenerate walk is charged one unit of budget, so the loop
+    // samples at most `target` walks instead of spinning.
+    EXPECT_LE(walks_sampled.load(), 1000u);
+  }
+}
+
+TEST(AccumulateWalkScoresTest, BudgetIsHonoredExactlyAcrossThreadCounts) {
+  // Regression: the old threaded path gave every worker
+  // ceil(target / threads) transitions, overshooting the budget by up to
+  // (threads - 1) walks' worth. With single-transition walks the total
+  // score now equals the requested budget exactly, for any thread count
+  // and for targets not divisible by the chunk count.
+  for (uint64_t target : {1ull, 63ull, 64ull, 1001ull, 4096ull}) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      Rng rng(9);
+      EdgeScoreAccumulator acc = AccumulateWalkScores(
+          /*num_nodes=*/16, target, threads, rng, [](Rng& walk_rng) {
+            NodeId u = static_cast<NodeId>(walk_rng.NextU32() % 16);
+            NodeId v = static_cast<NodeId>((u + 1 +
+                                            walk_rng.NextU32() % 15) %
+                                           16);
+            return Walk{u, v};
+          });
+      EXPECT_NEAR(acc.total_score(), static_cast<double>(target), 1e-9)
+          << "target " << target << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(AccumulateWalkScoresTest, ZeroBudgetSamplesNothing) {
+  std::atomic<size_t> walks_sampled{0};
+  Rng rng(3);
+  EdgeScoreAccumulator acc = AccumulateWalkScores(
+      /*num_nodes=*/4, /*target_transitions=*/0, 4, rng, [&](Rng&) {
+        ++walks_sampled;
+        return Walk{0, 1};
+      });
+  EXPECT_EQ(walks_sampled.load(), 0u);
+  EXPECT_EQ(acc.num_scored_edges(), 0u);
 }
 
 TEST(ParallelGenerationTest, MultiThreadedGenerateIsValid) {

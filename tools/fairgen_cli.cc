@@ -182,6 +182,7 @@ Result<std::unique_ptr<GraphGenerator>> BuildModel(const Options& opts,
     WalkLMTrainConfig train;
     train.num_walks = opts.walks;
     train.epochs = opts.epochs;
+    train.num_threads = opts.threads;
     if (m == "netgan") {
       NetGanConfig cfg;
       cfg.train = train;
