@@ -6,10 +6,40 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace fairgen::bench {
+
+namespace {
+
+// Telemetry destinations for the atexit hook below. Plain statics: set once
+// during ParseOptions, read once at process exit.
+std::string g_metrics_out;
+std::string g_trace_out;
+
+void WriteTelemetryAtExit() {
+  if (!g_metrics_out.empty()) {
+    Status s = metrics::MetricsRegistry::Global().WriteJson(g_metrics_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("(metrics written to %s)\n", g_metrics_out.c_str());
+    }
+  }
+  if (!g_trace_out.empty()) {
+    Status s = trace::Tracer::Global().WriteJson(g_trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("(trace written to %s)\n", g_trace_out.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 BenchOptions ParseOptions(int argc, char** argv, const char* description) {
   BenchOptions options;
@@ -27,7 +57,9 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "  --threads=<n>      worker threads (0 = default; results are\n"
           "                     identical for every value)\n"
           "  --datasets=A,B     restrict to named Table-I datasets\n"
-          "  --csv=<path>       also write results as CSV\n",
+          "  --csv=<path>       also write results as CSV\n"
+          "  --metrics-out=<p>  write the metrics registry as JSON at exit\n"
+          "  --trace-out=<p>    enable tracing, write spans as JSON at exit\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -46,6 +78,10 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
       options.datasets = std::string(arg.substr(11));
     } else if (StrStartsWith(arg, "--csv=")) {
       options.output_csv = std::string(arg.substr(6));
+    } else if (StrStartsWith(arg, "--metrics-out=")) {
+      options.metrics_out = std::string(arg.substr(14));
+    } else if (StrStartsWith(arg, "--trace-out=")) {
+      options.trace_out = std::string(arg.substr(12));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
@@ -53,6 +89,18 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
   }
   SetLogLevel(LogLevel::kWarning);
   if (options.threads != 0) SetDefaultNumThreads(options.threads);
+  if (!options.metrics_out.empty() || !options.trace_out.empty()) {
+    g_metrics_out = options.metrics_out;
+    g_trace_out = options.trace_out;
+    if (!options.trace_out.empty()) {
+      trace::Tracer::Global().SetEnabled(true);
+    }
+    // Force-construct both singletons now so they outlive (are destroyed
+    // after, i.e. never — they are leaked) the atexit handler that reads
+    // them.
+    metrics::MetricsRegistry::Global();
+    std::atexit(WriteTelemetryAtExit);
+  }
   return options;
 }
 

@@ -23,6 +23,8 @@ struct BenchOptions {
   uint32_t threads = 0;       ///< --threads=<n>: 0 = process default
   std::string datasets;       ///< --datasets=BLOG,ACM (empty = all)
   std::string output_csv;     ///< --csv=<path>: also write the table as CSV
+  std::string metrics_out;    ///< --metrics-out=<path>: registry JSON at exit
+  std::string trace_out;      ///< --trace-out=<path>: span JSON at exit
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

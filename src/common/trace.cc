@@ -1,0 +1,177 @@
+#include "common/trace.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace fairgen {
+namespace trace {
+
+namespace {
+
+// Fast-path gate mirroring Tracer::enabled_; checked before any clock
+// read so a disabled tracer costs one relaxed load per span.
+std::atomic<bool> g_enabled{false};
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t ThreadCpuNs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Per-thread nesting depth and cached thread index (0 = unassigned;
+// stored as index + 1).
+thread_local uint32_t t_depth = 0;
+thread_local uint32_t t_thread_index_plus_one = 0;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+
+Tracer& Tracer::Global() {
+  // Leaked singleton: spans can be recorded from pool workers that the
+  // runtime joins in static destructors, so the tracer must never die
+  // first.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+uint32_t Tracer::ThreadIndex() {
+  if (t_thread_index_plus_one == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    t_thread_index_plus_one = ++next_thread_index_;
+  }
+  return t_thread_index_plus_one - 1;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"start_ns\": %llu, "
+                  "\"wall_ns\": %llu, \"cpu_ns\": %llu, \"depth\": %u, "
+                  "\"thread\": %u}",
+                  i > 0 ? "," : "", s.name.c_str(),
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.wall_ns),
+                  static_cast<unsigned long long>(s.cpu_ns), s.depth,
+                  s.thread);
+    out += buf;
+  }
+  out += spans.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string Tracer::ToCsv() const {
+  std::string out = "name,start_ns,wall_ns,cpu_ns,depth,thread\n";
+  for (const SpanRecord& s : Snapshot()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s,%llu,%llu,%llu,%u,%u\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.wall_ns),
+                  static_cast<unsigned long long>(s.cpu_ns), s.depth,
+                  s.thread);
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << text;
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Tracer::WriteJson(const std::string& path) const {
+  return WriteTextFile(path, ToJson());
+}
+
+Status Tracer::WriteCsv(const std::string& path) const {
+  return WriteTextFile(path, ToCsv());
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  name_ = name;
+  depth_ = t_depth++;
+  start_wall_ns_ = SteadyNowNs();
+  start_cpu_ns_ = ThreadCpuNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_depth;
+  // The tracer may have been disabled mid-span; still record so that
+  // enable/disable pairs cannot unbalance the depth counter.
+  Tracer& tracer = Tracer::Global();
+  SpanRecord record;
+  record.name = std::string(name_);
+  uint64_t now = SteadyNowNs();
+  record.wall_ns = now - start_wall_ns_;
+  record.cpu_ns = ThreadCpuNs() - start_cpu_ns_;
+  record.depth = depth_;
+  record.thread = tracer.ThreadIndex();
+  // start_ns is relative to the tracer epoch so traces from one process
+  // line up on a common timeline.
+  record.start_ns =
+      start_wall_ns_ >= tracer.epoch_ns() ? start_wall_ns_ - tracer.epoch_ns()
+                                          : 0;
+  tracer.Record(std::move(record));
+}
+
+}  // namespace trace
+}  // namespace fairgen

@@ -1,0 +1,102 @@
+#ifndef FAIRGEN_COMMON_TRACE_H_
+#define FAIRGEN_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairgen {
+namespace trace {
+
+/// \brief One completed span: a named scope with wall- and CPU-clock
+/// durations, its nesting depth on the recording thread, and a stable
+/// per-thread index (assigned in first-span order, not an OS id).
+struct SpanRecord {
+  std::string name;
+  uint64_t start_ns = 0;  ///< wall-clock offset from tracer epoch
+  uint64_t wall_ns = 0;   ///< wall-clock duration
+  uint64_t cpu_ns = 0;    ///< thread CPU-time duration
+  uint32_t depth = 0;     ///< nesting depth within the recording thread
+  uint32_t thread = 0;    ///< stable thread index
+};
+
+/// \brief Process-wide span collector. Collection is off by default —
+/// `ScopedSpan` is a no-op (not even a clock read) until `SetEnabled(true)`
+/// — so the hot paths stay untouched unless a run asks for a trace
+/// (`--trace-out`). Span append takes one mutex; spans end at scope exit,
+/// well off the per-element hot paths.
+///
+/// Like the metrics registry, tracing is observation-only: it never draws
+/// from an `Rng` and never alters chunk layouts, so enabling it cannot
+/// change any model output (pinned by the determinism suite).
+class Tracer {
+ public:
+  /// The process-wide tracer (created on first use).
+  static Tracer& Global();
+
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  /// Appends a completed span (called by ~ScopedSpan).
+  void Record(SpanRecord record);
+
+  /// Stable index for the calling thread, assigned on first use.
+  uint32_t ThreadIndex();
+
+  /// Steady-clock origin that `SpanRecord::start_ns` is measured from.
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+  /// Copy of all recorded spans in completion order.
+  std::vector<SpanRecord> Snapshot() const;
+  size_t size() const;
+  void Clear();
+
+  /// JSON list of span objects, completion order:
+  /// [{"name": ..., "start_ns": ..., "wall_ns": ..., "cpu_ns": ...,
+  ///   "depth": ..., "thread": ...}, ...]
+  std::string ToJson() const;
+
+  /// CSV with header `name,start_ns,wall_ns,cpu_ns,depth,thread`.
+  std::string ToCsv() const;
+
+  Status WriteJson(const std::string& path) const;
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  uint32_t next_thread_index_ = 0;  // guarded by mu_
+  uint64_t epoch_ns_ = 0;           // steady-clock origin of start_ns
+  bool enabled_ = false;            // guarded by mu_ for writes
+};
+
+/// \brief RAII span: records wall time (steady clock) and CPU time
+/// (CLOCK_THREAD_CPUTIME_ID) between construction and destruction under
+/// `name`. Spans nest per thread; `name` must outlive the span (string
+/// literals at every call site).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string_view name_;
+  uint64_t start_wall_ns_ = 0;
+  uint64_t start_cpu_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace trace
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_TRACE_H_

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "graph/builder.h"
 #include "graph/subgraph.h"
 
@@ -14,6 +16,7 @@ Result<Graph> AssembleFairGraph(const EdgeScoreAccumulator& scores,
                                 const std::vector<NodeId>& protected_set,
                                 const AssemblerCriteria& criteria, Rng& rng,
                                 AssemblyReport* report) {
+  trace::ScopedSpan span("assembler.assemble");
   const uint32_t n = original.num_nodes();
   if (scores.num_nodes() != n) {
     return Status::InvalidArgument(
@@ -52,13 +55,17 @@ Result<Graph> AssembleFairGraph(const EdgeScoreAccumulator& scores,
   selected.reserve(target_edges * 2);
   std::vector<uint32_t> degree(n, 0);
   uint64_t protected_volume = 0;
+  uint64_t duplicate_rejects = 0;
 
   auto add_edge = [&](NodeId u, NodeId v) {
     NodeId a = std::min(u, v);
     NodeId b = std::max(u, v);
     if (a == b) return false;
     uint64_t key = static_cast<uint64_t>(a) * n + b;
-    if (!selected.insert(key).second) return false;
+    if (!selected.insert(key).second) {
+      ++duplicate_rejects;
+      return false;
+    }
     ++degree[a];
     ++degree[b];
     if (protected_mask[a]) ++protected_volume;
@@ -127,6 +134,22 @@ Result<Graph> AssembleFairGraph(const EdgeScoreAccumulator& scores,
   local_report.assembled_edges = selected.size();
   local_report.protected_volume_achieved = protected_volume;
   if (report != nullptr) *report = local_report;
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  registry.GetCounter("assembler.edges_emitted").Increment(selected.size());
+  registry.GetCounter("assembler.duplicate_rejects")
+      .Increment(duplicate_rejects);
+  registry.GetCounter("assembler.fallback_edges")
+      .Increment(local_report.fallback_edges);
+  registry.GetCounter("assembler.isolated_nodes_fixed")
+      .Increment(local_report.isolated_nodes_fixed);
+  registry.GetGauge("assembler.protected_volume_achieved")
+      .Set(static_cast<double>(protected_volume));
+  metrics::Histogram& degree_hist = registry.GetHistogram(
+      "assembler.degree", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  for (NodeId v = 0; v < n; ++v) {
+    degree_hist.Observe(static_cast<double>(degree[v]));
+  }
 
   GraphBuilder builder(n);
   for (uint64_t key : selected) {

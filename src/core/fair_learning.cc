@@ -1,6 +1,7 @@
 #include "core/fair_learning.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 
@@ -47,6 +48,9 @@ Var FairLearningModule::PredictionLoss(const std::vector<uint32_t>& nodes,
                                        float alpha) const {
   FAIRGEN_CHECK(nodes.size() == labels.size());
   FAIRGEN_CHECK(!nodes.empty());
+  static metrics::Counter& evals =
+      metrics::MetricsRegistry::Global().GetCounter("fair.prediction_evals");
+  evals.Increment();
   std::vector<float> weights(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
     weights[i] = alpha * CostRatio(nodes[i]);
@@ -59,6 +63,9 @@ Var FairLearningModule::ParityLoss(
     const std::vector<uint32_t>& unprotected_nodes, float gamma) const {
   FAIRGEN_CHECK(!protected_nodes.empty());
   FAIRGEN_CHECK(!unprotected_nodes.empty());
+  static metrics::Counter& evals =
+      metrics::MetricsRegistry::Global().GetCounter("fair.parity_evals");
+  evals.Increment();
   // m^± are the column means of the group's log-probability matrices.
   auto group_mean = [this](const std::vector<uint32_t>& nodes) {
     Var logp = nn::LogSoftmaxRows(Logits(nodes));  // [B, C]
@@ -76,12 +83,18 @@ Var FairLearningModule::PropagationLoss(
     const std::vector<uint32_t>& pseudo_labels, float beta) const {
   FAIRGEN_CHECK(nodes.size() == pseudo_labels.size());
   FAIRGEN_CHECK(!nodes.empty());
+  static metrics::Counter& evals =
+      metrics::MetricsRegistry::Global().GetCounter("fair.propagation_evals");
+  evals.Increment();
   return nn::Scale(nn::SoftmaxCrossEntropy(Logits(nodes), pseudo_labels),
                    beta);
 }
 
 nn::Tensor FairLearningModule::LogProbaAll() const {
   const size_t n = embeddings_->rows();
+  static metrics::Counter& rows =
+      metrics::MetricsRegistry::Global().GetCounter("fair.logproba_rows");
+  rows.Increment(n);
   nn::Tensor out(n, num_classes_);
   // Batch the forward pass to bound the tape size.
   const size_t batch = 1024;

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/serialize.h"
 #include "graph/subgraph.h"
 #include "nn/loss.h"
@@ -58,6 +60,7 @@ std::vector<Walk> FairGenTrainer::SampleGeneratorWalks(size_t count,
 }
 
 double FairGenTrainer::TrainGenerator(Rng& rng) {
+  trace::ScopedSpan span("trainer.train_generator");
   const float floor_logprob =
       -config_.negative_floor_scale *
       std::log(static_cast<float>(fitted_graph_.num_nodes()));
@@ -108,6 +111,7 @@ double FairGenTrainer::TrainGenerator(Rng& rng) {
 
 void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
   if (!has_supervision()) return;
+  trace::ScopedSpan span("trainer.train_discriminator");
 
   // L = all currently labeled vertices (ground truth + pseudo labels).
   std::vector<uint32_t> gt_nodes;
@@ -256,6 +260,7 @@ Status FairGenTrainer::Prepare(const Graph& graph, Rng& rng) {
 }
 
 Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
+  trace::ScopedSpan span("trainer.fit");
   FAIRGEN_RETURN_NOT_OK(Prepare(graph, rng));
 
   // Step 2: initial N+ from f_S and N− from the biased second-order
@@ -270,8 +275,24 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
   loss_history_.clear();
   num_pseudo_labeled_ = 0;
 
+  // The per-cycle training curves (Figures 4–8 pipeline signals). All
+  // metric calls are observation-only: they never touch `rng` or the
+  // parallel chunk layout, so instrumented and uninstrumented runs are
+  // bit-identical (pinned by the determinism suite).
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  metrics::Series& nll_series = registry.GetSeries("trainer.nll");
+  metrics::Series& lambda_series =
+      registry.GetSeries("trainer.self_paced_lambda");
+  metrics::Series& parity_series =
+      registry.GetSeries("trainer.parity_regularizer");
+  metrics::Series& total_series = registry.GetSeries("trainer.total_loss");
+  metrics::Counter& cycle_counter = registry.GetCounter("trainer.cycles");
+  metrics::Counter& refresh_counter =
+      registry.GetCounter("trainer.negative_refreshes");
+
   // Steps 3–12: the self-paced cycles.
   for (uint32_t cycle = 0; cycle < config_.self_paced_cycles; ++cycle) {
+    trace::ScopedSpan cycle_span("trainer.cycle");
     FairGenLosses losses;
 
     // Step 4: update g_θ from N+ and N−.
@@ -283,6 +304,7 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
     // negative-refresh ablation, which keeps the static [32] negatives).
     if (config_.refresh_negatives) {
       dataset_.AddNegatives(SampleGeneratorWalks(config_.num_walks, rng));
+      refresh_counter.Increment();
     }
     dataset_.TrimTo(4 * config_.num_walks);
 
@@ -304,7 +326,16 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
     TrainDiscriminator(losses, rng);
 
     loss_history_.push_back(losses);
+
+    const double step = static_cast<double>(cycle);
+    nll_series.Append(step, losses.j_g);
+    lambda_series.Append(step, scheduler.lambda());
+    parity_series.Append(step, losses.j_f);
+    total_series.Append(step, losses.total());
+    cycle_counter.Increment();
   }
+  registry.GetGauge("trainer.pseudo_labeled")
+      .Set(static_cast<double>(num_pseudo_labeled_));
   return Status::OK();
 }
 
@@ -414,6 +445,7 @@ Result<Graph> FairGenTrainer::GenerateWithCriteria(
   if (!fitted_) {
     return Status::FailedPrecondition("Fit must be called before Generate");
   }
+  trace::ScopedSpan span("trainer.generate");
   EdgeScoreAccumulator acc = AccumulateWalks(rng);
   return AssembleFairGraph(acc, fitted_graph_, protected_set_, criteria, rng,
                            &assembly_report_);

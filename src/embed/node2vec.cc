@@ -6,7 +6,10 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "rng/sampling.h"
 
 namespace fairgen {
@@ -72,6 +75,8 @@ class WalkOverlay {
 
 Node2VecModel Node2VecModel::Train(const Graph& graph,
                                    const Node2VecConfig& config, Rng& rng) {
+  trace::ScopedSpan span("node2vec.train");
+  Timer timer;
   const uint32_t n = graph.num_nodes();
   FAIRGEN_CHECK(n > 0);
   const size_t d = config.dim;
@@ -166,6 +171,13 @@ Node2VecModel Node2VecModel::Train(const Graph& graph,
         walk_counter += wave;
       }
     }
+  }
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  registry.GetCounter("embed.node2vec.walks").Increment(walk_counter);
+  const double elapsed = timer.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    registry.GetGauge("embed.node2vec.walks_per_sec")
+        .Set(static_cast<double>(walk_counter) / elapsed);
   }
   return Node2VecModel(std::move(in_emb));
 }

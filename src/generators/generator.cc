@@ -1,9 +1,13 @@
 #include "generators/generator.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "graph/builder.h"
 
 namespace fairgen {
@@ -74,6 +78,9 @@ Result<Graph> EdgeScoreAccumulator::BuildTopEdges(
     FAIRGEN_RETURN_NOT_OK(builder.AddEdge(edge.u, edge.v));
     ++taken;
   }
+  metrics::MetricsRegistry::Global()
+      .GetCounter("generate.edges_emitted")
+      .Increment(taken);
   return builder.Build();
 }
 
@@ -90,6 +97,15 @@ constexpr uint64_t kWalkBudgetChunks = 64;
 EdgeScoreAccumulator AccumulateWalkScores(
     uint32_t num_nodes, uint64_t target_transitions, uint32_t num_threads,
     Rng& rng, const std::function<Walk(Rng&)>& sample_walk) {
+  trace::ScopedSpan span("generate.accumulate_walks");
+  static metrics::Counter& walk_counter =
+      metrics::MetricsRegistry::Global().GetCounter("generate.walks");
+  static metrics::Counter& transition_counter =
+      metrics::MetricsRegistry::Global().GetCounter("generate.transitions");
+  static metrics::Counter& degenerate_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "generate.degenerate_walks");
+  Timer timer;
   const uint64_t chunks = std::min<uint64_t>(
       kWalkBudgetChunks, std::max<uint64_t>(uint64_t{1}, target_transitions));
   // Exact budget split: chunk c gets floor(target/chunks) transitions plus
@@ -101,6 +117,10 @@ EdgeScoreAccumulator AccumulateWalkScores(
   std::vector<Rng> streams = SplitRngs(rng, chunks);
   std::vector<EdgeScoreAccumulator> partials(
       chunks, EdgeScoreAccumulator(num_nodes));
+  // Call-local throughput totals (the registry counters are process-wide
+  // and monotonic; the gauges below report this call's rates).
+  std::atomic<uint64_t> call_walks{0};
+  std::atomic<uint64_t> call_transitions{0};
   ParallelFor(
       size_t{0}, chunks, size_t{1},
       [&](size_t c) {
@@ -108,19 +128,37 @@ EdgeScoreAccumulator AccumulateWalkScores(
         Rng& worker_rng = streams[c];
         EdgeScoreAccumulator& acc = partials[c];
         uint64_t transitions = 0;
+        uint64_t walks = 0;
+        uint64_t degenerate = 0;
         while (transitions < budget) {
           Walk walk = sample_walk(worker_rng);
           acc.AddWalk(walk);
+          ++walks;
+          if (walk.size() <= 1) ++degenerate;
           // A degenerate single-node walk still consumes one unit so the
           // loop always makes forward progress.
           transitions += walk.size() > 1 ? walk.size() - 1 : 1;
         }
+        // One atomic add per chunk; counts sum exactly under concurrency.
+        walk_counter.Increment(walks);
+        transition_counter.Increment(transitions);
+        if (degenerate > 0) degenerate_counter.Increment(degenerate);
+        call_walks.fetch_add(walks, std::memory_order_relaxed);
+        call_transitions.fetch_add(transitions, std::memory_order_relaxed);
       },
       num_threads);
 
   EdgeScoreAccumulator acc(num_nodes);
   for (const EdgeScoreAccumulator& partial : partials) {
     acc.Merge(partial);
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+    registry.GetGauge("generate.walks_per_sec")
+        .Set(static_cast<double>(call_walks.load()) / elapsed);
+    registry.GetGauge("generate.transitions_per_sec")
+        .Set(static_cast<double>(call_transitions.load()) / elapsed);
   }
   return acc;
 }

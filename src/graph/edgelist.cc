@@ -2,12 +2,40 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/strings.h"
 #include "graph/builder.h"
 
 namespace fairgen {
+
+namespace {
+
+// Parses a non-negative decimal node id. strtoul alone is not enough: it
+// silently accepts a leading '-' (wrapping the value) and leading '+', so
+// "-3" would otherwise surface as a bogus out-of-range error — or, where
+// `unsigned long` is 32 bits, as a wrong but in-range id.
+Result<uint32_t> ParseNodeId(const std::string& field, const std::string& path,
+                             size_t line_no) {
+  if (field.empty() || field[0] == '-' || field[0] == '+') {
+    return Status::IOError("non-numeric node id at " + path + ":" +
+                           std::to_string(line_no));
+  }
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (*end != '\0') {
+    return Status::IOError("non-numeric node id at " + path + ":" +
+                           std::to_string(line_no));
+  }
+  if (value > UINT32_MAX) {
+    return Status::OutOfRange("node id exceeds 32 bits at " + path + ":" +
+                              std::to_string(line_no));
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
 
 Result<Graph> LoadEdgeList(const std::string& path, uint32_t num_nodes) {
   std::ifstream file(path);
@@ -27,23 +55,12 @@ Result<Graph> LoadEdgeList(const std::string& path, uint32_t num_nodes) {
       return Status::IOError("malformed edge at " + path + ":" +
                              std::to_string(line_no));
     }
-    char* end = nullptr;
-    unsigned long u = std::strtoul(fields[0].c_str(), &end, 10);
-    if (*end != '\0') {
-      return Status::IOError("non-numeric node id at " + path + ":" +
-                             std::to_string(line_no));
-    }
-    unsigned long v = std::strtoul(fields[1].c_str(), &end, 10);
-    if (*end != '\0') {
-      return Status::IOError("non-numeric node id at " + path + ":" +
-                             std::to_string(line_no));
-    }
-    if (u > UINT32_MAX || v > UINT32_MAX) {
-      return Status::OutOfRange("node id exceeds 32 bits at " + path + ":" +
-                                std::to_string(line_no));
-    }
-    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
-    max_id = std::max(max_id, static_cast<uint32_t>(std::max(u, v)));
+    FAIRGEN_ASSIGN_OR_RETURN(uint32_t u,
+                             ParseNodeId(fields[0], path, line_no));
+    FAIRGEN_ASSIGN_OR_RETURN(uint32_t v,
+                             ParseNodeId(fields[1], path, line_no));
+    edges.push_back({u, v});
+    max_id = std::max(max_id, std::max(u, v));
   }
   uint32_t n = std::max(num_nodes, edges.empty() ? num_nodes : max_id + 1);
   return Graph::FromEdges(n, edges);

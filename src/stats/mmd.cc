@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "graph/triangles.h"
 
 namespace fairgen {
@@ -19,6 +21,8 @@ constexpr size_t kKernelRowGrain = 64;
 // O(|a| * |b|), parallelized over rows of `a` with a chunk-ordered sum.
 double MeanKernel(const std::vector<double>& a, const std::vector<double>& b,
                   double inv_two_sigma_sq) {
+  static metrics::Counter& kernel_evals =
+      metrics::MetricsRegistry::Global().GetCounter("mmd.kernel_evals");
   double total = ParallelReduce(
       size_t{0}, a.size(), kKernelRowGrain, 0.0,
       [&](size_t lo, size_t hi, size_t /*chunk*/) {
@@ -30,6 +34,9 @@ double MeanKernel(const std::vector<double>& a, const std::vector<double>& b,
             partial += std::exp(-d * d * inv_two_sigma_sq);
           }
         }
+        // One add per chunk, outside the inner loop: the count is exact
+        // and the kernel sum itself is untouched.
+        kernel_evals.Increment((hi - lo) * b.size());
         return partial;
       },
       [](double acc, double partial) { return acc + partial; });
@@ -61,6 +68,7 @@ uint64_t CountPairsWithin(const std::vector<double>& pooled, double d) {
 
 Result<double> GaussianMmd(const std::vector<double>& x,
                            const std::vector<double>& y, double bandwidth) {
+  trace::ScopedSpan span("mmd.gaussian");
   if (x.empty() || y.empty()) {
     return Status::InvalidArgument("MMD requires non-empty samples");
   }

@@ -1,7 +1,10 @@
 #include "walk/node2vec_walk.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "rng/sampling.h"
 
 namespace fairgen {
@@ -57,6 +60,13 @@ Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
 std::vector<Walk> Node2VecWalker::SampleWalks(size_t count, uint32_t length,
                                               Rng& rng,
                                               uint32_t num_threads) const {
+  trace::ScopedSpan span("walk.node2vec.sample_walks");
+  static metrics::Counter& walk_counter =
+      metrics::MetricsRegistry::Global().GetCounter("walk.node2vec.walks");
+  static metrics::Counter& transition_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "walk.node2vec.transitions");
+  Timer timer;
   constexpr size_t kWalkGrain = 16;
   std::vector<fairgen::Walk> walks(count);
   std::vector<Rng> streams =
@@ -65,12 +75,23 @@ std::vector<Walk> Node2VecWalker::SampleWalks(size_t count, uint32_t length,
       size_t{0}, count, kWalkGrain,
       [&](size_t lo, size_t hi, size_t chunk) {
         Rng& chunk_rng = streams[chunk];
+        uint64_t transitions = 0;
         for (size_t i = lo; i < hi; ++i) {
           walks[i] = SampleWalk(base_.SampleStartNode(chunk_rng), length,
                                 chunk_rng);
+          transitions += walks[i].size() - 1;
         }
+        // One atomic add per chunk: exact concurrent sums, negligible cost.
+        walk_counter.Increment(hi - lo);
+        transition_counter.Increment(transitions);
       },
       num_threads);
+  const double elapsed = timer.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    metrics::MetricsRegistry::Global()
+        .GetGauge("walk.node2vec.walks_per_sec")
+        .Set(static_cast<double>(count) / elapsed);
+  }
   return walks;
 }
 

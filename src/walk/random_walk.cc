@@ -1,7 +1,10 @@
 #include "walk/random_walk.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace fairgen {
 
@@ -68,6 +71,13 @@ NodeId RandomWalker::SampleStartNode(Rng& rng) const {
 std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,
                                                    uint32_t length, Rng& rng,
                                                    uint32_t num_threads) const {
+  trace::ScopedSpan span("walk.uniform.sample_walks");
+  static metrics::Counter& walk_counter =
+      metrics::MetricsRegistry::Global().GetCounter("walk.uniform.walks");
+  static metrics::Counter& transition_counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "walk.uniform.transitions");
+  Timer timer;
   constexpr size_t kWalkGrain = 16;
   std::vector<Walk> walks(count);
   std::vector<Rng> streams =
@@ -76,12 +86,23 @@ std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,
       size_t{0}, count, kWalkGrain,
       [&](size_t lo, size_t hi, size_t chunk) {
         Rng& chunk_rng = streams[chunk];
+        uint64_t transitions = 0;
         for (size_t i = lo; i < hi; ++i) {
           walks[i] = UniformWalk(SampleStartNode(chunk_rng), length,
                                  chunk_rng);
+          transitions += walks[i].size() - 1;
         }
+        // One atomic add per chunk: exact concurrent sums, negligible cost.
+        walk_counter.Increment(hi - lo);
+        transition_counter.Increment(transitions);
       },
       num_threads);
+  const double elapsed = timer.ElapsedSeconds();
+  if (elapsed > 0.0) {
+    metrics::MetricsRegistry::Global()
+        .GetGauge("walk.uniform.walks_per_sec")
+        .Set(static_cast<double>(count) / elapsed);
+  }
   return walks;
 }
 

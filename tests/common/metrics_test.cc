@@ -1,0 +1,246 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/parallel.h"
+
+namespace fairgen::metrics {
+namespace {
+
+// The registry is process-wide, so every test uses names under its own
+// "test.<case>." prefix and restores the enabled flag it found.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetEnabled(true); }
+  void TearDown() override { SetEnabled(true); }
+};
+
+TEST_F(MetricsTest, CounterBasics) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test.basics.counter");
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GetReturnsSameInstance) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test.same.counter");
+  Counter& b = MetricsRegistry::Global().GetCounter("test.same.counter");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = MetricsRegistry::Global().GetGauge("test.same.gauge");
+  Gauge& g2 = MetricsRegistry::Global().GetGauge("test.same.gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST_F(MetricsTest, DisabledMutationsAreNoOps) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.disabled.counter");
+  Gauge& g = reg.GetGauge("test.disabled.gauge");
+  Histogram& h = reg.GetHistogram("test.disabled.histogram", {1.0, 2.0});
+  Series& s = reg.GetSeries("test.disabled.series");
+  c.Reset();
+  g.Reset();
+  h.Reset();
+  s.Reset();
+
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  c.Increment(7);
+  g.Set(3.5);
+  h.Observe(1.5);
+  s.Append(0, 1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(s.size(), 0u);
+
+  SetEnabled(true);
+  c.Increment(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(MetricsTest, GaugeStoresLastValue) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("test.gauge.last");
+  g.Set(1.25);
+  g.Set(-7.5);
+  EXPECT_EQ(g.value(), -7.5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndOverflow) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.histogram.buckets", {1.0, 5.0, 10.0});
+  h.Reset();
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+
+  h.Observe(0.5);   // <= 1.0
+  h.Observe(1.0);   // boundary: still <= 1.0
+  h.Observe(3.0);   // <= 5.0
+  h.Observe(10.0);  // boundary: <= 10.0
+  h.Observe(11.0);  // overflow
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 25.5);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST_F(MetricsTest, SeriesKeepsAppendOrder) {
+  Series& s = MetricsRegistry::Global().GetSeries("test.series.order");
+  s.Reset();
+  s.Append(0, 10.0);
+  s.Append(1, 5.0);
+  s.Append(2, 2.5);
+  auto points = s.points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0], std::make_pair(0.0, 10.0));
+  EXPECT_EQ(points[1], std::make_pair(1.0, 5.0));
+  EXPECT_EQ(points[2], std::make_pair(2.0, 2.5));
+  s.Reset();
+  EXPECT_EQ(s.size(), 0u);
+}
+
+// Counters must sum exactly under concurrent increments from the parallel
+// runtime — the property every per-chunk `Increment` in the walk samplers
+// and generators relies on.
+TEST_F(MetricsTest, ConcurrentIncrementsSumExactly) {
+  Counter& c =
+      MetricsRegistry::Global().GetCounter("test.concurrent.counter");
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.concurrent.histogram", {0.5});
+  c.Reset();
+  h.Reset();
+  constexpr size_t kItems = 100000;
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    c.Reset();
+    h.Reset();
+    ParallelFor(
+        size_t{0}, kItems, size_t{64},
+        [&](size_t i) {
+          c.Increment();
+          h.Observe(i % 2 == 0 ? 0.25 : 1.0);
+        },
+        threads);
+    EXPECT_EQ(c.value(), kItems) << "threads=" << threads;
+    EXPECT_EQ(h.count(), kItems) << "threads=" << threads;
+    EXPECT_EQ(h.bucket_count(0), kItems / 2) << "threads=" << threads;
+    EXPECT_EQ(h.bucket_count(1), kItems / 2) << "threads=" << threads;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndTyped) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snapshot.b").Increment(3);
+  reg.GetGauge("test.snapshot.a").Set(1.5);
+  std::vector<MetricSnapshot> snap = reg.Snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  for (const MetricSnapshot& m : snap) {
+    if (m.name == "test.snapshot.b") {
+      saw_counter = true;
+      EXPECT_EQ(m.type, "counter");
+      ASSERT_EQ(m.fields.size(), 1u);
+      EXPECT_EQ(m.fields[0].second, 3.0);
+    }
+    if (m.name == "test.snapshot.a") {
+      saw_gauge = true;
+      EXPECT_EQ(m.type, "gauge");
+      ASSERT_EQ(m.fields.size(), 1u);
+      EXPECT_EQ(m.fields[0].second, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+}
+
+// The JSON and CSV exports flatten identically, so the CSV — parsed back
+// through the repo's own CSV reader — must reproduce every field value the
+// snapshot (and hence the JSON) reports, bit-for-bit (%.17g round-trip).
+TEST_F(MetricsTest, CsvExportRoundTripsAgainstJson) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.roundtrip.counter").Increment(12345);
+  reg.GetGauge("test.roundtrip.gauge").Set(0.1);  // not exactly representable
+  Histogram& h =
+      reg.GetHistogram("test.roundtrip.histogram", {1.0, 2.0});
+  h.Reset();
+  h.Observe(0.7);
+  h.Observe(1.7);
+  h.Observe(99.0);
+  Series& s = reg.GetSeries("test.roundtrip.series");
+  s.Reset();
+  s.Append(0, 1.0 / 3.0);
+  s.Append(1, 2.0 / 3.0);
+
+  auto csv = ParseCsv(reg.ToCsv());
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_EQ(csv->header(),
+            (std::vector<std::string>{"metric", "type", "field", "value"}));
+
+  // Index the parsed rows by (metric, field).
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, double>>
+      parsed;
+  for (const auto& row : csv->rows()) {
+    ASSERT_EQ(row.size(), 4u);
+    parsed[{row[0], row[2]}] = {row[1], std::strtod(row[3].c_str(), nullptr)};
+  }
+
+  std::vector<MetricSnapshot> snap = reg.Snapshot();
+  std::string json = reg.ToJson();
+  size_t checked = 0;
+  for (const MetricSnapshot& m : snap) {
+    EXPECT_NE(json.find("\"" + m.name + "\""), std::string::npos)
+        << m.name << " missing from JSON export";
+    for (const auto& [field, value] : m.fields) {
+      auto it = parsed.find({m.name, field});
+      ASSERT_NE(it, parsed.end())
+          << m.name << "." << field << " missing from CSV export";
+      EXPECT_EQ(it->second.first, m.type);
+      // Exact: %.17g preserves doubles through text.
+      EXPECT_EQ(it->second.second, value) << m.name << "." << field;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, csv->rows().size())
+      << "CSV export has rows the snapshot does not";
+  // This test alone registers 9 fields (1 counter + 1 gauge + 5 histogram
+  // + 2 series); more when other tests ran in the same process.
+  EXPECT_GE(checked, 9u);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsReferencesValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.resetvalues.counter");
+  Series& s = reg.GetSeries("test.resetvalues.series");
+  c.Increment(5);
+  s.Append(0, 1.0);
+  reg.ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(s.size(), 0u);
+  c.Increment(2);  // the old reference still points at the live metric
+  EXPECT_EQ(reg.GetCounter("test.resetvalues.counter").value(), 2u);
+}
+
+}  // namespace
+}  // namespace fairgen::metrics

@@ -1,0 +1,104 @@
+#include "common/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/parallel.h"
+
+namespace fairgen::trace {
+namespace {
+
+// The tracer is process-wide; every test clears it and restores the
+// disabled default on the way out.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { ScopedSpan span("test.disabled"); }
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, RecordsWallAndCpuTime) {
+  Tracer::Global().SetEnabled(true);
+  {
+    ScopedSpan span("test.busy");
+    // Burn a little CPU so cpu_ns has a chance to be non-zero; correctness
+    // here only requires wall >= 0 and the span to appear.
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i) x += static_cast<double>(i) * 1e-9;
+  }
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.busy");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_GT(spans[0].wall_ns, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansTrackDepthAndFinishInnerFirst) {
+  Tracer::Global().SetEnabled(true);
+  {
+    ScopedSpan outer("test.outer");
+    {
+      ScopedSpan inner("test.inner");
+    }
+  }
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Completion order: inner closes before outer.
+  EXPECT_EQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "test.outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_GE(spans[1].wall_ns, spans[0].wall_ns);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
+  Tracer::Global().SetEnabled(true);
+  constexpr size_t kSpans = 256;
+  ParallelFor(
+      size_t{0}, kSpans, size_t{8},
+      [&](size_t) { ScopedSpan span("test.parallel"); }, 4);
+  EXPECT_EQ(Tracer::Global().size(), kSpans);
+}
+
+TEST_F(TraceTest, JsonAndCsvExports) {
+  Tracer::Global().SetEnabled(true);
+  { ScopedSpan span("test.export"); }
+  std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"name\": \"test.export\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_ns\""), std::string::npos);
+
+  auto csv = ParseCsv(Tracer::Global().ToCsv());
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_EQ(csv->header(),
+            (std::vector<std::string>{"name", "start_ns", "wall_ns", "cpu_ns",
+                                      "depth", "thread"}));
+  ASSERT_EQ(csv->num_rows(), 1u);
+  EXPECT_EQ(csv->rows()[0][0], "test.export");
+}
+
+TEST_F(TraceTest, ClearDropsSpans) {
+  Tracer::Global().SetEnabled(true);
+  { ScopedSpan span("test.clear"); }
+  ASSERT_EQ(Tracer::Global().size(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+  EXPECT_EQ(Tracer::Global().ToJson(), "[]\n");
+}
+
+}  // namespace
+}  // namespace fairgen::trace

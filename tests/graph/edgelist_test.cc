@@ -101,5 +101,80 @@ TEST_F(EdgeListTest, TabSeparatedAccepted) {
   EXPECT_EQ(g->num_edges(), 2u);
 }
 
+TEST_F(EdgeListTest, TruncatedLastLineStillLoads) {
+  // No trailing newline on the final edge — common in hand-edited files.
+  std::string path = WriteTempFile("0 1\n1 2");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST_F(EdgeListTest, TruncatedLastEdgeFailsCleanly) {
+  // The file was cut mid-record: the last line has only one field.
+  std::string path = WriteTempFile("0 1\n1 2\n3");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+  EXPECT_NE(g.status().message().find(":3"), std::string::npos);
+}
+
+TEST_F(EdgeListTest, CrlfLineEndingsAccepted) {
+  std::string path = WriteTempFile("0 1\r\n1 2\r\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->num_nodes(), 3u);
+}
+
+TEST_F(EdgeListTest, DuplicateAndSelfLoopEdgesAreDropped) {
+  // The builder dedups parallel edges (both orientations) and drops
+  // self-loops; loading must not crash or double-count.
+  std::string path = WriteTempFile("0 1\n1 0\n0 1\n2 2\n1 2\n");
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 2u);  // {0,1} and {1,2}
+  EXPECT_FALSE(g->HasEdge(2, 2));
+}
+
+TEST_F(EdgeListTest, NegativeIdFailsCleanly) {
+  // strtoul would silently wrap "-3"; the loader must reject it as
+  // non-numeric rather than reporting a bogus out-of-range id.
+  std::string path = WriteTempFile("0 1\n-3 2\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+  EXPECT_NE(g.status().message().find("non-numeric"), std::string::npos);
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(EdgeListTest, PlusPrefixedIdFails) {
+  std::string path = WriteTempFile("+1 2\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST_F(EdgeListTest, TrailingGarbageAfterDigitsFails) {
+  std::string path = WriteTempFile("0 1\n2 3x\n");
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(EdgeListTest, IdBeyond32BitsFails) {
+  std::string path = WriteTempFile("0 4294967296\n");  // 2^32
+  auto g = LoadEdgeList(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsOutOfRange());
+}
+
+TEST_F(EdgeListTest, EmptyFileYieldsEmptyGraph) {
+  std::string path = WriteTempFile("");
+  auto g = LoadEdgeList(path, 4);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 4u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
 }  // namespace
 }  // namespace fairgen

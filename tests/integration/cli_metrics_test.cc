@@ -1,0 +1,155 @@
+// Golden-schema regression test for `fairgen ... --metrics-out=<path>`:
+// runs the real CLI binary on a small seeded demo (edges + few-shot labels
+// + protected set) and validates the emitted metrics JSON against the
+// checked-in key schema in tests/golden/metrics_schema.txt. A missing key
+// means an instrumentation point was renamed or dropped — a breaking
+// change for telemetry consumers that must be made deliberately (update
+// the schema file in the same commit).
+//
+// The CLI and schema paths are injected by tests/CMakeLists.txt as the
+// FAIRGEN_CLI_PATH / FAIRGEN_METRICS_SCHEMA_PATH compile definitions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "data/synthetic.h"
+#include "graph/edgelist.h"
+
+namespace fairgen {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class CliMetricsTest : public testing::Test {
+ protected:
+  std::string TempPath(const std::string& suffix) {
+    std::string path = testing::TempDir() + "/fairgen_cli_metrics_" + suffix;
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(CliMetricsTest, GenerateEmitsEverySchemaKey) {
+  // Seeded demo inputs: a small planted-partition graph with labels and a
+  // protected group, written the way a user would invoke the CLI.
+  Rng rng(19);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.num_edges = 280;
+  cfg.num_classes = 2;
+  cfg.protected_size = 12;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  std::string edges_path = TempPath("edges.txt");
+  ASSERT_TRUE(SaveEdgeList(data->graph, edges_path).ok());
+
+  std::string labels_path = TempPath("labels.txt");
+  {
+    std::ofstream out(labels_path);
+    std::vector<int32_t> few_shot = FewShotLabels(*data, 5, rng);
+    for (NodeId v = 0; v < data->graph.num_nodes(); ++v) {
+      if (few_shot[v] != kUnlabeled) out << v << ' ' << few_shot[v] << '\n';
+    }
+  }
+  std::string protected_path = TempPath("protected.txt");
+  {
+    std::ofstream out(protected_path);
+    for (NodeId v : data->protected_set) out << v << '\n';
+  }
+
+  std::string out_path = TempPath("generated.txt");
+  std::string metrics_path = TempPath("metrics.json");
+  std::string trace_path = TempPath("trace.json");
+
+  std::string command = std::string(FAIRGEN_CLI_PATH) + " generate " +
+                        edges_path + " --model=fairgen --labels=" +
+                        labels_path + " --protected=" + protected_path +
+                        " --out=" + out_path + " --seed=7 --walks=60" +
+                        " --cycles=2 --epochs=1 --metrics-out=" +
+                        metrics_path + " --trace-out=" + trace_path +
+                        " > /dev/null 2>&1";
+  int rc = std::system(command.c_str());
+  ASSERT_EQ(rc, 0) << "CLI failed: " << command;
+
+  // The run must produce a real graph, the metrics JSON, and the trace.
+  auto generated = LoadEdgeList(out_path);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_GT(generated->num_edges(), 0u);
+
+  std::string json = ReadFileOrDie(metrics_path);
+  ASSERT_FALSE(json.empty());
+
+  // Every key in the golden schema must be present in the JSON.
+  std::string schema = ReadFileOrDie(FAIRGEN_METRICS_SCHEMA_PATH);
+  size_t keys_checked = 0;
+  for (const std::string& raw_line : StrSplit(schema, '\n')) {
+    std::string_view line = StrTrim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::string quoted = "\"" + std::string(line) + "\"";
+    EXPECT_NE(json.find(quoted), std::string::npos)
+        << "metrics JSON is missing schema key " << line;
+    ++keys_checked;
+  }
+  EXPECT_GE(keys_checked, 15u) << "schema file looks truncated";
+
+  // Acceptance spot-checks: the training curves carry actual points (a
+  // key with an empty series would pass the contains() check above).
+  EXPECT_EQ(json.find("\"trainer.nll\": []"), std::string::npos)
+      << "per-epoch NLL series is empty";
+  EXPECT_EQ(json.find("\"trainer.self_paced_lambda\": []"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"trainer.parity_regularizer\": []"),
+            std::string::npos);
+
+  // --trace-out enables span collection; the run must record spans.
+  std::string trace = ReadFileOrDie(trace_path);
+  EXPECT_NE(trace.find("\"trainer.fit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"trainer.generate\""), std::string::npos);
+}
+
+TEST_F(CliMetricsTest, StatsCommandWritesMetricsToo) {
+  Rng rng(23);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_edges = 160;
+  auto data = GenerateSynthetic(cfg, rng);
+  ASSERT_TRUE(data.ok());
+  std::string edges_path = TempPath("stats_edges.txt");
+  ASSERT_TRUE(SaveEdgeList(data->graph, edges_path).ok());
+  std::string metrics_path = TempPath("stats_metrics.json");
+
+  std::string command = std::string(FAIRGEN_CLI_PATH) + " stats " +
+                        edges_path + " --metrics-out=" + metrics_path +
+                        " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  std::string json = ReadFileOrDie(metrics_path);
+  // stats runs the MMD-free metric path; the registry document must still
+  // be well-formed and carry the four sections.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "embed/node2vec.h"
@@ -183,6 +185,64 @@ TEST(DeterminismTest, WalkSamplersAreThreadCountInvariant) {
               biased.SampleWalks(100, 8, thread_rng2, threads))
         << threads << " threads";
   }
+}
+
+// Instrumentation is observation-only: with metrics *and* tracing enabled
+// the pipeline must produce outputs bit-identical to a run with both
+// disabled, at every thread count. This is the contract that lets
+// production runs keep telemetry on without invalidating the bitwise
+// determinism guarantees above.
+TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
+  Graph graph = TestGraph(51);
+  RandomWalker walker(graph);
+  Graph other = TestGraph(52);
+
+  struct Observed {
+    std::vector<std::pair<Edge, double>> scores;
+    std::vector<Walk> walks;
+    double degree_mmd = 0.0;
+  };
+  auto run = [&](uint32_t threads) {
+    Observed out;
+    Rng acc_rng(42);
+    EdgeScoreAccumulator acc = AccumulateWalkScores(
+        graph.num_nodes(), /*target_transitions=*/4000, threads, acc_rng,
+        [&](Rng& walk_rng) {
+          return walker.UniformWalk(walker.SampleStartNode(walk_rng), 10,
+                                    walk_rng);
+        });
+    out.scores = SortedScores(acc.ScoredEdges());
+    Rng walk_rng(43);
+    out.walks = walker.SampleUniformWalks(80, 8, walk_rng, threads);
+    uint32_t saved = DefaultNumThreads();
+    SetDefaultNumThreads(threads);
+    auto mmd = DegreeMmd(graph, other);
+    SetDefaultNumThreads(saved);
+    EXPECT_TRUE(mmd.ok());
+    out.degree_mmd = *mmd;
+    return out;
+  };
+
+  const bool metrics_before = metrics::Enabled();
+  const bool trace_before = trace::Tracer::Global().enabled();
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    metrics::SetEnabled(true);
+    trace::Tracer::Global().SetEnabled(true);
+    Observed on = run(threads);
+    EXPECT_GT(trace::Tracer::Global().size(), 0u)
+        << "tracing was enabled but recorded nothing";
+
+    metrics::SetEnabled(false);
+    trace::Tracer::Global().SetEnabled(false);
+    Observed off = run(threads);
+
+    ExpectBitIdentical(on.scores, off.scores);
+    EXPECT_EQ(on.walks, off.walks) << threads << " threads";
+    EXPECT_EQ(on.degree_mmd, off.degree_mmd) << threads << " threads";
+  }
+  metrics::SetEnabled(metrics_before);
+  trace::Tracer::Global().SetEnabled(trace_before);
+  trace::Tracer::Global().Clear();
 }
 
 TEST(DeterminismTest, Node2VecEmbeddingsAreThreadCountInvariant) {

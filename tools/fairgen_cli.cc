@@ -26,7 +26,9 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/trainer.h"
 #include "generators/ba.h"
 #include "generators/er.h"
@@ -52,6 +54,8 @@ struct Options {
   std::string out_path;
   std::string save_model_path;
   std::string load_model_path;
+  std::string metrics_out_path;
+  std::string trace_out_path;
   uint64_t seed = 7;
   uint32_t walks = 300;
   uint32_t cycles = 4;
@@ -66,7 +70,9 @@ int Usage() {
       "flags: --model=<name> --labels=<file> --protected=<file>\n"
       "       --nodes=<file> --out=<file> --seed=<n> --walks=<n>\n"
       "       --cycles=<n> --epochs=<n> --threads=<n>\n"
-      "       --save-model=<ckpt> --load-model=<ckpt> (fairgen models)\n");
+      "       --save-model=<ckpt> --load-model=<ckpt> (fairgen models)\n"
+      "       --metrics-out=<file>  write the metrics registry as JSON\n"
+      "       --trace-out=<file>    enable tracing, write spans as JSON\n");
   return 2;
 }
 
@@ -104,6 +110,10 @@ Result<Options> Parse(int argc, char** argv) {
       opts.save_model_path = value("--save-model=");
     } else if (StrStartsWith(arg, "--load-model=")) {
       opts.load_model_path = value("--load-model=");
+    } else if (StrStartsWith(arg, "--metrics-out=")) {
+      opts.metrics_out_path = value("--metrics-out=");
+    } else if (StrStartsWith(arg, "--trace-out=")) {
+      opts.trace_out_path = value("--trace-out=");
     } else {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
@@ -349,6 +359,25 @@ Status RunCore(const Options& opts) {
   return Status::OK();
 }
 
+// Writes --metrics-out / --trace-out files if requested. Runs even when the
+// command failed: partial telemetry is often exactly what's needed to debug
+// the failure.
+Status WriteTelemetry(const Options& opts) {
+  if (!opts.metrics_out_path.empty()) {
+    FAIRGEN_RETURN_NOT_OK(
+        metrics::MetricsRegistry::Global().WriteJson(opts.metrics_out_path));
+    std::fprintf(stderr, "wrote metrics to %s\n",
+                 opts.metrics_out_path.c_str());
+  }
+  if (!opts.trace_out_path.empty()) {
+    FAIRGEN_RETURN_NOT_OK(
+        trace::Tracer::Global().WriteJson(opts.trace_out_path));
+    std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                 trace::Tracer::Global().size(), opts.trace_out_path.c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   auto opts = Parse(argc, argv);
   if (!opts.ok()) {
@@ -356,6 +385,9 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   SetLogLevel(LogLevel::kWarning);
+  if (!opts->trace_out_path.empty()) {
+    trace::Tracer::Global().SetEnabled(true);
+  }
   Status status;
   if (opts->command == "stats") {
     status = RunStats(*opts);
@@ -367,6 +399,11 @@ int Main(int argc, char** argv) {
     status = RunCore(*opts);
   } else {
     return Usage();
+  }
+  Status telemetry_status = WriteTelemetry(*opts);
+  if (!telemetry_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", telemetry_status.ToString().c_str());
+    if (status.ok()) return 1;
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
