@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
@@ -21,6 +22,7 @@ std::string g_metrics_out;
 std::string g_trace_out;
 
 void WriteTelemetryAtExit() {
+  memprobe::Sample("exit");
   if (!g_metrics_out.empty()) {
     Status s = metrics::MetricsRegistry::Global().WriteJson(g_metrics_out);
     if (!s.ok()) {
@@ -30,7 +32,7 @@ void WriteTelemetryAtExit() {
     }
   }
   if (!g_trace_out.empty()) {
-    Status s = trace::Tracer::Global().WriteJson(g_trace_out);
+    Status s = trace::Tracer::Global().WriteAuto(g_trace_out);
     if (!s.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
     } else {
@@ -59,7 +61,11 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "  --datasets=A,B     restrict to named Table-I datasets\n"
           "  --csv=<path>       also write results as CSV\n"
           "  --metrics-out=<p>  write the metrics registry as JSON at exit\n"
-          "  --trace-out=<p>    enable tracing, write spans as JSON at exit\n",
+          "  --trace-out=<p>    enable tracing, write spans at exit\n"
+          "                     (*.perfetto.json / *.chrome.json load in\n"
+          "                     ui.perfetto.dev; other paths: flat JSON)\n"
+          "  --log-level=<l>    debug|info|warning|error (default: the\n"
+          "                     FAIRGEN_LOG_LEVEL env var, else warning)\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -82,12 +88,24 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
       options.metrics_out = std::string(arg.substr(14));
     } else if (StrStartsWith(arg, "--trace-out=")) {
       options.trace_out = std::string(arg.substr(12));
+    } else if (StrStartsWith(arg, "--log-level=")) {
+      options.log_level = std::string(arg.substr(12));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
     }
   }
-  SetLogLevel(LogLevel::kWarning);
+  // Log level: explicit flag > FAIRGEN_LOG_LEVEL env var > quiet default.
+  LogLevel level;
+  if (!options.log_level.empty()) {
+    if (!ParseLogLevel(options.log_level, &level)) {
+      std::fprintf(stderr, "bad --log-level: %s\n", options.log_level.c_str());
+      std::exit(2);
+    }
+    SetLogLevel(level);
+  } else if (!InitLogLevelFromEnv()) {
+    SetLogLevel(LogLevel::kWarning);
+  }
   if (options.threads != 0) SetDefaultNumThreads(options.threads);
   if (!options.metrics_out.empty() || !options.trace_out.empty()) {
     g_metrics_out = options.metrics_out;

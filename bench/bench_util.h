@@ -24,7 +24,10 @@ struct BenchOptions {
   std::string datasets;       ///< --datasets=BLOG,ACM (empty = all)
   std::string output_csv;     ///< --csv=<path>: also write the table as CSV
   std::string metrics_out;    ///< --metrics-out=<path>: registry JSON at exit
-  std::string trace_out;      ///< --trace-out=<path>: span JSON at exit
+  std::string trace_out;      ///< --trace-out=<path>: trace at exit (Chrome
+                              ///< trace-event JSON for *.perfetto.json /
+                              ///< *.chrome.json, flat span JSON otherwise)
+  std::string log_level;      ///< --log-level=<name>: overrides env/default
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

@@ -1,0 +1,216 @@
+#include "perf_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/memprobe.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace fairgen::bench {
+
+namespace {
+
+// Linear-interpolation percentile over an ascending-sorted sample;
+// q in [0, 1].
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+std::string FormatFixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+PerfHarness::PerfHarness(HarnessOptions options) : options_(options) {
+  if (options_.repetitions == 0) options_.repetitions = 1;
+}
+
+const ScenarioResult& PerfHarness::RunScenario(
+    const std::string& name, const std::function<uint64_t()>& body) {
+  for (uint32_t i = 0; i < options_.warmup; ++i) body();
+
+  std::vector<double> times_ms;
+  times_ms.reserve(options_.repetitions);
+  uint64_t items = 0;
+  for (uint32_t i = 0; i < options_.repetitions; ++i) {
+    trace::ScopedSpan span("bench." + name, trace::Category::kEval);
+    auto start = std::chrono::steady_clock::now();
+    items = body();
+    auto end = std::chrono::steady_clock::now();
+    times_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  memprobe::Sample("bench." + name);
+
+  std::sort(times_ms.begin(), times_ms.end());
+  ScenarioResult result;
+  result.name = name;
+  result.median_ms = Percentile(times_ms, 0.5);
+  result.iqr_ms = Percentile(times_ms, 0.75) - Percentile(times_ms, 0.25);
+  result.items = items;
+  if (items > 0 && result.median_ms > 0.0) {
+    result.items_per_s =
+        static_cast<double>(items) / (result.median_ms / 1000.0);
+  }
+  // Process-level high-water mark: monotone over the run, so later
+  // scenarios inherit the peak of earlier ones. Useful as a ceiling, not
+  // as per-scenario attribution (that is what the nn/graph byte gauges
+  // are for).
+  result.peak_rss_bytes = memprobe::PeakRssBytes();
+  result.repetitions = options_.repetitions;
+  results_.push_back(std::move(result));
+  return results_.back();
+}
+
+std::string PerfHarness::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"git_rev\": \"" + JsonEscape(GitRevision()) + "\",\n";
+  out += "  \"seed\": " + std::to_string(options_.seed) + ",\n";
+  out += "  \"threads\": " + std::to_string(options_.threads) + ",\n";
+  out += "  \"scale\": " + FormatDouble(options_.scale) + ",\n";
+  out += "  \"warmup\": " + std::to_string(options_.warmup) + ",\n";
+  out += "  \"repetitions\": " + std::to_string(options_.repetitions) + ",\n";
+  out += "  \"scenarios\": [";
+  for (size_t i = 0; i < results_.size(); ++i) {
+    const ScenarioResult& r = results_[i];
+    out += i > 0 ? ",\n    {" : "\n    {";
+    out += "\"scenario\": \"" + JsonEscape(r.name) + "\", ";
+    out += "\"median_ms\": " + FormatDouble(r.median_ms) + ", ";
+    out += "\"iqr_ms\": " + FormatDouble(r.iqr_ms) + ", ";
+    out += "\"items\": " + std::to_string(r.items) + ", ";
+    out += "\"items_per_s\": " + FormatDouble(r.items_per_s) + ", ";
+    out += "\"peak_rss_bytes\": " + std::to_string(r.peak_rss_bytes) + ", ";
+    out += "\"repetitions\": " + std::to_string(r.repetitions) + "}";
+  }
+  out += results_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status PerfHarness::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << ToJson();
+  if (!file.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<ScenarioResult>> PerfHarness::LoadBaseline(
+    const std::string& path) {
+  FAIRGEN_ASSIGN_OR_RETURN(json::Value root, json::ParseFile(path));
+  if (!root.is_object()) {
+    return Status::InvalidArgument(path + ": baseline is not a JSON object");
+  }
+  const json::Value* scenarios = root.Find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) {
+    return Status::InvalidArgument(path + ": missing \"scenarios\" array");
+  }
+  std::vector<ScenarioResult> out;
+  for (const json::Value& entry : scenarios->AsArray()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument(path + ": non-object scenario entry");
+    }
+    ScenarioResult r;
+    r.name = entry.GetString("scenario", "");
+    if (r.name.empty()) {
+      return Status::InvalidArgument(path +
+                                     ": scenario entry without a name");
+    }
+    r.median_ms = entry.GetDouble("median_ms", 0.0);
+    r.iqr_ms = entry.GetDouble("iqr_ms", 0.0);
+    r.items = static_cast<uint64_t>(entry.GetDouble("items", 0.0));
+    r.items_per_s = entry.GetDouble("items_per_s", 0.0);
+    r.peak_rss_bytes =
+        static_cast<uint64_t>(entry.GetDouble("peak_rss_bytes", 0.0));
+    r.repetitions =
+        static_cast<uint32_t>(entry.GetDouble("repetitions", 0.0));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+int PerfHarness::CompareWithBaseline(
+    const std::vector<ScenarioResult>& baseline, double threshold) const {
+  Table table({"scenario", "baseline_ms", "current_ms", "delta_pct",
+               "status"});
+  int regressions = 0;
+  for (const ScenarioResult& current : results_) {
+    const ScenarioResult* base = nullptr;
+    for (const ScenarioResult& b : baseline) {
+      if (b.name == current.name) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      table.AddRow({current.name, "-", FormatFixed(current.median_ms, 3), "-",
+                    "new"});
+      continue;
+    }
+    double delta_pct =
+        base->median_ms > 0.0
+            ? 100.0 * (current.median_ms - base->median_ms) / base->median_ms
+            : 0.0;
+    bool regressed = base->median_ms > 0.0 &&
+                     current.median_ms >
+                         base->median_ms * (1.0 + threshold);
+    if (regressed) ++regressions;
+    table.AddRow({current.name, FormatFixed(base->median_ms, 3),
+                  FormatFixed(current.median_ms, 3),
+                  FormatFixed(delta_pct, 1), regressed ? "REGRESSED" : "ok"});
+  }
+  for (const ScenarioResult& base : baseline) {
+    bool present = false;
+    for (const ScenarioResult& current : results_) {
+      if (current.name == base.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      table.AddRow({base.name, FormatFixed(base.median_ms, 3), "-", "-",
+                    "missing"});
+    }
+  }
+  std::printf("\n== perf vs baseline (threshold +%.0f%%) ==\n%s",
+              threshold * 100.0, table.ToAscii().c_str());
+  return regressions;
+}
+
+std::string GitRevision() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
+  ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+}  // namespace fairgen::bench

@@ -1,0 +1,83 @@
+#ifndef FAIRGEN_BENCH_PERF_HARNESS_H_
+#define FAIRGEN_BENCH_PERF_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairgen::bench {
+
+/// \brief Aggregate timing of one named scenario over its repetitions.
+struct ScenarioResult {
+  std::string name;
+  double median_ms = 0.0;      ///< median wall time per repetition
+  double iqr_ms = 0.0;         ///< interquartile range of the wall times
+  uint64_t items = 0;          ///< work items per repetition (0 = untracked)
+  double items_per_s = 0.0;    ///< items / median (0 when items == 0)
+  uint64_t peak_rss_bytes = 0; ///< process peak RSS after the scenario
+  uint32_t repetitions = 0;
+};
+
+/// \brief Harness-level knobs recorded into the result file so a baseline
+/// and a candidate run can be checked for comparability.
+struct HarnessOptions {
+  uint32_t warmup = 1;       ///< untimed runs before measurement
+  uint32_t repetitions = 5;  ///< timed runs per scenario
+  uint64_t seed = 7;         ///< forwarded into the result header
+  uint32_t threads = 0;      ///< forwarded into the result header
+  double scale = 0.05;       ///< forwarded into the result header
+};
+
+/// \brief Perf-regression harness: runs named scenarios with warmup and
+/// repetition, reports median/IQR wall times plus throughput and memory,
+/// and writes/compares the stable-schema `BENCH_pipeline.json`.
+///
+/// The comparison contract: a scenario *regresses* when its median exceeds
+/// the baseline median by more than the threshold fraction. Scenarios
+/// present on only one side are reported but never counted as regressions,
+/// so adding or retiring a scenario does not break CI.
+class PerfHarness {
+ public:
+  explicit PerfHarness(HarnessOptions options);
+
+  /// Runs `body` `warmup` times untimed, then `repetitions` times timed
+  /// (each repetition under a `bench.<name>` trace span). `body` returns
+  /// the number of items it processed (walks, edges, ...) for the
+  /// throughput column, or 0 when throughput is meaningless.
+  const ScenarioResult& RunScenario(const std::string& name,
+                                    const std::function<uint64_t()>& body);
+
+  const std::vector<ScenarioResult>& results() const { return results_; }
+  const HarnessOptions& options() const { return options_; }
+
+  /// The BENCH_pipeline.json document: a header (schema_version, git_rev,
+  /// seed, threads, scale, warmup, repetitions) plus one object per
+  /// scenario with the `ScenarioResult` fields.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Parses a file previously written by `WriteJson`.
+  static Result<std::vector<ScenarioResult>> LoadBaseline(
+      const std::string& path);
+
+  /// Prints a delta table (baseline vs current medians) and returns the
+  /// number of scenarios regressing past `threshold` (0.25 = +25%).
+  int CompareWithBaseline(const std::vector<ScenarioResult>& baseline,
+                          double threshold) const;
+
+ private:
+  HarnessOptions options_;
+  std::vector<ScenarioResult> results_;
+};
+
+/// Short git revision of the working tree, or "unknown" outside a
+/// checkout. Recorded in the result header so baselines are attributable.
+std::string GitRevision();
+
+}  // namespace fairgen::bench
+
+#endif  // FAIRGEN_BENCH_PERF_HARNESS_H_

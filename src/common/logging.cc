@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace fairgen {
 
@@ -32,6 +34,42 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* env = std::getenv("FAIRGEN_LOG_LEVEL");
+  if (env == nullptr) return false;
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN logging.cc] ignoring invalid FAIRGEN_LOG_LEVEL=%s "
+                 "(want debug|info|warning|error|fatal)\n",
+                 env);
+    return false;
+  }
+  SetLogLevel(level);
+  return true;
 }
 
 namespace internal {

@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace fairgen {
 
@@ -21,6 +22,17 @@ void SetLogLevel(LogLevel level);
 
 /// \brief Returns the current global minimum log level.
 LogLevel GetLogLevel();
+
+/// \brief Parses a case-insensitive level name — "debug", "info",
+/// "warning" (or "warn"), "error", "fatal" — into `*out`. Returns false
+/// (and leaves `*out` untouched) for anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// \brief Applies the `FAIRGEN_LOG_LEVEL` environment variable if it names
+/// a valid level; returns true iff it set the level. Entry points call
+/// this *before* applying their own default so the environment wins over
+/// baked-in defaults but loses to an explicit `--log-level=` flag.
+bool InitLogLevelFromEnv();
 
 namespace internal {
 

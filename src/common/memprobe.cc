@@ -1,0 +1,89 @@
+#include "common/memprobe.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace fairgen {
+namespace memprobe {
+
+namespace {
+
+/// Reads a "<key>:  <n> kB" line from /proc/self/status and returns the
+/// value in bytes, or 0 when the file or key is unavailable (non-procfs
+/// platforms).
+uint64_t ProcStatusBytes(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  uint64_t bytes = 0;
+  char line[256];
+  size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+      continue;
+    }
+    unsigned long long kb = 0;
+    if (std::sscanf(line + key_len + 1, "%llu", &kb) == 1) {
+      bytes = static_cast<uint64_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ProcStatusBytes("VmRSS"); }
+
+uint64_t PeakRssBytes() {
+  uint64_t bytes = ProcStatusBytes("VmHWM");
+  if (bytes != 0) return bytes;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+ByteCounter& NnBytes() {
+  // Leaked singleton: FloatBuffer deallocations can run in static
+  // destructors, so the counter must outlive every container charging it.
+  static ByteCounter* counter = new ByteCounter();
+  return *counter;
+}
+
+void Sample(std::string_view stage) {
+  const uint64_t rss_current = CurrentRssBytes();
+  const uint64_t rss_peak = PeakRssBytes();
+  const ByteCounter& nn = NnBytes();
+  const uint64_t nn_live = nn.live();
+
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  registry.GetGauge("mem.rss_current_bytes")
+      .Set(static_cast<double>(rss_current));
+  registry.GetGauge("mem.rss_peak_bytes").Set(static_cast<double>(rss_peak));
+  registry.GetGauge("nn.bytes_live").Set(static_cast<double>(nn_live));
+  registry.GetGauge("nn.bytes_peak").Set(static_cast<double>(nn.peak()));
+
+  // The step is a process-wide sample index, so repeated samples line up
+  // across the two series; the Perfetto placement uses the per-point
+  // timestamp, not the step.
+  static std::atomic<uint64_t> sample_index{0};
+  const double step = static_cast<double>(
+      sample_index.fetch_add(1, std::memory_order_relaxed));
+  registry.GetSeries("mem.rss_bytes")
+      .Append(step, static_cast<double>(rss_current));
+  registry.GetSeries("nn.bytes").Append(step, static_cast<double>(nn_live));
+
+  FAIRGEN_LOG(DEBUG) << "memprobe[" << std::string(stage)
+                     << "]: rss=" << rss_current << "B peak=" << rss_peak
+                     << "B nn_live=" << nn_live << "B";
+}
+
+}  // namespace memprobe
+}  // namespace fairgen

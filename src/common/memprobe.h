@@ -1,0 +1,129 @@
+#ifndef FAIRGEN_COMMON_MEMPROBE_H_
+#define FAIRGEN_COMMON_MEMPROBE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <type_traits>
+
+namespace fairgen {
+namespace memprobe {
+
+/// \brief Process memory probing and exact byte accounting.
+///
+/// Two complementary views of memory use, both observation-only (no `Rng`
+/// draws, no effect on chunk layouts — enabling them cannot change model
+/// outputs; pinned by the determinism suite):
+///  - *RSS probing* asks the kernel what the process actually occupies
+///    (`/proc/self/status`), which includes allocator slack and code pages;
+///  - *byte counters* charge a `ByteCounter` from instrumented allocation
+///    sites (the nn float buffers, the CSR arrays), giving exact
+///    logical-bytes attribution per subsystem.
+
+/// Resident set size of this process in bytes (`VmRSS`), or 0 when
+/// `/proc/self/status` is unavailable.
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (`VmHWM`, falling back to
+/// `getrusage(RUSAGE_SELF).ru_maxrss`), or 0 when neither source works.
+uint64_t PeakRssBytes();
+
+/// \brief Live/peak byte tally. `Add`/`Sub` are relaxed atomics plus a
+/// CAS-max for the peak, so concurrent allocations from pool workers tally
+/// exactly (integers commute) without locks.
+class ByteCounter {
+ public:
+  void Add(uint64_t bytes) {
+    uint64_t now = live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Sub(uint64_t bytes) {
+    live_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently allocated and not yet freed.
+  uint64_t live() const { return live_.load(std::memory_order_relaxed); }
+
+  /// High-water mark of `live()` since construction or `ResetPeak`.
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Lowers the peak to the current live value (used between A/B phases
+  /// and in tests; live allocations are never forgotten).
+  void ResetPeak() {
+    peak_.store(live_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> live_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// Process-wide tally of nn float-buffer bytes (tensor values and autograd
+/// gradients — everything allocated through `nn::FloatBuffer`). Exported
+/// by `Sample` as the `nn.bytes_live` / `nn.bytes_peak` gauges.
+ByteCounter& NnBytes();
+
+/// \brief Minimal std allocator charging every allocation to the
+/// `ByteCounter` returned by `CounterFn`. Used as the allocator of
+/// `nn::FloatBuffer`; the container reports true allocation sizes here, so
+/// the tally is exact (no capacity guessing in copy/move special members).
+///
+/// Stateless by construction (the counter is a function-pointer template
+/// argument), so containers with this allocator swap/move storage freely.
+template <typename T, ByteCounter& (*CounterFn)()>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  // The default allocator_traits rebind only handles type-only template
+  // parameter lists; the function-pointer NTTP needs an explicit rebind.
+  template <typename U>
+  struct rebind {
+    using other = TrackingAllocator<U, CounterFn>;
+  };
+
+  TrackingAllocator() noexcept = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U, CounterFn>&) noexcept {}
+
+  T* allocate(size_t n) {
+    CounterFn().Add(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p);
+    CounterFn().Sub(n * sizeof(T));
+  }
+};
+
+template <typename T, typename U, ByteCounter& (*CounterFn)()>
+bool operator==(const TrackingAllocator<T, CounterFn>&,
+                const TrackingAllocator<U, CounterFn>&) {
+  return true;
+}
+
+/// \brief Records one memory sample into the metrics registry: gauges
+/// `mem.rss_current_bytes`, `mem.rss_peak_bytes`, `nn.bytes_live`,
+/// `nn.bytes_peak`, plus the timestamped series `mem.rss_bytes` and
+/// `nn.bytes` (step = process-wide sample index) that render as Perfetto
+/// counter tracks. `stage` labels the sample in the debug log only.
+///
+/// Call at stage boundaries (after load, after fit, after generate, at
+/// exit) — it reads `/proc` and takes the registry lock, so it does not
+/// belong on per-element hot paths.
+void Sample(std::string_view stage);
+
+}  // namespace memprobe
+}  // namespace fairgen
+
+#endif  // FAIRGEN_COMMON_MEMPROBE_H_

@@ -1,10 +1,13 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "common/trace.h"
 
 namespace fairgen {
 namespace metrics {
@@ -20,16 +23,23 @@ std::string FormatValue(double v) {
   return std::string(buf);
 }
 
-// Minimal JSON string escaping; metric names are dotted identifiers, so
-// this only has to be correct, not fast.
+// Full JSON string escaping via the shared common/strings helper: metric
+// names are usually dotted identifiers, but nothing stops a caller from
+// registering a name with quotes or control characters — the export must
+// stay valid JSON regardless.
 std::string JsonQuote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+// Steady-clock offset from the trace epoch (same timeline as spans), for
+// SeriesPoint::ts_ns.
+uint64_t NowNsSinceTraceEpoch() {
+  uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  uint64_t epoch = trace::Tracer::Global().epoch_ns();
+  return now >= epoch ? now - epoch : 0;
 }
 
 }  // namespace
@@ -70,11 +80,23 @@ void Histogram::Reset() {
 
 void Series::Append(double step, double value) {
   if (!Enabled()) return;
+  SeriesPoint point;
+  point.step = step;
+  point.value = value;
+  point.ts_ns = NowNsSinceTraceEpoch();
   std::lock_guard<std::mutex> lock(mu_);
-  points_.emplace_back(step, value);
+  points_.push_back(point);
 }
 
 std::vector<std::pair<double, double>> Series::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points_.size());
+  for (const SeriesPoint& p : points_) out.emplace_back(p.step, p.value);
+  return out;
+}
+
+std::vector<SeriesPoint> Series::points_with_time() const {
   std::lock_guard<std::mutex> lock(mu_);
   return points_;
 }
@@ -179,6 +201,18 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
       }
     }
     out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<SeriesPoint>>>
+MetricsRegistry::SeriesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry->series != nullptr) {
+      out.emplace_back(name, entry->series->points_with_time());
+    }
   }
   return out;
 }

@@ -101,6 +101,16 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// \brief One recorded series point. `ts_ns` is the steady-clock offset
+/// from the trace epoch at append time — telemetry only (it never feeds
+/// back into the model); the Chrome trace export uses it to place the
+/// point on the Perfetto counter track next to the spans.
+struct SeriesPoint {
+  double step = 0.0;
+  double value = 0.0;
+  uint64_t ts_ns = 0;
+};
+
 /// \brief Append-only (step, value) sequence — the per-cycle training
 /// curves (NLL, λ, parity regulariser) that the paper's Figures 4–8
 /// pipeline consumes. Appended from the serial training loop; a mutex
@@ -112,12 +122,16 @@ class Series {
 
   /// Copy of the recorded points in append order.
   std::vector<std::pair<double, double>> points() const;
+
+  /// Points with their append timestamps (for the Chrome trace export).
+  std::vector<SeriesPoint> points_with_time() const;
+
   size_t size() const;
   void Reset();
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::pair<double, double>> points_;
+  std::vector<SeriesPoint> points_;
 };
 
 /// \brief One exported metric in flattened form: `fields` holds
@@ -152,6 +166,11 @@ class MetricsRegistry {
 
   /// Flattened view of every registered metric, sorted by name.
   std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Every registered series with its timestamped points, sorted by name —
+  /// the source of the Chrome trace counter tracks.
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>>
+  SeriesSnapshot() const;
 
   /// JSON document: {"counters": {...}, "gauges": {...},
   /// "histograms": {...}, "series": {...}} with name-sorted keys.

@@ -26,6 +26,16 @@ std::string StrJoin(const std::vector<std::string>& parts,
 /// \brief Formats a double with `precision` digits after the decimal point.
 std::string FormatDouble(double value, int precision);
 
+/// \brief True iff `text` ends with `suffix`.
+bool StrEndsWith(std::string_view text, std::string_view suffix);
+
+/// \brief Escapes `text` for inclusion inside a double-quoted JSON string:
+/// `"` and `\` are backslash-escaped, the named control characters become
+/// \b \f \n \r \t, and the remaining C0 controls become \u00XX. Does not
+/// add the surrounding quotes. Shared by every JSON exporter in the repo
+/// (metrics registry, span trace, Chrome trace, perf harness).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace fairgen
 
 #endif  // FAIRGEN_COMMON_STRINGS_H_

@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/metrics.h"
+#include "common/strings.h"
+
 namespace fairgen {
 namespace trace {
 
@@ -35,7 +38,35 @@ uint64_t ThreadCpuNs() {
 thread_local uint32_t t_depth = 0;
 thread_local uint32_t t_thread_index_plus_one = 0;
 
+// Microseconds with sub-microsecond precision — the unit of the Chrome
+// trace-event `ts`/`dur` fields.
+std::string NsToUsField(uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return std::string(buf);
+}
+
 }  // namespace
+
+std::string_view CategoryName(Category category) {
+  switch (category) {
+    case Category::kGeneral:
+      return "general";
+    case Category::kWalk:
+      return "walk";
+    case Category::kTrain:
+      return "train";
+    case Category::kEmbed:
+      return "embed";
+    case Category::kGenerate:
+      return "generate";
+    case Category::kAssemble:
+      return "assemble";
+    case Category::kEval:
+      return "eval";
+  }
+  return "general";
+}
 
 Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
 
@@ -70,6 +101,15 @@ uint32_t Tracer::ThreadIndex() {
   return t_thread_index_plus_one - 1;
 }
 
+std::string_view Tracer::InternName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(name);
+  if (it == names_.end()) it = names_.emplace(name).first;
+  // std::set is node-based: the string's storage never moves, so the view
+  // stays valid for the tracer's (process) lifetime.
+  return *it;
+}
+
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_;
@@ -90,12 +130,14 @@ std::string Tracer::ToJson() const {
   std::string out = "[";
   for (size_t i = 0; i < spans.size(); ++i) {
     const SpanRecord& s = spans[i];
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
-                  "%s\n  {\"name\": \"%s\", \"start_ns\": %llu, "
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", "
+                  "\"start_ns\": %llu, "
                   "\"wall_ns\": %llu, \"cpu_ns\": %llu, \"depth\": %u, "
                   "\"thread\": %u}",
-                  i > 0 ? "," : "", s.name.c_str(),
+                  i > 0 ? "," : "", JsonEscape(s.name).c_str(),
+                  std::string(CategoryName(s.category)).c_str(),
                   static_cast<unsigned long long>(s.start_ns),
                   static_cast<unsigned long long>(s.wall_ns),
                   static_cast<unsigned long long>(s.cpu_ns), s.depth,
@@ -107,17 +149,84 @@ std::string Tracer::ToJson() const {
 }
 
 std::string Tracer::ToCsv() const {
-  std::string out = "name,start_ns,wall_ns,cpu_ns,depth,thread\n";
+  std::string out = "name,cat,start_ns,wall_ns,cpu_ns,depth,thread\n";
   for (const SpanRecord& s : Snapshot()) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%s,%llu,%llu,%llu,%u,%u\n",
+    char buf[320];
+    std::snprintf(buf, sizeof(buf), "%s,%s,%llu,%llu,%llu,%u,%u\n",
                   s.name.c_str(),
+                  std::string(CategoryName(s.category)).c_str(),
                   static_cast<unsigned long long>(s.start_ns),
                   static_cast<unsigned long long>(s.wall_ns),
                   static_cast<unsigned long long>(s.cpu_ns), s.depth,
                   s.thread);
     out += buf;
   }
+  return out;
+}
+
+std::string Tracer::ToChromeTrace() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto append_event = [&out, &first](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  // Process + thread metadata events: one named track per stable thread
+  // index so Perfetto shows "thread-<i>" lanes instead of bare tids.
+  append_event(
+      "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+      "\"process_name\", \"args\": {\"name\": \"fairgen\"}}");
+  uint32_t max_thread = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.thread > max_thread) max_thread = s.thread;
+  }
+  for (uint32_t t = 0; t <= max_thread; ++t) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, \"name\": "
+                  "\"thread_name\", \"args\": {\"name\": \"thread-%u\"}}",
+                  t, t);
+    append_event(buf);
+  }
+
+  // Complete events ("ph":"X"): ts/dur in wall microseconds, tts/tdur in
+  // thread-CPU microseconds (CLOCK_THREAD_CPUTIME_ID is monotone per
+  // thread, which is all Perfetto requires of tts).
+  for (const SpanRecord& s : spans) {
+    std::string event = "{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                        std::to_string(s.thread) + ", \"ts\": " +
+                        NsToUsField(s.start_ns) + ", \"dur\": " +
+                        NsToUsField(s.wall_ns) + ", \"tts\": " +
+                        NsToUsField(s.cpu_start_ns) + ", \"tdur\": " +
+                        NsToUsField(s.cpu_ns) + ", \"cat\": \"" +
+                        std::string(CategoryName(s.category)) +
+                        "\", \"name\": \"" + JsonEscape(s.name) +
+                        "\", \"args\": {\"depth\": " +
+                        std::to_string(s.depth) + "}}";
+    append_event(event);
+  }
+
+  // Counter events ("ph":"C") from every metrics-registry series with
+  // timestamped points — the training curves (trainer.nll, ...) and the
+  // memprobe RSS samples render as counter tracks under the spans.
+  for (const auto& [name, points] :
+       metrics::MetricsRegistry::Global().SeriesSnapshot()) {
+    std::string quoted_name = JsonEscape(name);
+    for (const metrics::SeriesPoint& p : points) {
+      char value_buf[64];
+      std::snprintf(value_buf, sizeof(value_buf), "%.17g", p.value);
+      std::string event = "{\"ph\": \"C\", \"pid\": 1, \"ts\": " +
+                          NsToUsField(p.ts_ns) + ", \"name\": \"" +
+                          quoted_name + "\", \"args\": {\"value\": " +
+                          value_buf + "}}";
+      append_event(event);
+    }
+  }
+
+  out += "\n]\n}\n";
   return out;
 }
 
@@ -143,10 +252,26 @@ Status Tracer::WriteCsv(const std::string& path) const {
   return WriteTextFile(path, ToCsv());
 }
 
-ScopedSpan::ScopedSpan(std::string_view name) {
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteTextFile(path, ToChromeTrace());
+}
+
+Status Tracer::WriteAuto(const std::string& path) const {
+  if (StrEndsWith(path, ".perfetto.json") ||
+      StrEndsWith(path, ".chrome.json") ||
+      StrEndsWith(path, ".pftrace.json")) {
+    return WriteChromeTrace(path);
+  }
+  return WriteJson(path);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, Category category) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   active_ = true;
-  name_ = name;
+  // Interning copies the name into the tracer's arena, so temporaries
+  // (dynamically built names) are safe — the view below never dangles.
+  name_ = Tracer::Global().InternName(name);
+  category_ = category;
   depth_ = t_depth++;
   start_wall_ns_ = SteadyNowNs();
   start_cpu_ns_ = ThreadCpuNs();
@@ -160,9 +285,11 @@ ScopedSpan::~ScopedSpan() {
   Tracer& tracer = Tracer::Global();
   SpanRecord record;
   record.name = std::string(name_);
+  record.category = category_;
   uint64_t now = SteadyNowNs();
   record.wall_ns = now - start_wall_ns_;
   record.cpu_ns = ThreadCpuNs() - start_cpu_ns_;
+  record.cpu_start_ns = start_cpu_ns_;
   record.depth = depth_;
   record.thread = tracer.ThreadIndex();
   // start_ns is relative to the tracer epoch so traces from one process

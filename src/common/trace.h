@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,16 +13,35 @@
 namespace fairgen {
 namespace trace {
 
+/// \brief Pipeline stage a span belongs to. Categories become the `cat`
+/// field of the Chrome trace export, so Perfetto can filter/color the
+/// walk, training, embedding, generation, assembly and evaluation tracks
+/// independently.
+enum class Category : uint8_t {
+  kGeneral = 0,
+  kWalk,
+  kTrain,
+  kEmbed,
+  kGenerate,
+  kAssemble,
+  kEval,
+};
+
+/// Stable lowercase name of a category ("walk", "train", ...).
+std::string_view CategoryName(Category category);
+
 /// \brief One completed span: a named scope with wall- and CPU-clock
 /// durations, its nesting depth on the recording thread, and a stable
 /// per-thread index (assigned in first-span order, not an OS id).
 struct SpanRecord {
   std::string name;
-  uint64_t start_ns = 0;  ///< wall-clock offset from tracer epoch
-  uint64_t wall_ns = 0;   ///< wall-clock duration
-  uint64_t cpu_ns = 0;    ///< thread CPU-time duration
-  uint32_t depth = 0;     ///< nesting depth within the recording thread
-  uint32_t thread = 0;    ///< stable thread index
+  Category category = Category::kGeneral;
+  uint64_t start_ns = 0;      ///< wall-clock offset from tracer epoch
+  uint64_t wall_ns = 0;       ///< wall-clock duration
+  uint64_t cpu_ns = 0;        ///< thread CPU-time duration
+  uint64_t cpu_start_ns = 0;  ///< absolute CLOCK_THREAD_CPUTIME_ID at start
+  uint32_t depth = 0;         ///< nesting depth within the recording thread
+  uint32_t thread = 0;        ///< stable thread index
 };
 
 /// \brief Process-wide span collector. Collection is off by default —
@@ -47,6 +67,11 @@ class Tracer {
   /// Stable index for the calling thread, assigned on first use.
   uint32_t ThreadIndex();
 
+  /// Copies `name` into the tracer's string arena (deduplicated) and
+  /// returns a view that stays valid for the tracer's lifetime. Lets
+  /// `ScopedSpan` accept dynamically built names safely.
+  std::string_view InternName(std::string_view name);
+
   /// Steady-clock origin that `SpanRecord::start_ns` is measured from.
   uint64_t epoch_ns() const { return epoch_ns_; }
 
@@ -56,21 +81,39 @@ class Tracer {
   void Clear();
 
   /// JSON list of span objects, completion order:
-  /// [{"name": ..., "start_ns": ..., "wall_ns": ..., "cpu_ns": ...,
-  ///   "depth": ..., "thread": ...}, ...]
+  /// [{"name": ..., "cat": ..., "start_ns": ..., "wall_ns": ...,
+  ///   "cpu_ns": ..., "depth": ..., "thread": ...}, ...]
   std::string ToJson() const;
 
-  /// CSV with header `name,start_ns,wall_ns,cpu_ns,depth,thread`.
+  /// CSV with header `name,cat,start_ns,wall_ns,cpu_ns,depth,thread`.
   std::string ToCsv() const;
+
+  /// Chrome trace-event JSON (the format ui.perfetto.dev and
+  /// chrome://tracing load directly): one complete ("ph":"X") event per
+  /// span with microsecond `ts`/`dur` plus thread-CPU `tts`/`tdur`, one
+  /// thread track per stable thread index, span categories as `cat`, and
+  /// one counter track ("ph":"C") per metrics-registry series with
+  /// recorded timestamps — so training curves and memory gauges render
+  /// alongside the span timeline.
+  std::string ToChromeTrace() const;
 
   Status WriteJson(const std::string& path) const;
   Status WriteCsv(const std::string& path) const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Writes Chrome trace-event JSON when `path` ends in `.perfetto.json`,
+  /// `.chrome.json` or `.pftrace.json`, the flat span JSON otherwise —
+  /// the dispatch behind `--trace-out=`.
+  Status WriteAuto(const std::string& path) const;
 
  private:
   Tracer();
 
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  // Interned span names: node-based set, so the string storage (and every
+  // view handed out) is stable for the tracer's lifetime.
+  std::set<std::string, std::less<>> names_;
   uint32_t next_thread_index_ = 0;  // guarded by mu_
   uint64_t epoch_ns_ = 0;           // steady-clock origin of start_ns
   bool enabled_ = false;            // guarded by mu_ for writes
@@ -78,11 +121,13 @@ class Tracer {
 
 /// \brief RAII span: records wall time (steady clock) and CPU time
 /// (CLOCK_THREAD_CPUTIME_ID) between construction and destruction under
-/// `name`. Spans nest per thread; `name` must outlive the span (string
-/// literals at every call site).
+/// `name`. Spans nest per thread. `name` may be a temporary — it is
+/// interned into the tracer's arena at construction, so dynamically built
+/// names (e.g. "bench.<scenario>") are safe.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(std::string_view name);
+  explicit ScopedSpan(std::string_view name,
+                      Category category = Category::kGeneral);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -90,7 +135,8 @@ class ScopedSpan {
 
  private:
   bool active_ = false;
-  std::string_view name_;
+  std::string_view name_;  // interned; stable for the tracer's lifetime
+  Category category_ = Category::kGeneral;
   uint64_t start_wall_ns_ = 0;
   uint64_t start_cpu_ns_ = 0;
   uint32_t depth_ = 0;

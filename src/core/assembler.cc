@@ -16,7 +16,8 @@ Result<Graph> AssembleFairGraph(const EdgeScoreAccumulator& scores,
                                 const std::vector<NodeId>& protected_set,
                                 const AssemblerCriteria& criteria, Rng& rng,
                                 AssemblyReport* report) {
-  trace::ScopedSpan span("assembler.assemble");
+  trace::ScopedSpan span("assembler.assemble",
+                         trace::Category::kAssemble);
   const uint32_t n = original.num_nodes();
   if (scores.num_nodes() != n) {
     return Status::InvalidArgument(

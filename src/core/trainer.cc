@@ -60,7 +60,8 @@ std::vector<Walk> FairGenTrainer::SampleGeneratorWalks(size_t count,
 }
 
 double FairGenTrainer::TrainGenerator(Rng& rng) {
-  trace::ScopedSpan span("trainer.train_generator");
+  trace::ScopedSpan span("trainer.train_generator",
+                         trace::Category::kTrain);
   const float floor_logprob =
       -config_.negative_floor_scale *
       std::log(static_cast<float>(fitted_graph_.num_nodes()));
@@ -111,7 +112,8 @@ double FairGenTrainer::TrainGenerator(Rng& rng) {
 
 void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
   if (!has_supervision()) return;
-  trace::ScopedSpan span("trainer.train_discriminator");
+  trace::ScopedSpan span("trainer.train_discriminator",
+                         trace::Category::kTrain);
 
   // L = all currently labeled vertices (ground truth + pseudo labels).
   std::vector<uint32_t> gt_nodes;
@@ -260,7 +262,7 @@ Status FairGenTrainer::Prepare(const Graph& graph, Rng& rng) {
 }
 
 Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
-  trace::ScopedSpan span("trainer.fit");
+  trace::ScopedSpan span("trainer.fit", trace::Category::kTrain);
   FAIRGEN_RETURN_NOT_OK(Prepare(graph, rng));
 
   // Step 2: initial N+ from f_S and N− from the biased second-order
@@ -292,7 +294,7 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
 
   // Steps 3–12: the self-paced cycles.
   for (uint32_t cycle = 0; cycle < config_.self_paced_cycles; ++cycle) {
-    trace::ScopedSpan cycle_span("trainer.cycle");
+    trace::ScopedSpan cycle_span("trainer.cycle", trace::Category::kTrain);
     FairGenLosses losses;
 
     // Step 4: update g_θ from N+ and N−.
@@ -445,7 +447,7 @@ Result<Graph> FairGenTrainer::GenerateWithCriteria(
   if (!fitted_) {
     return Status::FailedPrecondition("Fit must be called before Generate");
   }
-  trace::ScopedSpan span("trainer.generate");
+  trace::ScopedSpan span("trainer.generate", trace::Category::kGenerate);
   EdgeScoreAccumulator acc = AccumulateWalks(rng);
   return AssembleFairGraph(acc, fitted_graph_, protected_set_, criteria, rng,
                            &assembly_report_);

@@ -75,7 +75,7 @@ class WalkOverlay {
 
 Node2VecModel Node2VecModel::Train(const Graph& graph,
                                    const Node2VecConfig& config, Rng& rng) {
-  trace::ScopedSpan span("node2vec.train");
+  trace::ScopedSpan span("node2vec.train", trace::Category::kEmbed);
   Timer timer;
   const uint32_t n = graph.num_nodes();
   FAIRGEN_CHECK(n > 0);

@@ -97,7 +97,8 @@ constexpr uint64_t kWalkBudgetChunks = 64;
 EdgeScoreAccumulator AccumulateWalkScores(
     uint32_t num_nodes, uint64_t target_transitions, uint32_t num_threads,
     Rng& rng, const std::function<Walk(Rng&)>& sample_walk) {
-  trace::ScopedSpan span("generate.accumulate_walks");
+  trace::ScopedSpan span("generate.accumulate_walks",
+                         trace::Category::kGenerate);
   static metrics::Counter& walk_counter =
       metrics::MetricsRegistry::Global().GetCounter("generate.walks");
   static metrics::Counter& transition_counter =
@@ -160,6 +161,10 @@ EdgeScoreAccumulator AccumulateWalkScores(
     registry.GetGauge("generate.transitions_per_sec")
         .Set(static_cast<double>(call_transitions.load()) / elapsed);
   }
+  static metrics::Gauge& accumulator_bytes_gauge =
+      metrics::MetricsRegistry::Global().GetGauge(
+          "generate.accumulator_bytes");
+  accumulator_bytes_gauge.Set(static_cast<double>(acc.MemoryBytes()));
   return acc;
 }
 

@@ -80,6 +80,15 @@ class EdgeScoreAccumulator {
 
   uint32_t num_nodes() const { return num_nodes_; }
 
+  /// Approximate heap bytes of the score table (hash nodes + bucket
+  /// array). Exported as the `generate.accumulator_bytes` gauge after
+  /// walk accumulation.
+  size_t MemoryBytes() const {
+    return scores_.bucket_count() * sizeof(void*) +
+           scores_.size() *
+               (sizeof(std::pair<uint64_t, double>) + sizeof(void*));
+  }
+
  private:
   uint32_t num_nodes_;
   std::unordered_map<uint64_t, double> scores_;  // key = u * n + v, u < v

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/metrics.h"
+
 namespace fairgen {
 
 GraphBuilder::GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
@@ -60,6 +62,11 @@ Result<Graph> GraphBuilder::Build() const {
     std::sort(g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v]),
               g.neighbors_.begin() + static_cast<int64_t>(g.offsets_[v + 1]));
   }
+  // Every CSR construction funnels through here (Graph::FromEdges
+  // delegates), so this gauge always reflects the most recent build.
+  static metrics::Gauge& bytes_gauge =
+      metrics::MetricsRegistry::Global().GetGauge("graph.bytes");
+  bytes_gauge.Set(static_cast<double>(g.MemoryBytes()));
   return g;
 }
 

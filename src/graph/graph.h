@@ -77,6 +77,14 @@ class Graph {
   /// Maximum degree.
   uint32_t MaxDegree() const;
 
+  /// Heap bytes held by the CSR arrays (allocated capacity, so the figure
+  /// matches what the process actually reserves). Exported as the
+  /// `graph.bytes` gauge when a graph is built.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           neighbors_.capacity() * sizeof(NodeId);
+  }
+
  private:
   friend class GraphBuilder;
   Graph() = default;

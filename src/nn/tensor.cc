@@ -12,8 +12,8 @@ Tensor::Tensor(size_t rows, size_t cols)
 Tensor::Tensor(size_t rows, size_t cols, float value)
     : rows_(rows), cols_(cols), data_(rows * cols, value) {}
 
-Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+Tensor::Tensor(size_t rows, size_t cols, const std::vector<float>& data)
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   FAIRGEN_CHECK(data_.size() == rows_ * cols_);
 }
 

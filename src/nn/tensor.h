@@ -4,9 +4,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/memprobe.h"
 #include "rng/rng.h"
 
 namespace fairgen::nn {
+
+/// Float storage for tensor values and autograd gradients. The tracking
+/// allocator charges every allocation to `memprobe::NnBytes()`, so the
+/// process-wide `nn.bytes_live` / `nn.bytes_peak` gauges account the
+/// numeric working set exactly (allocation-sized, no capacity guessing).
+using FloatBuffer =
+    std::vector<float, memprobe::TrackingAllocator<float, &memprobe::NnBytes>>;
 
 /// \brief A dense row-major float32 matrix — the numeric value type of the
 /// autodiff substrate.
@@ -26,8 +34,9 @@ class Tensor {
   /// A rows x cols tensor filled with `value`.
   Tensor(size_t rows, size_t cols, float value);
 
-  /// Builds from explicit data (size must be rows*cols).
-  Tensor(size_t rows, size_t cols, std::vector<float> data);
+  /// Builds from explicit data (size must be rows*cols; copied into the
+  /// byte-accounted buffer).
+  Tensor(size_t rows, size_t cols, const std::vector<float>& data);
 
   /// A rows x cols tensor with i.i.d. N(0, stddev^2) entries.
   static Tensor Randn(size_t rows, size_t cols, float stddev, Rng& rng);
@@ -85,7 +94,7 @@ class Tensor {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// \brief C = A · B (shapes [m,k] x [k,n] -> [m,n]).

@@ -68,7 +68,7 @@ uint64_t CountPairsWithin(const std::vector<double>& pooled, double d) {
 
 Result<double> GaussianMmd(const std::vector<double>& x,
                            const std::vector<double>& y, double bandwidth) {
-  trace::ScopedSpan span("mmd.gaussian");
+  trace::ScopedSpan span("mmd.gaussian", trace::Category::kEval);
   if (x.empty() || y.empty()) {
     return Status::InvalidArgument("MMD requires non-empty samples");
   }

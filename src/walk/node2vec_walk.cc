@@ -60,7 +60,8 @@ Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
 std::vector<Walk> Node2VecWalker::SampleWalks(size_t count, uint32_t length,
                                               Rng& rng,
                                               uint32_t num_threads) const {
-  trace::ScopedSpan span("walk.node2vec.sample_walks");
+  trace::ScopedSpan span("walk.node2vec.sample_walks",
+                         trace::Category::kWalk);
   static metrics::Counter& walk_counter =
       metrics::MetricsRegistry::Global().GetCounter("walk.node2vec.walks");
   static metrics::Counter& transition_counter =

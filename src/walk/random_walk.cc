@@ -71,7 +71,8 @@ NodeId RandomWalker::SampleStartNode(Rng& rng) const {
 std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,
                                                    uint32_t length, Rng& rng,
                                                    uint32_t num_threads) const {
-  trace::ScopedSpan span("walk.uniform.sample_walks");
+  trace::ScopedSpan span("walk.uniform.sample_walks",
+                         trace::Category::kWalk);
   static metrics::Counter& walk_counter =
       metrics::MetricsRegistry::Global().GetCounter("walk.uniform.walks");
   static metrics::Counter& transition_counter =

@@ -1,5 +1,7 @@
 #include "common/logging.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace fairgen {
@@ -32,6 +34,48 @@ TEST_F(LoggingTest, EnabledLevelStreamsValues) {
   std::string out = testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("value=7"), std::string::npos);
   EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsCanonicalAndAliasNames) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("FATAL", &level));  // case-insensitive
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsUnknownNamesWithoutClobbering) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("debugging", &level));
+  EXPECT_EQ(level, LogLevel::kError) << "failed parse must not touch *out";
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvAppliesValidValue) {
+  ASSERT_EQ(::setenv("FAIRGEN_LOG_LEVEL", "error", 1), 0);
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_TRUE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ::unsetenv("FAIRGEN_LOG_LEVEL");
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvIgnoresInvalidOrMissingValue) {
+  ASSERT_EQ(::setenv("FAIRGEN_LOG_LEVEL", "loudest", 1), 0);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  ::unsetenv("FAIRGEN_LOG_LEVEL");
+  EXPECT_FALSE(InitLogLevelFromEnv());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
 }
 
 TEST_F(LoggingTest, CheckPassesOnTrue) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/parallel.h"
 
 namespace fairgen::metrics {
@@ -227,6 +228,59 @@ TEST_F(MetricsTest, CsvExportRoundTripsAgainstJson) {
   // This test alone registers 9 fields (1 counter + 1 gauge + 5 histogram
   // + 2 series); more when other tests ran in the same process.
   EXPECT_GE(checked, 9u);
+}
+
+// Counter-track support for the Chrome trace export: every appended point
+// carries a monotone steady-clock timestamp, and `SeriesSnapshot` exposes
+// all registered series (name-sorted) with those timestamps.
+TEST_F(MetricsTest, SeriesPointsCarryMonotoneTimestamps) {
+  Series& s = MetricsRegistry::Global().GetSeries("test.timestamps.series");
+  s.Reset();
+  s.Append(0, 1.0);
+  s.Append(1, 2.5);
+  std::vector<SeriesPoint> pts = s.points_with_time();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].step, 0.0);
+  EXPECT_EQ(pts[0].value, 1.0);
+  EXPECT_EQ(pts[1].step, 1.0);
+  EXPECT_EQ(pts[1].value, 2.5);
+  EXPECT_LE(pts[0].ts_ns, pts[1].ts_ns);
+}
+
+TEST_F(MetricsTest, SeriesSnapshotIsSortedAndComplete) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetSeries("test.seriessnap.b").Append(0, 2.0);
+  reg.GetSeries("test.seriessnap.a").Append(0, 1.0);
+  auto snap = reg.SeriesSnapshot();
+  ASSERT_GE(snap.size(), 2u);
+  bool saw_a = false;
+  for (size_t i = 0; i < snap.size(); ++i) {
+    if (i > 0) EXPECT_LT(snap[i - 1].first, snap[i].first);
+    if (snap[i].first == "test.seriessnap.a") {
+      saw_a = true;
+      ASSERT_EQ(snap[i].second.size(), 1u);
+      EXPECT_EQ(snap[i].second[0].value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+}
+
+// Metric names flow into JSON keys; a hostile name (quotes, backslash)
+// must be escaped so the export stays parseable.
+TEST_F(MetricsTest, JsonExportEscapesMetricNames) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.escape.\"quoted\\name\"").Increment(3);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("test.escape.\\\"quoted\\\\name\\\""),
+            std::string::npos)
+      << json;
+  auto parsed = json::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* v = counters->Find("test.escape.\"quoted\\name\"");
+  ASSERT_NE(v, nullptr) << "escaped key did not round-trip through parse";
+  EXPECT_EQ(v->AsDouble(), 3.0);
 }
 
 TEST_F(MetricsTest, ResetValuesKeepsReferencesValid) {

@@ -71,5 +71,39 @@ TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(0.0, 0), "0");
 }
 
+TEST(StrEndsWithTest, Basics) {
+  EXPECT_TRUE(StrEndsWith("trace.perfetto.json", ".perfetto.json"));
+  EXPECT_TRUE(StrEndsWith("foo", ""));
+  EXPECT_TRUE(StrEndsWith("", ""));
+  EXPECT_FALSE(StrEndsWith("json", ".perfetto.json"));
+  EXPECT_FALSE(StrEndsWith("foo.jsonx", ".json"));
+}
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("trainer.nll"), "trainer.nll");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape("a\bb"), "a\\bb");
+  EXPECT_EQ(JsonEscape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscapeTest, EscapesRemainingControlsAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string_view("\x00", 1)), "\\u0000");
+  EXPECT_EQ(JsonEscape("a\x1f"
+                       "z"),
+            "a\\u001fz");
+}
+
 }  // namespace
 }  // namespace fairgen

@@ -85,10 +85,56 @@ TEST_F(TraceTest, JsonAndCsvExports) {
   auto csv = ParseCsv(Tracer::Global().ToCsv());
   ASSERT_TRUE(csv.ok()) << csv.status().ToString();
   ASSERT_EQ(csv->header(),
-            (std::vector<std::string>{"name", "start_ns", "wall_ns", "cpu_ns",
-                                      "depth", "thread"}));
+            (std::vector<std::string>{"name", "cat", "start_ns", "wall_ns",
+                                      "cpu_ns", "depth", "thread"}));
   ASSERT_EQ(csv->num_rows(), 1u);
   EXPECT_EQ(csv->rows()[0][0], "test.export");
+  EXPECT_EQ(csv->rows()[0][1], "general");
+}
+
+TEST_F(TraceTest, CategoryNamesAreStable) {
+  EXPECT_EQ(CategoryName(Category::kGeneral), "general");
+  EXPECT_EQ(CategoryName(Category::kWalk), "walk");
+  EXPECT_EQ(CategoryName(Category::kTrain), "train");
+  EXPECT_EQ(CategoryName(Category::kEmbed), "embed");
+  EXPECT_EQ(CategoryName(Category::kGenerate), "generate");
+  EXPECT_EQ(CategoryName(Category::kAssemble), "assemble");
+  EXPECT_EQ(CategoryName(Category::kEval), "eval");
+}
+
+TEST_F(TraceTest, SpansCarryTheirCategoryIntoExports) {
+  Tracer::Global().SetEnabled(true);
+  { ScopedSpan span("test.walk_span", Category::kWalk); }
+  { ScopedSpan span("test.eval_span", Category::kEval); }
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].category, Category::kWalk);
+  EXPECT_EQ(spans[1].category, Category::kEval);
+
+  std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"cat\": \"walk\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\": \"eval\""), std::string::npos) << json;
+}
+
+// ScopedSpan must outlive a temporary name: the name is interned into the
+// tracer's arena at construction, so dynamically built strings (the
+// "bench.<scenario>" pattern) are safe to pass and identical names share
+// one arena entry.
+TEST_F(TraceTest, TemporaryNamesAreInternedSafely) {
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 3; ++i) {
+    std::string dynamic = std::string("test.") + "dynamic";
+    ScopedSpan span(dynamic);
+    dynamic.assign(64, 'x');  // clobber the source before the span closes
+  }
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const SpanRecord& s : spans) EXPECT_EQ(s.name, "test.dynamic");
+
+  std::string_view a = Tracer::Global().InternName("test.interned");
+  std::string_view b =
+      Tracer::Global().InternName(std::string("test.") + "interned");
+  EXPECT_EQ(a.data(), b.data()) << "identical names must share arena storage";
 }
 
 TEST_F(TraceTest, ClearDropsSpans) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <gtest/gtest.h>
 
+#include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -204,6 +205,10 @@ TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
   };
   auto run = [&](uint32_t threads) {
     Observed out;
+    // Memory probing at stage boundaries is part of the instrumentation
+    // under test: it reads /proc and writes gauges/series, and must be as
+    // output-neutral as the metrics and tracer mutations around it.
+    memprobe::Sample("determinism.start");
     Rng acc_rng(42);
     EdgeScoreAccumulator acc = AccumulateWalkScores(
         graph.num_nodes(), /*target_transitions=*/4000, threads, acc_rng,
@@ -212,6 +217,7 @@ TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
                                     walk_rng);
         });
     out.scores = SortedScores(acc.ScoredEdges());
+    memprobe::Sample("determinism.accumulated");
     Rng walk_rng(43);
     out.walks = walker.SampleUniformWalks(80, 8, walk_rng, threads);
     uint32_t saved = DefaultNumThreads();
@@ -220,6 +226,7 @@ TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
     SetDefaultNumThreads(saved);
     EXPECT_TRUE(mmd.ok());
     out.degree_mmd = *mmd;
+    memprobe::Sample("determinism.end");
     return out;
   };
 

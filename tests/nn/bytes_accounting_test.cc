@@ -1,0 +1,80 @@
+// Byte-accounting balance tests: every float the nn substrate allocates is
+// charged to memprobe::NnBytes() through the FloatBuffer tracking
+// allocator, and every free credits it back — so after any tensor
+// workload the live tally returns exactly to its baseline. Graph CSR
+// accounting is capacity-based and checked against the exact array sizes.
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memprobe.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "nn/tensor.h"
+
+namespace fairgen {
+namespace {
+
+TEST(NnBytesAccountingTest, TensorLifecycleBalances) {
+  const uint64_t baseline = memprobe::NnBytes().live();
+  {
+    nn::Tensor a(32, 64);
+    EXPECT_GE(memprobe::NnBytes().live(),
+              baseline + 32 * 64 * sizeof(float));
+    nn::Tensor b(16, 16, 1.5f);
+    nn::Tensor c(2, 2, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_EQ(c.at(1, 1), 4.0f);
+    EXPECT_GE(memprobe::NnBytes().live(),
+              baseline + (32 * 64 + 16 * 16 + 4) * sizeof(float));
+  }
+  EXPECT_EQ(memprobe::NnBytes().live(), baseline)
+      << "tensor teardown must credit back every charged byte";
+}
+
+TEST(NnBytesAccountingTest, CopyAndMoveBalance) {
+  const uint64_t baseline = memprobe::NnBytes().live();
+  {
+    nn::Tensor a(8, 8, 2.0f);
+    nn::Tensor copy = a;               // charges a second buffer
+    nn::Tensor moved = std::move(a);   // transfers, no net charge
+    EXPECT_EQ(copy.at(0, 0), 2.0f);
+    EXPECT_EQ(moved.at(7, 7), 2.0f);
+    EXPECT_GE(memprobe::NnBytes().live(),
+              baseline + 2 * 8 * 8 * sizeof(float));
+  }
+  EXPECT_EQ(memprobe::NnBytes().live(), baseline);
+}
+
+TEST(NnBytesAccountingTest, PeakIsAtLeastLiveAndSticky) {
+  const uint64_t baseline = memprobe::NnBytes().live();
+  {
+    nn::Tensor big(64, 256);
+    (void)big;
+    EXPECT_GE(memprobe::NnBytes().peak(), memprobe::NnBytes().live());
+  }
+  EXPECT_GE(memprobe::NnBytes().peak(),
+            baseline + 64 * 256 * sizeof(float))
+      << "peak must remember the high-water mark after the free";
+  EXPECT_EQ(memprobe::NnBytes().live(), baseline);
+}
+
+TEST(GraphBytesAccountingTest, MemoryBytesMatchesCsrArrays) {
+  GraphBuilder builder(/*num_nodes=*/10);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Graph g = *std::move(built);
+  // CSR storage: (num_nodes + 1) offsets plus one neighbor entry per
+  // directed edge; capacity can only round up from there.
+  size_t lower_bound =
+      (g.num_nodes() + 1) * sizeof(uint64_t) + 2 * 3 * sizeof(NodeId);
+  EXPECT_GE(g.MemoryBytes(), lower_bound);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -26,6 +26,7 @@
 
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -56,6 +57,7 @@ struct Options {
   std::string load_model_path;
   std::string metrics_out_path;
   std::string trace_out_path;
+  std::string log_level;
   uint64_t seed = 7;
   uint32_t walks = 300;
   uint32_t cycles = 4;
@@ -72,7 +74,12 @@ int Usage() {
       "       --cycles=<n> --epochs=<n> --threads=<n>\n"
       "       --save-model=<ckpt> --load-model=<ckpt> (fairgen models)\n"
       "       --metrics-out=<file>  write the metrics registry as JSON\n"
-      "       --trace-out=<file>    enable tracing, write spans as JSON\n");
+      "       --trace-out=<file>    enable tracing, write spans as JSON\n"
+      "                             (*.perfetto.json / *.chrome.json: Chrome\n"
+      "                             trace-event format for ui.perfetto.dev)\n"
+      "       --log-level=<level>   debug|info|warning|error (default: the\n"
+      "                             FAIRGEN_LOG_LEVEL env var, else "
+      "warning)\n");
   return 2;
 }
 
@@ -114,6 +121,12 @@ Result<Options> Parse(int argc, char** argv) {
       opts.metrics_out_path = value("--metrics-out=");
     } else if (StrStartsWith(arg, "--trace-out=")) {
       opts.trace_out_path = value("--trace-out=");
+    } else if (StrStartsWith(arg, "--log-level=")) {
+      opts.log_level = value("--log-level=");
+      LogLevel parsed;
+      if (!ParseLogLevel(opts.log_level, &parsed)) {
+        return Status::InvalidArgument("bad --log-level: " + opts.log_level);
+      }
     } else {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
@@ -275,6 +288,7 @@ Status RunGenerate(const Options& opts) {
     return Status::InvalidArgument("generate requires --out=<file>");
   }
   FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
+  memprobe::Sample("load");
   FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
   Rng rng(opts.seed);
   auto* fairgen_trainer = dynamic_cast<FairGenTrainer*>(model.get());
@@ -294,6 +308,7 @@ Status RunGenerate(const Options& opts) {
                  static_cast<unsigned long long>(graph.num_edges()));
     FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
   }
+  memprobe::Sample("fit");
   if (!opts.save_model_path.empty()) {
     if (fairgen_trainer == nullptr) {
       return Status::InvalidArgument(
@@ -305,6 +320,7 @@ Status RunGenerate(const Options& opts) {
                  opts.save_model_path.c_str());
   }
   FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
+  memprobe::Sample("generate");
   FAIRGEN_RETURN_NOT_OK(SaveEdgeList(generated, opts.out_path));
   std::printf("wrote %llu edges to %s\n",
               static_cast<unsigned long long>(generated.num_edges()),
@@ -363,6 +379,7 @@ Status RunCore(const Options& opts) {
 // command failed: partial telemetry is often exactly what's needed to debug
 // the failure.
 Status WriteTelemetry(const Options& opts) {
+  memprobe::Sample("exit");
   if (!opts.metrics_out_path.empty()) {
     FAIRGEN_RETURN_NOT_OK(
         metrics::MetricsRegistry::Global().WriteJson(opts.metrics_out_path));
@@ -371,7 +388,7 @@ Status WriteTelemetry(const Options& opts) {
   }
   if (!opts.trace_out_path.empty()) {
     FAIRGEN_RETURN_NOT_OK(
-        trace::Tracer::Global().WriteJson(opts.trace_out_path));
+        trace::Tracer::Global().WriteAuto(opts.trace_out_path));
     std::fprintf(stderr, "wrote %zu trace spans to %s\n",
                  trace::Tracer::Global().size(), opts.trace_out_path.c_str());
   }
@@ -384,7 +401,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
     return Usage();
   }
-  SetLogLevel(LogLevel::kWarning);
+  // Log level: explicit flag > FAIRGEN_LOG_LEVEL env var > quiet default.
+  LogLevel level;
+  if (!opts->log_level.empty() && ParseLogLevel(opts->log_level, &level)) {
+    SetLogLevel(level);
+  } else if (!InitLogLevelFromEnv()) {
+    SetLogLevel(LogLevel::kWarning);
+  }
   if (!opts->trace_out_path.empty()) {
     trace::Tracer::Global().SetEnabled(true);
   }
