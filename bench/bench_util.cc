@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 
 namespace fairgen::bench {
@@ -23,6 +24,10 @@ std::string g_trace_out;
 
 void WriteTelemetryAtExit() {
   memprobe::Sample("exit");
+  // atexit cannot observe the exit code; a bench that got here exited
+  // normally, so finalize the run manifest as a success. Signal deaths go
+  // through telemetry::InstallSignalFlush instead, which records 128+sig.
+  telemetry::Publisher::StopGlobal(0);
   if (!g_metrics_out.empty()) {
     Status s = metrics::MetricsRegistry::Global().WriteJson(g_metrics_out);
     if (!s.ok()) {
@@ -65,7 +70,14 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "                     (*.perfetto.json / *.chrome.json load in\n"
           "                     ui.perfetto.dev; other paths: flat JSON)\n"
           "  --log-level=<l>    debug|info|warning|error (default: the\n"
-          "                     FAIRGEN_LOG_LEVEL env var, else warning)\n",
+          "                     FAIRGEN_LOG_LEVEL env var, else warning)\n"
+          "  --telemetry-dir=<d>        live telemetry: per-run directory\n"
+          "                             under <d> with run.json manifest +\n"
+          "                             periodic snapshot.json/metrics.prom\n"
+          "  --telemetry-port=<n>       also serve Prometheus text on\n"
+          "                             127.0.0.1:<n> (0 = ephemeral port;\n"
+          "                             requires --telemetry-dir)\n"
+          "  --telemetry-interval-ms=<n> snapshot period (default 1000)\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -90,6 +102,18 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
       options.trace_out = std::string(arg.substr(12));
     } else if (StrStartsWith(arg, "--log-level=")) {
       options.log_level = std::string(arg.substr(12));
+    } else if (StrStartsWith(arg, "--telemetry-dir=")) {
+      options.telemetry_dir = std::string(arg.substr(16));
+    } else if (StrStartsWith(arg, "--telemetry-port=")) {
+      options.telemetry_port = static_cast<int32_t>(
+          std::strtol(std::string(arg.substr(17)).c_str(), nullptr, 10));
+      if (options.telemetry_port < 0 || options.telemetry_port > 65535) {
+        std::fprintf(stderr, "bad --telemetry-port\n");
+        std::exit(2);
+      }
+    } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
+      options.telemetry_interval_ms = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(24)).c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
@@ -107,7 +131,14 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     SetLogLevel(LogLevel::kWarning);
   }
   if (options.threads != 0) SetDefaultNumThreads(options.threads);
-  if (!options.metrics_out.empty() || !options.trace_out.empty()) {
+  if (options.telemetry_dir.empty() && options.telemetry_port >= 0) {
+    std::fprintf(stderr, "--telemetry-port requires --telemetry-dir\n");
+    std::exit(2);
+  }
+  const bool any_telemetry = !options.metrics_out.empty() ||
+                             !options.trace_out.empty() ||
+                             !options.telemetry_dir.empty();
+  if (any_telemetry) {
     g_metrics_out = options.metrics_out;
     g_trace_out = options.trace_out;
     if (!options.trace_out.empty()) {
@@ -118,6 +149,34 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     // them.
     metrics::MetricsRegistry::Global();
     std::atexit(WriteTelemetryAtExit);
+    // SIGTERM/SIGINT/abort would skip atexit entirely — flush telemetry
+    // best-effort from the signal path too (and finalize the run
+    // manifest with 128+sig).
+    telemetry::InstallSignalFlush(&WriteTelemetryAtExit);
+  }
+  if (!options.telemetry_dir.empty()) {
+    telemetry::PublisherOptions pub;
+    pub.dir = options.telemetry_dir;
+    pub.serve = options.telemetry_port >= 0;
+    pub.port = static_cast<uint16_t>(
+        options.telemetry_port < 0 ? 0 : options.telemetry_port);
+    pub.interval_ms = options.telemetry_interval_ms;
+    pub.binary = argc > 0 ? argv[0] : "bench";
+    for (int i = 1; i < argc; ++i) pub.args.emplace_back(argv[i]);
+    pub.seed = options.seed;
+    pub.threads = options.threads;
+    auto publisher = telemetry::Publisher::StartGlobal(std::move(pub));
+    if (!publisher.ok()) {
+      std::fprintf(stderr, "telemetry start failed: %s\n",
+                   publisher.status().ToString().c_str());
+      std::exit(2);
+    }
+    std::printf("(telemetry run dir: %s", (*publisher)->run_dir().c_str());
+    if ((*publisher)->bound_port() != 0) {
+      std::printf("; scrape http://127.0.0.1:%u/metrics",
+                  (*publisher)->bound_port());
+    }
+    std::printf(")\n");
   }
   return options;
 }

@@ -28,6 +28,13 @@ struct BenchOptions {
                               ///< trace-event JSON for *.perfetto.json /
                               ///< *.chrome.json, flat span JSON otherwise)
   std::string log_level;      ///< --log-level=<name>: overrides env/default
+  std::string telemetry_dir;  ///< --telemetry-dir=<dir>: live run telemetry
+                              ///< (run.json/snapshot.json/metrics.prom in a
+                              ///< per-run directory under <dir>)
+  int32_t telemetry_port = -1;       ///< --telemetry-port=<n>: Prometheus
+                                     ///< exposition on 127.0.0.1:<n>
+                                     ///< (0 = ephemeral; -1 = off)
+  uint32_t telemetry_interval_ms = 1000;  ///< --telemetry-interval-ms=<n>
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

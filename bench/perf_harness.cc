@@ -9,6 +9,7 @@
 #include "common/json.h"
 #include "common/memprobe.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 
 namespace fairgen::bench {
@@ -200,17 +201,6 @@ int PerfHarness::CompareWithBaseline(
   return regressions;
 }
 
-std::string GitRevision() {
-  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
-  if (pipe == nullptr) return "unknown";
-  char buf[64] = {0};
-  std::string rev;
-  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
-  ::pclose(pipe);
-  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
-    rev.pop_back();
-  }
-  return rev.empty() ? "unknown" : rev;
-}
+std::string GitRevision() { return telemetry::GitRevision(); }
 
 }  // namespace fairgen::bench

@@ -72,6 +72,27 @@ void Histogram::Observe(double value) {
   }
 }
 
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_count(i));
+    if (in_bucket > 0.0 && cumulative + in_bucket >= target) {
+      if (i + 1 == buckets_.size()) return bounds_.back();  // overflow
+      const double lo =
+          i == 0 ? std::min(0.0, bounds_.front()) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = std::max(0.0, target - cumulative) / in_bucket;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -195,6 +216,9 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
           static_cast<double>(h.bucket_count(h.num_buckets() - 1)));
       snap.fields.emplace_back("sum", h.sum());
       snap.fields.emplace_back("count", static_cast<double>(h.count()));
+      snap.fields.emplace_back("p50", h.Quantile(0.50));
+      snap.fields.emplace_back("p95", h.Quantile(0.95));
+      snap.fields.emplace_back("p99", h.Quantile(0.99));
     } else if (entry->series != nullptr) {
       for (const auto& [step, value] : entry->series->points()) {
         snap.fields.emplace_back(FormatValue(step), value);

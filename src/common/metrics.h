@@ -92,6 +92,15 @@ class Histogram {
   /// Number of buckets including the overflow bucket.
   size_t num_buckets() const { return buckets_.size(); }
 
+  /// Quantile estimate for `q` in [0, 1] by linear interpolation inside
+  /// the containing bucket (the `histogram_quantile` rule: the lower edge
+  /// of the first bucket is clamped to 0 for positive bounds, and any
+  /// quantile landing in the overflow bucket reports the largest finite
+  /// bound). 0 when nothing has been observed. Exported as the
+  /// p50/p95/p99 snapshot fields and the Prometheus `_quantile` family so
+  /// latency tails are visible without opening a trace.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -136,7 +145,8 @@ class Series {
 
 /// \brief One exported metric in flattened form: `fields` holds
 /// (field-name, value) pairs — a counter/gauge exports the single field
-/// "value"; histograms export "le_<bound>"/"sum"/"count"; series export
+/// "value"; histograms export "le_<bound>"/"sum"/"count" plus the
+/// interpolated "p50"/"p95"/"p99" quantile estimates; series export
 /// one field per step. The flattening is what makes the JSON and CSV
 /// exports carry identical information (see metrics_test round-trip).
 struct MetricSnapshot {

@@ -2,9 +2,11 @@
 
 #include <time.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/metrics.h"
@@ -48,6 +50,20 @@ std::string NsToUsField(uint64_t ns) {
 
 }  // namespace
 
+namespace {
+
+// Counter for ring evictions. Cached pointer: registration takes the
+// registry lock once; every later drop is a relaxed atomic add. Lock
+// order is tracer-then-registry on the first drop only, and the registry
+// never takes the tracer lock.
+metrics::Counter& SpansDroppedCounter() {
+  static metrics::Counter* counter =
+      &metrics::MetricsRegistry::Global().GetCounter("trace.spans_dropped");
+  return *counter;
+}
+
+}  // namespace
+
 std::string_view CategoryName(Category category) {
   switch (category) {
     case Category::kGeneral:
@@ -68,7 +84,15 @@ std::string_view CategoryName(Category category) {
   return "general";
 }
 
-Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {
+  // Startup override for long-lived publisher sessions that want a
+  // smaller (or larger) retention window.
+  if (const char* env = std::getenv("FAIRGEN_TRACE_CAPACITY")) {
+    char* end = nullptr;
+    unsigned long long cap = std::strtoull(env, &end, 10);
+    if (end != env && cap > 0) capacity_ = static_cast<size_t>(cap);
+  }
+}
 
 Tracer& Tracer::Global() {
   // Leaked singleton: spans can be recorded from pool workers that the
@@ -89,8 +113,20 @@ bool Tracer::enabled() const {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(std::move(record));
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() < capacity_) {
+      spans_.push_back(std::move(record));
+    } else {
+      // Ring mode: overwrite the oldest span and advance the start.
+      spans_[ring_start_] = std::move(record);
+      ring_start_ = (ring_start_ + 1) % capacity_;
+      ++dropped_;
+      evicted = true;
+    }
+  }
+  if (evicted) SpansDroppedCounter().Increment();
 }
 
 uint32_t Tracer::ThreadIndex() {
@@ -110,9 +146,20 @@ std::string_view Tracer::InternName(std::string_view name) {
   return *it;
 }
 
+// Precondition: mu_ held by the caller.
+std::vector<SpanRecord> Tracer::SnapshotLocked() const {
+  std::vector<SpanRecord> out;
+  if (spans_.empty()) return out;
+  out.reserve(spans_.size());
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(spans_[(ring_start_ + i) % spans_.size()]);
+  }
+  return out;
+}
+
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  return SnapshotLocked();
 }
 
 size_t Tracer::size() const {
@@ -123,6 +170,65 @@ size_t Tracer::size() const {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  ring_start_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Normalize to completion order so the append path's "plain vector
+    // below capacity" invariant holds for the new capacity.
+    std::vector<SpanRecord> ordered = SnapshotLocked();
+    if (ordered.size() > capacity) {
+      evicted = ordered.size() - capacity;
+      ordered.erase(ordered.begin(),
+                    ordered.begin() + static_cast<ptrdiff_t>(evicted));
+      dropped_ += evicted;
+    }
+    spans_ = std::move(ordered);
+    ring_start_ = 0;
+    capacity_ = capacity;
+  }
+  if (evicted > 0) SpansDroppedCounter().Increment(evicted);
+}
+
+size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<std::pair<std::string, CategorySummary>>
+Tracer::SummarizeByCategory() const {
+  // Indexed by Category value; kEval is the last enumerator.
+  constexpr size_t kNumCategories =
+      static_cast<size_t>(Category::kEval) + 1;
+  CategorySummary sums[kNumCategories];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const SpanRecord& s : spans_) {
+      CategorySummary& sum = sums[static_cast<size_t>(s.category)];
+      ++sum.count;
+      sum.wall_ns += s.wall_ns;
+      sum.cpu_ns += s.cpu_ns;
+    }
+  }
+  std::vector<std::pair<std::string, CategorySummary>> out;
+  for (size_t c = 0; c < kNumCategories; ++c) {
+    if (sums[c].count == 0) continue;
+    out.emplace_back(std::string(CategoryName(static_cast<Category>(c))),
+                     sums[c]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 std::string Tracer::ToJson() const {

@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,17 +45,37 @@ struct SpanRecord {
   uint32_t thread = 0;        ///< stable thread index
 };
 
+/// \brief Wall/CPU aggregate of the retained spans of one category — the
+/// per-stage breakdown the telemetry snapshot and `fairgen_report` show
+/// without shipping every span.
+struct CategorySummary {
+  uint64_t count = 0;
+  uint64_t wall_ns = 0;
+  uint64_t cpu_ns = 0;
+};
+
 /// \brief Process-wide span collector. Collection is off by default —
 /// `ScopedSpan` is a no-op (not even a clock read) until `SetEnabled(true)`
 /// — so the hot paths stay untouched unless a run asks for a trace
 /// (`--trace-out`). Span append takes one mutex; spans end at scope exit,
 /// well off the per-element hot paths.
 ///
+/// Retention is bounded: at most `capacity()` spans are kept (default
+/// 1,048,576, ~100 MB worst case; `FAIRGEN_TRACE_CAPACITY` overrides at
+/// startup, `SetCapacity` at runtime). Once full the buffer becomes a
+/// ring — the oldest span is evicted per append and counted in
+/// `dropped()` and the `trace.spans_dropped` metric — so a long-lived
+/// publisher session cannot grow without bound. All exports (JSON, CSV,
+/// Chrome trace) see the retained spans in completion order.
+///
 /// Like the metrics registry, tracing is observation-only: it never draws
 /// from an `Rng` and never alters chunk layouts, so enabling it cannot
 /// change any model output (pinned by the determinism suite).
 class Tracer {
  public:
+  /// Default span retention cap.
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
   /// The process-wide tracer (created on first use).
   static Tracer& Global();
 
@@ -75,10 +96,27 @@ class Tracer {
   /// Steady-clock origin that `SpanRecord::start_ns` is measured from.
   uint64_t epoch_ns() const { return epoch_ns_; }
 
-  /// Copy of all recorded spans in completion order.
+  /// Copy of the retained spans in completion order (oldest retained
+  /// first).
   std::vector<SpanRecord> Snapshot() const;
+  /// Number of retained spans.
   size_t size() const;
+  /// Drops all spans and zeroes `dropped()`; capacity is kept.
   void Clear();
+
+  /// Caps retained spans at `capacity` (minimum 1). If more are currently
+  /// held, the oldest are evicted (counted as dropped).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+  /// Spans evicted by the ring since construction or `Clear`.
+  uint64_t dropped() const;
+
+  /// Aggregate wall/CPU time of the retained spans per category, sorted
+  /// by category name; categories without spans are omitted. Computed
+  /// under the tracer lock without copying the span buffer, so it is
+  /// cheap enough for the telemetry publisher's periodic snapshot.
+  std::vector<std::pair<std::string, CategorySummary>> SummarizeByCategory()
+      const;
 
   /// JSON list of span objects, completion order:
   /// [{"name": ..., "cat": ..., "start_ns": ..., "wall_ns": ...,
@@ -109,8 +147,17 @@ class Tracer {
  private:
   Tracer();
 
+  // Retained spans in completion order, under mu_.
+  std::vector<SpanRecord> SnapshotLocked() const;
+
   mutable std::mutex mu_;
+  // Span storage. Below capacity_ it is a plain append vector
+  // (ring_start_ == 0); at capacity it is a ring whose oldest element is
+  // spans_[ring_start_].
   std::vector<SpanRecord> spans_;
+  size_t ring_start_ = 0;               // guarded by mu_
+  size_t capacity_ = kDefaultCapacity;  // guarded by mu_
+  uint64_t dropped_ = 0;                // guarded by mu_
   // Interned span names: node-based set, so the string storage (and every
   // view handed out) is stable for the tracer's lifetime.
   std::set<std::string, std::less<>> names_;

@@ -283,6 +283,63 @@ TEST_F(MetricsTest, JsonExportEscapesMetricNames) {
   EXPECT_EQ(v->AsDouble(), 3.0);
 }
 
+TEST_F(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.quantile.histogram", {10.0, 20.0, 40.0});
+  h.Reset();
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty histogram
+
+  // 10 observations in [0,10], 10 in (10,20].
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+
+  // Median: target rank 10 lands exactly at the first bucket's upper
+  // edge (10 of 20 observations are <= 10).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  // p25 interpolates halfway into the first bucket [0, 10].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  // p75 interpolates halfway into the second bucket (10, 20].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.75), 15.0);
+  // q=1 is the top of the highest occupied bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantileOverflowReportsLargestFiniteBound) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.quantile_overflow.histogram", {1.0, 2.0});
+  h.Reset();
+  for (int i = 0; i < 4; ++i) h.Observe(100.0);  // all overflow
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesHistogramQuantiles) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.quantile_snapshot.histogram", {1.0, 10.0});
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(0.5);
+
+  bool found = false;
+  for (const MetricSnapshot& snap : MetricsRegistry::Global().Snapshot()) {
+    if (snap.name != "test.quantile_snapshot.histogram") continue;
+    found = true;
+    std::map<std::string, double> fields(snap.fields.begin(),
+                                         snap.fields.end());
+    ASSERT_TRUE(fields.count("p50"));
+    ASSERT_TRUE(fields.count("p95"));
+    ASSERT_TRUE(fields.count("p99"));
+    EXPECT_DOUBLE_EQ(fields["p50"], h.Quantile(0.5));
+    EXPECT_DOUBLE_EQ(fields["p95"], h.Quantile(0.95));
+    EXPECT_DOUBLE_EQ(fields["p99"], h.Quantile(0.99));
+  }
+  ASSERT_TRUE(found);
+
+  // The quantile fields ride into the JSON export with every other field.
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
 TEST_F(MetricsTest, ResetValuesKeepsReferencesValid) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   Counter& c = reg.GetCounter("test.resetvalues.counter");

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace fairgen::trace {
@@ -144,6 +145,111 @@ TEST_F(TraceTest, ClearDropsSpans) {
   Tracer::Global().Clear();
   EXPECT_EQ(Tracer::Global().size(), 0u);
   EXPECT_EQ(Tracer::Global().ToJson(), "[]\n");
+}
+
+// The ring-buffer cap: below capacity the tracer is a plain append log;
+// at capacity the oldest spans are overwritten, a drop counter advances,
+// and every export sees only the retained suffix in completion order.
+class TraceRingTest : public TraceTest {
+ protected:
+  void TearDown() override {
+    Tracer::Global().SetCapacity(Tracer::kDefaultCapacity);
+    metrics::MetricsRegistry::Global()
+        .GetCounter("trace.spans_dropped")
+        .Reset();
+    TraceTest::TearDown();
+  }
+};
+
+TEST_F(TraceRingTest, CapRetainsNewestSpansInOrder) {
+  Tracer::Global().SetCapacity(4);
+  EXPECT_EQ(Tracer::Global().capacity(), 4u);
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test.ring." + std::to_string(i));
+  }
+  EXPECT_EQ(Tracer::Global().size(), 4u);
+  EXPECT_EQ(Tracer::Global().dropped(), 6u);
+
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].name, "test.ring." + std::to_string(6 + i));
+  }
+}
+
+TEST_F(TraceRingTest, DropCounterFeedsMetricsRegistry) {
+  metrics::Counter& counter =
+      metrics::MetricsRegistry::Global().GetCounter("trace.spans_dropped");
+  counter.Reset();
+  Tracer::Global().SetCapacity(2);
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("test.ringdrop");
+  }
+  EXPECT_EQ(Tracer::Global().dropped(), 3u);
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+TEST_F(TraceRingTest, ChromeTraceExportsOnlyRetainedSpans) {
+  Tracer::Global().SetCapacity(3);
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 6; ++i) {
+    ScopedSpan span("test.chrome." + std::to_string(i));
+  }
+  std::string chrome = Tracer::Global().ToChromeTrace();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(chrome.find("test.chrome." + std::to_string(i)),
+              std::string::npos)
+        << "evicted span leaked into the export";
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_NE(chrome.find("test.chrome." + std::to_string(i)),
+              std::string::npos);
+  }
+}
+
+TEST_F(TraceRingTest, ClearResetsRingState) {
+  Tracer::Global().SetCapacity(2);
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("test.ringclear");
+  }
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().size(), 0u);
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
+  { ScopedSpan span("test.ringclear.after"); }
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.ringclear.after");
+}
+
+TEST_F(TraceRingTest, ShrinkingCapacityEvictsOldest) {
+  Tracer::Global().SetEnabled(true);
+  for (int i = 0; i < 6; ++i) {
+    ScopedSpan span("test.shrink." + std::to_string(i));
+  }
+  Tracer::Global().SetCapacity(2);
+  std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test.shrink.4");
+  EXPECT_EQ(spans[1].name, "test.shrink.5");
+  EXPECT_EQ(Tracer::Global().dropped(), 4u);
+}
+
+TEST_F(TraceRingTest, SummarizeByCategoryAggregates) {
+  Tracer::Global().SetEnabled(true);
+  { ScopedSpan span("test.sum.w1", Category::kWalk); }
+  { ScopedSpan span("test.sum.w2", Category::kWalk); }
+  { ScopedSpan span("test.sum.t1", Category::kTrain); }
+  auto summary = Tracer::Global().SummarizeByCategory();
+  ASSERT_EQ(summary.size(), 2u);
+  // Sorted by category name: "train" < "walk".
+  EXPECT_EQ(summary[0].first, "train");
+  EXPECT_EQ(summary[0].second.count, 1u);
+  EXPECT_EQ(summary[1].first, "walk");
+  EXPECT_EQ(summary[1].second.count, 2u);
+  EXPECT_GE(summary[1].second.wall_ns, 0u);
 }
 
 }  // namespace

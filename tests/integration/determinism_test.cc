@@ -11,6 +11,7 @@
 #include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
@@ -250,6 +251,57 @@ TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
   metrics::SetEnabled(metrics_before);
   trace::Tracer::Global().SetEnabled(trace_before);
   trace::Tracer::Global().Clear();
+}
+
+// The telemetry publisher extends the observation-only contract to a
+// *concurrent* observer: a background thread snapshotting the registry,
+// memprobe, and tracer every few milliseconds while FairGen trains must
+// not perturb a single output bit at any thread count. This is what makes
+// `--telemetry-dir` safe to leave on for real runs.
+TEST(DeterminismTest, TelemetryPublisherDoesNotPerturbOutputs) {
+  Rng data_rng(13);
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_edges = 160;
+  cfg.num_classes = 2;
+  auto data = GenerateSynthetic(cfg, data_rng);
+  ASSERT_TRUE(data.ok());
+
+  auto run = [&](uint32_t threads) {
+    FairGenConfig fairgen;
+    fairgen.num_walks = 40;
+    fairgen.self_paced_cycles = 2;
+    fairgen.generator_epochs = 1;
+    fairgen.gen_transition_multiplier = 2.0;
+    fairgen.embedding_dim = 16;
+    fairgen.ffn_dim = 32;
+    fairgen.num_threads = threads;
+    FairGenTrainer trainer(fairgen);
+    Rng fit_rng(29);
+    EXPECT_TRUE(trainer.Fit(data->graph, fit_rng).ok());
+    Rng score_rng(30);
+    auto scored = trainer.ScoreEdges(score_rng);
+    EXPECT_TRUE(scored.ok());
+    return SortedScores(*std::move(scored));
+  };
+
+  const bool metrics_before = metrics::Enabled();
+  metrics::SetEnabled(true);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    // Publisher on: snapshots race the training loop at a 5 ms cadence.
+    telemetry::PublisherOptions options;
+    options.dir = testing::TempDir() + "/fairgen_determinism_telemetry";
+    options.interval_ms = 5;
+    telemetry::Publisher publisher(options);
+    ASSERT_TRUE(publisher.Init().ok());
+    auto with_publisher = run(threads);
+    EXPECT_GT(publisher.snapshots_written(), 0u);
+    publisher.Stop(0);
+
+    auto without_publisher = run(threads);
+    ExpectBitIdentical(with_publisher, without_publisher);
+  }
+  metrics::SetEnabled(metrics_before);
 }
 
 TEST(DeterminismTest, Node2VecEmbeddingsAreThreadCountInvariant) {

@@ -29,6 +29,7 @@
 #include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/trainer.h"
 #include "generators/ba.h"
@@ -58,6 +59,9 @@ struct Options {
   std::string metrics_out_path;
   std::string trace_out_path;
   std::string log_level;
+  std::string telemetry_dir;
+  int32_t telemetry_port = -1;        // -1 = no HTTP endpoint
+  uint32_t telemetry_interval_ms = 1000;
   uint64_t seed = 7;
   uint32_t walks = 300;
   uint32_t cycles = 4;
@@ -77,6 +81,13 @@ int Usage() {
       "       --trace-out=<file>    enable tracing, write spans as JSON\n"
       "                             (*.perfetto.json / *.chrome.json: Chrome\n"
       "                             trace-event format for ui.perfetto.dev)\n"
+      "       --telemetry-dir=<d>   live telemetry: per-run dir under <d>\n"
+      "                             with run.json + periodic snapshot.json\n"
+      "                             and metrics.prom (atomic renames)\n"
+      "       --telemetry-port=<n>  serve Prometheus text exposition on\n"
+      "                             127.0.0.1:<n> (0 = ephemeral port;\n"
+      "                             requires --telemetry-dir)\n"
+      "       --telemetry-interval-ms=<n>  snapshot period (default 1000)\n"
       "       --log-level=<level>   debug|info|warning|error (default: the\n"
       "                             FAIRGEN_LOG_LEVEL env var, else "
       "warning)\n");
@@ -121,6 +132,18 @@ Result<Options> Parse(int argc, char** argv) {
       opts.metrics_out_path = value("--metrics-out=");
     } else if (StrStartsWith(arg, "--trace-out=")) {
       opts.trace_out_path = value("--trace-out=");
+    } else if (StrStartsWith(arg, "--telemetry-dir=")) {
+      opts.telemetry_dir = value("--telemetry-dir=");
+    } else if (StrStartsWith(arg, "--telemetry-port=")) {
+      long port =
+          std::strtol(value("--telemetry-port=").c_str(), nullptr, 10);
+      if (port < 0 || port > 65535) {
+        return Status::InvalidArgument("bad --telemetry-port");
+      }
+      opts.telemetry_port = static_cast<int32_t>(port);
+    } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
+      opts.telemetry_interval_ms = static_cast<uint32_t>(std::strtoul(
+          value("--telemetry-interval-ms=").c_str(), nullptr, 10));
     } else if (StrStartsWith(arg, "--log-level=")) {
       opts.log_level = value("--log-level=");
       LogLevel parsed;
@@ -375,6 +398,10 @@ Status RunCore(const Options& opts) {
   return Status::OK();
 }
 
+// Options of the live invocation, for the signal-flush path (plain
+// pointer set once in Main before any work runs).
+const Options* g_signal_opts = nullptr;
+
 // Writes --metrics-out / --trace-out files if requested. Runs even when the
 // command failed: partial telemetry is often exactly what's needed to debug
 // the failure.
@@ -395,6 +422,44 @@ Status WriteTelemetry(const Options& opts) {
   return Status::OK();
 }
 
+// Best-effort flush for SIGTERM/SIGINT/abort: the publisher's crash flush
+// has already run by the time telemetry::InstallSignalFlush calls this;
+// this covers the --metrics-out/--trace-out files that otherwise only
+// appear on a normal return from Main.
+void SignalExtraFlush() {
+  if (g_signal_opts != nullptr) WriteTelemetry(*g_signal_opts);
+}
+
+// Starts the live-telemetry publisher when --telemetry-dir was given.
+Status StartTelemetry(const Options& opts, int argc, char** argv) {
+  if (opts.telemetry_dir.empty()) {
+    if (opts.telemetry_port >= 0) {
+      return Status::InvalidArgument(
+          "--telemetry-port requires --telemetry-dir");
+    }
+    return Status::OK();
+  }
+  telemetry::PublisherOptions pub;
+  pub.dir = opts.telemetry_dir;
+  pub.serve = opts.telemetry_port >= 0;
+  pub.port = static_cast<uint16_t>(
+      opts.telemetry_port < 0 ? 0 : opts.telemetry_port);
+  pub.interval_ms = opts.telemetry_interval_ms;
+  pub.binary = argc > 0 ? argv[0] : "fairgen";
+  for (int i = 1; i < argc; ++i) pub.args.emplace_back(argv[i]);
+  pub.seed = opts.seed;
+  pub.threads = opts.threads;
+  FAIRGEN_ASSIGN_OR_RETURN(telemetry::Publisher * publisher,
+                           telemetry::Publisher::StartGlobal(std::move(pub)));
+  std::fprintf(stderr, "telemetry run dir: %s\n",
+               publisher->run_dir().c_str());
+  if (publisher->bound_port() != 0) {
+    std::fprintf(stderr, "telemetry endpoint: http://127.0.0.1:%u/metrics\n",
+                 publisher->bound_port());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   auto opts = Parse(argc, argv);
   if (!opts.ok()) {
@@ -411,6 +476,16 @@ int Main(int argc, char** argv) {
   if (!opts->trace_out_path.empty()) {
     trace::Tracer::Global().SetEnabled(true);
   }
+  Status telemetry_start = StartTelemetry(*opts, argc, argv);
+  if (!telemetry_start.ok()) {
+    std::fprintf(stderr, "error: %s\n", telemetry_start.ToString().c_str());
+    return Usage();
+  }
+  // Crash-safe flush: a SIGTERM/SIGINT/abort mid-run still leaves a final
+  // snapshot, a finalized manifest (exit status 128+sig) and the
+  // --metrics-out/--trace-out files behind, best-effort.
+  g_signal_opts = &*opts;
+  telemetry::InstallSignalFlush(&SignalExtraFlush);
   Status status;
   if (opts->command == "stats") {
     status = RunStats(*opts);
@@ -426,13 +501,15 @@ int Main(int argc, char** argv) {
   Status telemetry_status = WriteTelemetry(*opts);
   if (!telemetry_status.ok()) {
     std::fprintf(stderr, "error: %s\n", telemetry_status.ToString().c_str());
-    if (status.ok()) return 1;
+    if (status.ok()) status = telemetry_status;
   }
+  const int rc = status.ok() ? 0 : 1;
+  // Final snapshot + finalized manifest with the real exit status.
+  telemetry::Publisher::StopGlobal(rc);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace

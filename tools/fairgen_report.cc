@@ -1,0 +1,607 @@
+// fairgen_report — cross-run HTML report over telemetry run directories.
+//
+// Usage:
+//   fairgen_report <run-dir-or-parent>... [--out=report.html] [--title=...]
+//
+// Each argument is either a run directory (contains run.json, written by
+// the telemetry publisher) or a parent directory whose children are run
+// directories (the --telemetry-dir value). The tool joins, per run, the
+// manifest (run.json), the latest metrics snapshot (snapshot.json) and any
+// BENCH_*.json perf-harness result found in the run dir, and renders one
+// self-contained static HTML file: inline CSS, inline SVG charts, no
+// scripts, no network fetches — it opens from a file:// URL on an
+// air-gapped box.
+//
+// Sections (stable ids, pinned by the e2e smoke test):
+//   #runs    manifest table: id, git rev, seed, threads, duration, status
+//   #curves  training curves (NLL, self-paced lambda, parity regulariser,
+//            total loss) as SVG polylines, one per run
+//   #stages  per-stage wall/CPU breakdown from the span summaries
+//   #memory  RSS-over-time from the mem.rss_bytes series
+//   #bench   BENCH_pipeline scenario medians side by side (when present)
+//   #compare final counter/gauge values side by side
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace fairgen::report {
+namespace {
+
+struct RunData {
+  std::string dir;
+  std::string run_id;
+  json::Value manifest;
+  json::Value snapshot;  // null when snapshot.json is absent
+  json::Value bench;     // null when no BENCH_*.json in the run dir
+  bool has_snapshot = false;
+  bool has_bench = false;
+};
+
+// Color-blind-safe categorical palette (Okabe–Ito).
+const char* kPalette[] = {"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+                          "#D55E00", "#56B4E9", "#F0E442", "#000000"};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatG(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return std::string(buf);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool IsDir(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Loads one run directory; false when it has no readable manifest.
+bool LoadRun(const std::string& dir, RunData* run) {
+  auto manifest = json::ParseFile(dir + "/run.json");
+  if (!manifest.ok()) return false;
+  run->dir = dir;
+  run->manifest = *std::move(manifest);
+  run->run_id = run->manifest.GetString("run_id", dir);
+  if (FileExists(dir + "/snapshot.json")) {
+    auto snapshot = json::ParseFile(dir + "/snapshot.json");
+    if (snapshot.ok()) {
+      run->snapshot = *std::move(snapshot);
+      run->has_snapshot = true;
+    }
+  }
+  for (const std::string& name : ListDir(dir)) {
+    if (StrStartsWith(name, "BENCH_") && StrEndsWith(name, ".json")) {
+      auto bench = json::ParseFile(dir + "/" + name);
+      if (bench.ok()) {
+        run->bench = *std::move(bench);
+        run->has_bench = true;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+// Expands an argument into run dirs: itself when it holds run.json,
+// otherwise every child that does.
+std::vector<std::string> ExpandRunDirs(const std::string& path) {
+  std::vector<std::string> out;
+  if (FileExists(path + "/run.json")) {
+    out.push_back(path);
+    return out;
+  }
+  for (const std::string& child : ListDir(path)) {
+    std::string child_path = path + "/" + child;
+    if (IsDir(child_path) && FileExists(child_path + "/run.json")) {
+      out.push_back(child_path);
+    }
+  }
+  return out;
+}
+
+// (step, value) points of one named series from a run's snapshot, empty
+// when absent.
+std::vector<std::pair<double, double>> SeriesPoints(
+    const RunData& run, const std::string& name) {
+  std::vector<std::pair<double, double>> out;
+  if (!run.has_snapshot) return out;
+  const json::Value* metrics = run.snapshot.Find("metrics");
+  const json::Value* series =
+      metrics != nullptr ? metrics->Find("series") : nullptr;
+  const json::Value* points =
+      series != nullptr ? series->Find(name) : nullptr;
+  if (points == nullptr || !points->is_array()) return out;
+  for (const json::Value& p : points->AsArray()) {
+    if (p.is_array() && p.AsArray().size() == 2 &&
+        p.AsArray()[0].is_number() && p.AsArray()[1].is_number()) {
+      out.emplace_back(p.AsArray()[0].AsDouble(), p.AsArray()[1].AsDouble());
+    }
+  }
+  return out;
+}
+
+struct ChartSeries {
+  std::string label;
+  std::string color;
+  std::vector<std::pair<double, double>> points;
+};
+
+// One fixed-size SVG line chart: axes, four horizontal gridlines with
+// value labels, one polyline per series, legend below. Pure SVG — no
+// scripts — so the report stays self-contained.
+std::string SvgLineChart(const std::string& title,
+                         const std::vector<ChartSeries>& series) {
+  constexpr double kW = 640, kH = 280;
+  constexpr double kLeft = 70, kRight = 16, kTop = 28, kBottom = 40;
+  const double plot_w = kW - kLeft - kRight;
+  const double plot_h = kH - kTop - kBottom;
+
+  double x_min = 0, x_max = 1, y_min = 0, y_max = 1;
+  bool any = false;
+  for (const ChartSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!any) {
+        x_min = x_max = x;
+        y_min = y_max = y;
+        any = true;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max - x_min < 1e-12) x_max = x_min + 1.0;
+  if (y_max - y_min < 1e-12) y_max = y_min + (y_min == 0.0 ? 1.0 : 1e-3);
+  const double y_pad = 0.05 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  auto px = [&](double x) {
+    return kLeft + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  auto py = [&](double y) {
+    return kTop + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+  };
+
+  std::string svg = "<svg viewBox=\"0 0 " + FormatG(kW) + " " +
+                    FormatG(kH + 22.0 * ((series.size() + 2) / 3)) +
+                    "\" class=\"chart\" role=\"img\">\n";
+  svg += "<text x=\"" + FormatG(kLeft) +
+         "\" y=\"16\" class=\"ctitle\">" + HtmlEscape(title) + "</text>\n";
+  // Gridlines and y labels.
+  for (int g = 0; g <= 4; ++g) {
+    const double y = y_min + (y_max - y_min) * g / 4.0;
+    const double ypix = py(y);
+    svg += "<line x1=\"" + FormatG(kLeft) + "\" y1=\"" + FormatG(ypix) +
+           "\" x2=\"" + FormatG(kW - kRight) + "\" y2=\"" + FormatG(ypix) +
+           "\" class=\"grid\"/>\n";
+    svg += "<text x=\"" + FormatG(kLeft - 6) + "\" y=\"" +
+           FormatG(ypix + 4) + "\" class=\"ylab\">" + FormatG(y) +
+           "</text>\n";
+  }
+  // X extent labels.
+  svg += "<text x=\"" + FormatG(kLeft) + "\" y=\"" + FormatG(kH - 18) +
+         "\" class=\"xlab\">" + FormatG(x_min) + "</text>\n";
+  svg += "<text x=\"" + FormatG(kW - kRight) + "\" y=\"" +
+         FormatG(kH - 18) + "\" class=\"xlab\" text-anchor=\"end\">" +
+         FormatG(x_max) + "</text>\n";
+  // Polylines.
+  for (const ChartSeries& s : series) {
+    if (s.points.empty()) continue;
+    svg += "<polyline fill=\"none\" stroke=\"" + s.color +
+           "\" stroke-width=\"1.8\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      svg += FormatG(px(x)) + "," + FormatG(py(y)) + " ";
+    }
+    svg += "\"/>\n";
+  }
+  // Legend.
+  double lx = kLeft, ly = kH + 4;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0 && i % 3 == 0) {
+      lx = kLeft;
+      ly += 22;
+    }
+    svg += "<rect x=\"" + FormatG(lx) + "\" y=\"" + FormatG(ly) +
+           "\" width=\"12\" height=\"12\" fill=\"" + series[i].color +
+           "\"/>\n";
+    svg += "<text x=\"" + FormatG(lx + 16) + "\" y=\"" + FormatG(ly + 10) +
+           "\" class=\"legend\">" + HtmlEscape(series[i].label) +
+           "</text>\n";
+    lx += 200;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+// Chart of one metrics series across all runs (one polyline per run).
+std::string CrossRunChart(const std::vector<RunData>& runs,
+                          const std::string& series_name,
+                          const std::string& title) {
+  std::vector<ChartSeries> chart;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    ChartSeries s;
+    s.label = runs[i].run_id;
+    s.color = kPalette[i % kPaletteSize];
+    s.points = SeriesPoints(runs[i], series_name);
+    if (!s.points.empty()) chart.push_back(std::move(s));
+  }
+  if (chart.empty()) {
+    return "<p class=\"missing\">no `" + HtmlEscape(series_name) +
+           "` series recorded</p>\n";
+  }
+  return SvgLineChart(title, chart);
+}
+
+std::string ManifestTable(const std::vector<RunData>& runs) {
+  std::string html =
+      "<table><tr><th>run</th><th>binary</th><th>git rev</th><th>seed</th>"
+      "<th>threads</th><th>host</th><th>duration</th><th>snapshots</th>"
+      "<th>exit</th></tr>\n";
+  for (const RunData& run : runs) {
+    const json::Value& m = run.manifest;
+    const double start = m.GetDouble("start_unix_ms", 0);
+    const double end = m.GetDouble("end_unix_ms", 0);
+    const json::Value* host = m.Find("host");
+    std::string host_str =
+        host != nullptr ? host->GetString("hostname", "?") : "?";
+    std::string duration =
+        end > start ? FormatG((end - start) / 1000.0) + " s" : "live";
+    std::string exit_status;
+    const double status = m.GetDouble("exit_status", -1);
+    const json::Value* finalized = m.Find("finalized");
+    if (finalized != nullptr && finalized->is_bool() &&
+        !finalized->AsBool()) {
+      exit_status = "running";
+    } else if (status < 0) {
+      exit_status = "unknown";
+    } else {
+      exit_status = FormatG(status);
+      if (status >= 128) exit_status += " (signal)";
+    }
+    html += "<tr><td>" + HtmlEscape(run.run_id) + "</td><td>" +
+            HtmlEscape(m.GetString("binary", "?")) + "</td><td>" +
+            HtmlEscape(m.GetString("git_rev", "?")) + "</td><td>" +
+            FormatG(m.GetDouble("seed", 0)) + "</td><td>" +
+            FormatG(m.GetDouble("threads", 0)) + "</td><td>" +
+            HtmlEscape(host_str) + "</td><td>" + duration + "</td><td>" +
+            FormatG(m.GetDouble("snapshots", 0)) + "</td><td>" +
+            exit_status + "</td></tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+std::string StageTable(const std::vector<RunData>& runs) {
+  // Union of categories across runs, then per-run wall/CPU columns with
+  // an inline bar scaled to the run's total wall time.
+  std::set<std::string> categories;
+  for (const RunData& run : runs) {
+    if (!run.has_snapshot) continue;
+    const json::Value* spans = run.snapshot.Find("spans");
+    if (spans == nullptr || !spans->is_object()) continue;
+    for (const auto& [name, value] : spans->AsObject()) {
+      (void)value;
+      categories.insert(name);
+    }
+  }
+  if (categories.empty()) {
+    return "<p class=\"missing\">no span summaries recorded (runs without "
+           "--trace-out have no spans)</p>\n";
+  }
+  std::string html = "<table><tr><th>stage</th>";
+  for (const RunData& run : runs) {
+    html += "<th>" + HtmlEscape(run.run_id) + " wall/cpu (ms)</th>";
+  }
+  html += "</tr>\n";
+  std::map<std::string, double> total_wall;
+  for (const RunData& run : runs) {
+    const json::Value* spans =
+        run.has_snapshot ? run.snapshot.Find("spans") : nullptr;
+    double total = 0;
+    if (spans != nullptr && spans->is_object()) {
+      for (const auto& [name, value] : spans->AsObject()) {
+        (void)name;
+        total += value.GetDouble("wall_ns", 0);
+      }
+    }
+    total_wall[run.run_id] = total;
+  }
+  for (const std::string& category : categories) {
+    html += "<tr><td>" + HtmlEscape(category) + "</td>";
+    for (const RunData& run : runs) {
+      const json::Value* spans =
+          run.has_snapshot ? run.snapshot.Find("spans") : nullptr;
+      const json::Value* entry =
+          spans != nullptr ? spans->Find(category) : nullptr;
+      if (entry == nullptr) {
+        html += "<td>-</td>";
+        continue;
+      }
+      const double wall_ms = entry->GetDouble("wall_ns", 0) / 1e6;
+      const double cpu_ms = entry->GetDouble("cpu_ns", 0) / 1e6;
+      const double total = total_wall[run.run_id];
+      const double pct =
+          total > 0 ? entry->GetDouble("wall_ns", 0) / total * 100.0 : 0;
+      html += "<td>" + FormatG(wall_ms) + " / " + FormatG(cpu_ms) +
+              "<div class=\"bar\" style=\"width:" + FormatG(pct) +
+              "%\"></div></td>";
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+std::string BenchTable(const std::vector<RunData>& runs) {
+  std::set<std::string> scenarios;
+  for (const RunData& run : runs) {
+    if (!run.has_bench) continue;
+    const json::Value* list = run.bench.Find("scenarios");
+    if (list == nullptr || !list->is_array()) continue;
+    for (const json::Value& s : list->AsArray()) {
+      scenarios.insert(s.GetString("scenario", ""));
+    }
+  }
+  scenarios.erase("");
+  if (scenarios.empty()) {
+    return "<p class=\"missing\">no BENCH_*.json found in the run "
+           "directories</p>\n";
+  }
+  std::string html = "<table><tr><th>scenario</th>";
+  for (const RunData& run : runs) {
+    html += "<th>" + HtmlEscape(run.run_id) + " median ms</th>";
+  }
+  html += "</tr>\n";
+  for (const std::string& scenario : scenarios) {
+    html += "<tr><td>" + HtmlEscape(scenario) + "</td>";
+    for (const RunData& run : runs) {
+      std::string cell = "-";
+      if (run.has_bench) {
+        const json::Value* list = run.bench.Find("scenarios");
+        if (list != nullptr && list->is_array()) {
+          for (const json::Value& s : list->AsArray()) {
+            if (s.GetString("scenario", "") == scenario) {
+              cell = FormatG(s.GetDouble("median_ms", 0));
+              break;
+            }
+          }
+        }
+      }
+      html += "<td>" + cell + "</td>";
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+// Scalar (counter + gauge) values of one run, flattened name -> value.
+std::map<std::string, double> ScalarMetrics(const RunData& run) {
+  std::map<std::string, double> out;
+  if (!run.has_snapshot) return out;
+  const json::Value* metrics = run.snapshot.Find("metrics");
+  if (metrics == nullptr) return out;
+  for (const char* section : {"counters", "gauges"}) {
+    const json::Value* group = metrics->Find(section);
+    if (group == nullptr || !group->is_object()) continue;
+    for (const auto& [name, value] : group->AsObject()) {
+      if (value.is_number()) out[name] = value.AsDouble();
+    }
+  }
+  return out;
+}
+
+std::string CompareTable(const std::vector<RunData>& runs) {
+  std::vector<std::map<std::string, double>> scalars;
+  std::set<std::string> names;
+  for (const RunData& run : runs) {
+    scalars.push_back(ScalarMetrics(run));
+    for (const auto& [name, value] : scalars.back()) {
+      (void)value;
+      names.insert(name);
+    }
+  }
+  if (names.empty()) {
+    return "<p class=\"missing\">no scalar metrics recorded</p>\n";
+  }
+  std::string html = "<table><tr><th>metric</th>";
+  for (const RunData& run : runs) {
+    html += "<th>" + HtmlEscape(run.run_id) + "</th>";
+  }
+  html += "</tr>\n";
+  for (const std::string& name : names) {
+    html += "<tr><td>" + HtmlEscape(name) + "</td>";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      auto it = scalars[i].find(name);
+      html +=
+          "<td>" + (it == scalars[i].end() ? "-" : FormatG(it->second)) +
+          "</td>";
+    }
+    html += "</tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+std::string RenderReport(const std::vector<RunData>& runs,
+                         const std::string& title) {
+  std::string html =
+      "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+      "<meta charset=\"utf-8\">\n<title>" +
+      HtmlEscape(title) +
+      "</title>\n<style>\n"
+      "body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;"
+      "max-width:980px;color:#1a1a1a;padding:0 16px}\n"
+      "h1{font-size:22px}h2{font-size:17px;margin-top:32px;"
+      "border-bottom:1px solid #ddd;padding-bottom:4px}\n"
+      "table{border-collapse:collapse;width:100%;font-size:13px}\n"
+      "th,td{border:1px solid #ddd;padding:4px 8px;text-align:left;"
+      "vertical-align:top}\nth{background:#f5f5f5}\n"
+      ".chart{max-width:680px;display:block;margin:12px 0}\n"
+      ".ctitle{font-size:13px;font-weight:600}\n"
+      ".grid{stroke:#e5e5e5;stroke-width:1}\n"
+      ".ylab{font-size:10px;text-anchor:end;fill:#555}\n"
+      ".xlab{font-size:10px;fill:#555}\n"
+      ".legend{font-size:11px;fill:#333}\n"
+      ".bar{height:4px;background:#0072B2;margin-top:2px}\n"
+      ".missing{color:#888;font-style:italic}\n"
+      "footer{margin-top:40px;color:#888;font-size:12px}\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h1>" + HtmlEscape(title) + "</h1>\n";
+
+  html += "<section id=\"runs\">\n<h2>Runs</h2>\n" + ManifestTable(runs) +
+          "</section>\n";
+
+  html += "<section id=\"curves\">\n<h2>Training curves</h2>\n";
+  html += CrossRunChart(runs, "trainer.nll",
+                        "training NLL per cycle (trainer.nll)");
+  html += CrossRunChart(runs, "trainer.self_paced_lambda",
+                        "self-paced lambda (trainer.self_paced_lambda)");
+  html += CrossRunChart(runs, "trainer.parity_regularizer",
+                        "parity regulariser (trainer.parity_regularizer)");
+  html += CrossRunChart(runs, "trainer.total_loss",
+                        "total loss (trainer.total_loss)");
+  html += "</section>\n";
+
+  html += "<section id=\"stages\">\n<h2>Per-stage wall/CPU breakdown</h2>\n" +
+          StageTable(runs) + "</section>\n";
+
+  html += "<section id=\"memory\">\n<h2>Memory</h2>\n";
+  html += CrossRunChart(runs, "mem.rss_bytes",
+                        "RSS over samples (mem.rss_bytes)");
+  html += CrossRunChart(runs, "nn.bytes",
+                        "nn live bytes over samples (nn.bytes)");
+  html += "</section>\n";
+
+  html += "<section id=\"bench\">\n<h2>Perf-harness scenarios</h2>\n" +
+          BenchTable(runs) + "</section>\n";
+
+  html += "<section id=\"compare\">\n<h2>Final metric values</h2>\n" +
+          CompareTable(runs) + "</section>\n";
+
+  html += "<footer>generated by fairgen_report; self-contained (no "
+          "scripts, no network)</footer>\n</body>\n</html>\n";
+  return html;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string out_path = "fairgen_report.html";
+  std::string title = "FairGen run report";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StrStartsWith(arg, "--out=")) {
+      out_path = std::string(arg.substr(6));
+    } else if (StrStartsWith(arg, "--title=")) {
+      title = std::string(arg.substr(8));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: fairgen_report <run-dir-or-parent>... [--out=report.html]"
+          " [--title=...]\n\n"
+          "Joins run.json + snapshot.json + BENCH_*.json from telemetry run"
+          " directories\n(--telemetry-dir) into one self-contained HTML"
+          " report.\n");
+      return 0;
+    } else if (StrStartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: fairgen_report <run-dir-or-parent>... "
+                 "[--out=report.html] [--title=...]\n");
+    return 2;
+  }
+
+  std::vector<RunData> runs;
+  for (const std::string& input : inputs) {
+    std::vector<std::string> dirs = ExpandRunDirs(input);
+    if (dirs.empty()) {
+      std::fprintf(stderr, "no run.json under %s\n", input.c_str());
+      return 2;
+    }
+    for (const std::string& dir : dirs) {
+      RunData run;
+      if (!LoadRun(dir, &run)) {
+        std::fprintf(stderr, "unreadable manifest: %s/run.json\n",
+                     dir.c_str());
+        return 2;
+      }
+      runs.push_back(std::move(run));
+    }
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const RunData& a, const RunData& b) {
+              return a.run_id < b.run_id;
+            });
+
+  std::string html = RenderReport(runs, title);
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open for writing: %s\n", out_path.c_str());
+    return 1;
+  }
+  const bool ok =
+      std::fwrite(html.data(), 1, html.size(), file) == html.size() &&
+      std::fclose(file) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "write failed: %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu runs to %s\n", runs.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairgen::report
+
+int main(int argc, char** argv) {
+  return fairgen::report::Main(argc, argv);
+}

@@ -1,0 +1,177 @@
+// validate_telemetry — checks telemetry artifacts against golden schemas.
+//
+// Usage:
+//   validate_telemetry --kind=manifest|snapshot|prometheus
+//                      --file=<artifact> --schema=<golden>
+//
+// Schema files live in tests/golden/ and hold one requirement per line;
+// blank lines and lines starting with '#' are ignored.
+//
+//   manifest / snapshot  each line is a dotted key path (for example
+//                        `host.hostname`) that must resolve inside the JSON
+//                        document. Because metric names themselves contain
+//                        dots (`metrics.series.trainer.nll`), a path segment
+//                        greedily matches the longest key that is a prefix
+//                        of the remaining path.
+//   prometheus           each line must be a prefix of at least one line of
+//                        the exposition file — used to pin `# TYPE` families
+//                        and sample names without pinning values.
+//
+// Exit status: 0 when every requirement holds, 1 on a validation failure
+// (each miss is printed), 2 on usage or I/O errors. Wired into ctest under
+// the `telemetry` label; also usable ad hoc against live run directories.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace fairgen::validate {
+namespace {
+
+// Requirement lines of a schema file, comments and blanks stripped.
+bool LoadSchemaLines(const std::string& path, std::vector<std::string>* out) {
+  std::ifstream file(path);
+  if (!file.is_open()) return false;
+  std::string line;
+  while (std::getline(file, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    out->push_back(line);
+  }
+  return true;
+}
+
+// Resolves `path` inside `value`. Each step consumes the *longest* dotted
+// prefix of the remaining path that names a member of the current object,
+// so `metrics.series.trainer.nll` finds {"metrics":{"series":
+// {"trainer.nll": ...}}}.
+bool ResolvePath(const json::Value& value, std::string_view path) {
+  if (path.empty()) return true;
+  if (!value.is_object()) return false;
+  // Longest match first: scan candidate split points right to left.
+  for (size_t end = path.size();; --end) {
+    std::string_view head = path.substr(0, end);
+    const json::Value* child = value.Find(head);
+    if (child != nullptr) {
+      if (end == path.size()) return true;
+      if (ResolvePath(*child, path.substr(end + 1))) return true;
+    }
+    // Move `end` to the previous '.' (or finish).
+    size_t dot = path.rfind('.', end == 0 ? 0 : end - 1);
+    if (end == 0 || dot == std::string_view::npos) return false;
+    end = dot + 1;  // loop decrement lands on the dot position
+  }
+}
+
+int ValidateJson(const std::string& file,
+                 const std::vector<std::string>& schema) {
+  auto doc = json::ParseFile(file);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", file.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  int missing = 0;
+  for (const std::string& path : schema) {
+    if (!ResolvePath(*doc, path)) {
+      std::fprintf(stderr, "MISSING key path: %s\n", path.c_str());
+      ++missing;
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+int ValidatePrometheus(const std::string& file,
+                       const std::vector<std::string>& schema) {
+  std::ifstream in(file);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot read %s\n", file.c_str());
+    return 2;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  int missing = 0;
+  for (const std::string& want : schema) {
+    bool found = false;
+    for (const std::string& have : lines) {
+      if (StrStartsWith(have, want)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "MISSING exposition line prefix: %s\n",
+                   want.c_str());
+      ++missing;
+    }
+  }
+  return missing == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::string kind, file, schema_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (StrStartsWith(arg, "--kind=")) {
+      kind = std::string(arg.substr(7));
+    } else if (StrStartsWith(arg, "--file=")) {
+      file = std::string(arg.substr(7));
+    } else if (StrStartsWith(arg, "--schema=")) {
+      schema_path = std::string(arg.substr(9));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: validate_telemetry --kind=manifest|snapshot|prometheus "
+          "--file=<artifact> --schema=<golden>\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (kind.empty() || file.empty() || schema_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: validate_telemetry --kind=manifest|snapshot|"
+                 "prometheus --file=<artifact> --schema=<golden>\n");
+    return 2;
+  }
+  std::vector<std::string> schema;
+  if (!LoadSchemaLines(schema_path, &schema)) {
+    std::fprintf(stderr, "cannot read schema %s\n", schema_path.c_str());
+    return 2;
+  }
+  if (schema.empty()) {
+    std::fprintf(stderr, "schema %s has no requirements\n",
+                 schema_path.c_str());
+    return 2;
+  }
+  int rc;
+  if (kind == "manifest" || kind == "snapshot") {
+    rc = ValidateJson(file, schema);
+  } else if (kind == "prometheus") {
+    rc = ValidatePrometheus(file, schema);
+  } else {
+    std::fprintf(stderr, "bad --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  if (rc == 0) {
+    std::printf("%s OK: %s satisfies %zu requirements from %s\n",
+                kind.c_str(), file.c_str(), schema.size(),
+                schema_path.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace fairgen::validate
+
+int main(int argc, char** argv) {
+  return fairgen::validate::Main(argc, argv);
+}
