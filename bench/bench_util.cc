@@ -77,7 +77,15 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "  --telemetry-port=<n>       also serve Prometheus text on\n"
           "                             127.0.0.1:<n> (0 = ephemeral port;\n"
           "                             requires --telemetry-dir)\n"
-          "  --telemetry-interval-ms=<n> snapshot period (default 1000)\n",
+          "  --telemetry-interval-ms=<n> snapshot period (default 1000)\n"
+          "  --checkpoint-dir=<d>       fault-tolerant FairGen training\n"
+          "                             checkpoints (ckpt-*.fgckpt under a\n"
+          "                             per-dataset/variant subdirectory)\n"
+          "  --checkpoint-every=<n>     cycles between checkpoints "
+          "(default 1)\n"
+          "  --checkpoint-retain=<n>    checkpoint files kept (default 3)\n"
+          "  --resume                   continue each FairGen fit from its\n"
+          "                             newest valid checkpoint\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -114,6 +122,16 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
       options.telemetry_interval_ms = static_cast<uint32_t>(
           std::strtoul(std::string(arg.substr(24)).c_str(), nullptr, 10));
+    } else if (StrStartsWith(arg, "--checkpoint-dir=")) {
+      options.checkpoint_dir = std::string(arg.substr(17));
+    } else if (StrStartsWith(arg, "--checkpoint-every=")) {
+      options.checkpoint_every = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(19)).c_str(), nullptr, 10));
+    } else if (StrStartsWith(arg, "--checkpoint-retain=")) {
+      options.checkpoint_retain = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(20)).c_str(), nullptr, 10));
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
@@ -133,6 +151,16 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
   if (options.threads != 0) SetDefaultNumThreads(options.threads);
   if (options.telemetry_dir.empty() && options.telemetry_port >= 0) {
     std::fprintf(stderr, "--telemetry-port requires --telemetry-dir\n");
+    std::exit(2);
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    std::exit(2);
+  }
+  if (!options.checkpoint_dir.empty() &&
+      (options.checkpoint_every == 0 || options.checkpoint_retain == 0)) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--checkpoint-retain must be >= 1\n");
     std::exit(2);
   }
   const bool any_telemetry = !options.metrics_out.empty() ||
@@ -218,6 +246,12 @@ ZooConfig MakeZooConfig(const BenchOptions& options) {
   // startup; results are bit-identical for every thread count.
   cfg.fairgen.num_threads = options.threads;
   cfg.walk_budget.num_threads = options.threads;
+  // Fault tolerance: the zoo appends a per-dataset/variant subdirectory so
+  // concurrent fits never share checkpoint files.
+  cfg.fairgen.checkpoint.dir = options.checkpoint_dir;
+  cfg.fairgen.checkpoint.every_cycles = options.checkpoint_every;
+  cfg.fairgen.checkpoint.retain = options.checkpoint_retain;
+  cfg.fairgen.checkpoint.resume = options.resume;
   return cfg;
 }
 

@@ -35,6 +35,14 @@ struct BenchOptions {
                                      ///< exposition on 127.0.0.1:<n>
                                      ///< (0 = ephemeral; -1 = off)
   uint32_t telemetry_interval_ms = 1000;  ///< --telemetry-interval-ms=<n>
+  std::string checkpoint_dir;        ///< --checkpoint-dir=<d>: fault-tolerant
+                                     ///< FairGen training checkpoints (one
+                                     ///< subdirectory per dataset/variant)
+  uint32_t checkpoint_every = 1;     ///< --checkpoint-every=<n> cycles
+  uint32_t checkpoint_retain = 3;    ///< --checkpoint-retain=<n> files kept
+  bool resume = false;               ///< --resume: continue from the newest
+                                     ///< valid checkpoint (bit-identical to
+                                     ///< the uninterrupted run)
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

@@ -1,0 +1,83 @@
+#include "common/fileio.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fairgen {
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for writing: " + tmp);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  bool ok = written == bytes.size() && std::fflush(file) == 0;
+  // fsync before rename: after a crash the file at `path` must be either
+  // the old content or the complete new content, never a hole the kernel
+  // had not flushed yet.
+  if (ok) ok = ::fsync(::fileno(file)) == 0;
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("write failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename failed: " + path + ": " +
+                           ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed: " + path);
+  }
+  return buf.str();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status MakeDirectories(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  std::string partial;
+  partial.reserve(path.size());
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t next = path.find('/', i + 1);
+    if (next == std::string::npos) next = path.size();
+    partial = path.substr(0, next);
+    if (!partial.empty() && partial != "/" &&
+        ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir failed: " + partial + ": " +
+                             ::strerror(errno));
+    }
+    i = next;
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("not a directory: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fairgen

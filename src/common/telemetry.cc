@@ -15,6 +15,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "common/fileio.h"
 #include "common/logging.h"
 #include "common/memprobe.h"
 #include "common/metrics.h"
@@ -225,23 +226,9 @@ std::string SnapshotJson(const std::string& run_id, uint64_t sequence,
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "w");
-  if (file == nullptr) {
-    return Status::IOError("cannot open for writing: " + tmp);
-  }
-  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
-  const bool ok = written == text.size() && std::fclose(file) == 0;
-  if (!ok) {
-    ::unlink(tmp.c_str());
-    return Status::IOError("write failed: " + tmp);
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return Status::IOError("rename failed: " + path + ": " +
-                           std::strerror(errno));
-  }
-  return Status::OK();
+  // Shared temp+fsync+rename contract (common/fileio.h) — also used by
+  // the nn/core checkpoint writers.
+  return fairgen::WriteFileAtomic(path, text);
 }
 
 Publisher::Publisher(PublisherOptions options)

@@ -1,0 +1,113 @@
+#ifndef FAIRGEN_CORE_CHECKPOINT_H_
+#define FAIRGEN_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fairgen {
+
+/// \brief The versioned, sectioned FGCKPT2 checkpoint container.
+///
+/// Layout: magic "FGCKPT2\n", u32 format version, u32 section count,
+/// then per section a length-prefixed name, a u64 payload length, and the
+/// payload bytes. The file must end exactly after the last section —
+/// trailing bytes (a concatenated or corrupted file) are rejected, as are
+/// duplicate section names and any length that points past the end of the
+/// file. Section payloads are built with the nn/serialize byte-buffer
+/// primitives.
+///
+/// The container is deliberately dumb: it knows names and byte ranges,
+/// nothing about models. `FairGenTrainer` defines the actual sections
+/// (parameters, optimizer moments, RNG streams, self-paced state, walk
+/// pools, config fingerprint) on top of it — see DESIGN.md §8.
+namespace ckpt {
+
+/// Current container format version.
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// Canonical section names used by the trainer checkpoints.
+inline constexpr char kSectionMeta[] = "meta";
+inline constexpr char kSectionFingerprint[] = "fingerprint";
+inline constexpr char kSectionParams[] = "params";
+inline constexpr char kSectionLabels[] = "labels";
+inline constexpr char kSectionGeneratorOpt[] = "opt/generator";
+inline constexpr char kSectionDiscriminatorOpt[] = "opt/discriminator";
+inline constexpr char kSectionSelfPaced[] = "self_paced";
+inline constexpr char kSectionLossHistory[] = "loss_history";
+inline constexpr char kSectionRng[] = "rng";
+inline constexpr char kSectionDataset[] = "dataset";
+
+}  // namespace ckpt
+
+/// \brief Accumulates named sections and serializes them into one
+/// FGCKPT2 blob (or file, written atomically).
+class CheckpointWriter {
+ public:
+  /// Appends a section. Names must be unique per checkpoint.
+  void AddSection(std::string name, std::string payload);
+
+  /// The serialized container.
+  std::string Serialize() const;
+
+  /// Serializes and writes atomically (temp + fsync + rename): a crash
+  /// mid-save never leaves a partial checkpoint at `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// \brief Parses and validates an FGCKPT2 container.
+class CheckpointReader {
+ public:
+  /// Parses `bytes`; fails with a descriptive `InvalidArgument` on a bad
+  /// magic, unsupported version, truncation, duplicate section names, or
+  /// trailing bytes.
+  static Result<CheckpointReader> Parse(std::string bytes);
+
+  /// Reads and parses a checkpoint file.
+  static Result<CheckpointReader> ReadFile(const std::string& path);
+
+  /// True iff a section with this name exists.
+  bool Has(const std::string& name) const;
+
+  /// The payload of section `name`, or `NotFound` naming the section.
+  Result<const std::string*> Section(const std::string& name) const;
+
+  /// Section names in file order.
+  std::vector<std::string> SectionNames() const;
+
+ private:
+  CheckpointReader() = default;
+
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// \brief One rotatable checkpoint file inside a checkpoint directory.
+struct CheckpointFile {
+  std::string path;
+  uint32_t cycle = 0;
+};
+
+/// \brief The canonical file name of the checkpoint taken at the
+/// boundary *before* training cycle `cycle` ("ckpt-000004.fgckpt").
+std::string CheckpointFileName(uint32_t cycle);
+
+/// \brief The `ckpt-*.fgckpt` files under `dir`, sorted by cycle
+/// ascending. Non-matching files are ignored; a missing directory yields
+/// an empty list.
+std::vector<CheckpointFile> ListCheckpoints(const std::string& dir);
+
+/// \brief Deletes the oldest checkpoints in `dir` until at most `retain`
+/// remain (retain >= 1), bounding disk use across long runs. Best-effort:
+/// unlink failures are ignored.
+void RotateCheckpoints(const std::string& dir, uint32_t retain);
+
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_CHECKPOINT_H_

@@ -55,6 +55,16 @@ Status FairGenConfig::Validate() const {
   if (temperature <= 0.0f) {
     return Status::InvalidArgument("temperature must be positive");
   }
+  if (checkpoint.every_cycles == 0) {
+    return Status::InvalidArgument("checkpoint.every_cycles must be >= 1");
+  }
+  if (checkpoint.retain == 0) {
+    return Status::InvalidArgument("checkpoint.retain must be >= 1");
+  }
+  if (checkpoint.resume && checkpoint.dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint.resume requires checkpoint.dir");
+  }
   return Status::OK();
 }
 

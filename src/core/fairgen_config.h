@@ -21,6 +21,26 @@ enum class FairGenVariant {
 /// \brief Human-readable variant name matching the paper's figures.
 std::string FairGenVariantName(FairGenVariant variant);
 
+/// \brief Fault-tolerance knobs of `FairGenTrainer::Fit`: periodic
+/// training checkpoints and crash/resume behavior. Disabled unless `dir`
+/// is set. Checkpointing is observation-plus-I/O only — it never draws
+/// from the run's `Rng`, so enabling it does not change any model output.
+struct CheckpointOptions {
+  /// Directory for `ckpt-*.fgckpt` files; created if absent. Empty
+  /// disables checkpointing.
+  std::string dir;
+  /// Write a checkpoint every N self-paced cycles (>= 1). Independent of
+  /// cadence, Fit always writes a final checkpoint when training ends.
+  uint32_t every_cycles = 1;
+  /// Keep at most this many checkpoint files (oldest deleted first).
+  uint32_t retain = 3;
+  /// Resume from the newest valid checkpoint in `dir` when Fit starts.
+  /// An empty directory starts fresh; a directory holding only corrupt
+  /// checkpoints is an error. The restored run replays the uninterrupted
+  /// run bit for bit (same seed and config).
+  bool resume = false;
+};
+
 /// \brief All hyperparameters of FairGen (Algorithm 1 inputs plus model
 /// sizes). Paper defaults from Sec. III-B where applicable; model widths
 /// are scaled to CPU training (see DESIGN.md).
@@ -71,6 +91,12 @@ struct FairGenConfig {
   /// 0 = the process-wide default (common/parallel.h). Results are
   /// bit-identical for every setting; this only trades wall-clock.
   uint32_t num_threads = 1;
+
+  // --- Fault tolerance ------------------------------------------------------
+  /// Periodic checkpoint/resume of the training loop (see
+  /// `CheckpointOptions`; wired to `--checkpoint-dir`/`--checkpoint-every`/
+  /// `--resume` on the CLI and benches).
+  CheckpointOptions checkpoint;
 
   // --- Variant -------------------------------------------------------------
   FairGenVariant variant = FairGenVariant::kFull;

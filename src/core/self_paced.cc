@@ -1,5 +1,7 @@
 #include "core/self_paced.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace fairgen {
@@ -8,6 +10,15 @@ SelfPacedScheduler::SelfPacedScheduler(float lambda, float growth)
     : lambda_(lambda), growth_(growth) {
   FAIRGEN_CHECK(lambda > 0.0f);
   FAIRGEN_CHECK(growth >= 1.0f);
+}
+
+Status SelfPacedScheduler::Restore(float lambda) {
+  if (!(lambda > 0.0f) || !std::isfinite(lambda)) {
+    return Status::InvalidArgument(
+        "self-paced lambda in checkpoint is not a positive finite value");
+  }
+  lambda_ = lambda;
+  return Status::OK();
 }
 
 SelfPacedUpdate SelfPacedScheduler::Update(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 #include "walk/context_sampler.h"
 
@@ -35,6 +36,10 @@ class SelfPacedScheduler {
 
   /// Increases the learning difficulty: λ ← λ · growth.
   void Augment() { lambda_ *= growth_; }
+
+  /// Restores a threshold captured by `lambda()` (checkpoint resume).
+  /// Returns `InvalidArgument` unless `lambda` is positive and finite.
+  Status Restore(float lambda);
 
   /// Applies Eq. 14: node i enters class c's self-paced vector
   /// (v_i^{(c)} = 1) iff −log P(ŷ_i=c|x_i) < λ. A node confident for

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <string>
+#include <utility>
 
+#include "common/fileio.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "nn/serialize.h"
 #include "graph/subgraph.h"
 #include "nn/loss.h"
@@ -65,7 +69,9 @@ double FairGenTrainer::TrainGenerator(Rng& rng) {
   const float floor_logprob =
       -config_.negative_floor_scale *
       std::log(static_cast<float>(fitted_graph_.num_nodes()));
-  nn::Adam optim(model_->GeneratorParameters(), config_.generator_lr);
+  // The optimizer persists across cycles (created in Prepare) so its
+  // Adam moments are part of the resumable training state.
+  nn::Adam& optim = *gen_optim_;
 
   double loss_sum = 0.0;
   uint64_t loss_count = 0;
@@ -134,8 +140,7 @@ void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
   std::vector<NodeId> unprotected =
       ComplementSet(fitted_graph_.num_nodes(), protected_set_);
 
-  nn::Adam optim(model_->DiscriminatorParameters(),
-                 config_.discriminator_lr);
+  nn::Adam& optim = *disc_optim_;
 
   double jp_sum = 0.0;
   double jf_sum = 0.0;
@@ -258,6 +263,12 @@ Status FairGenTrainer::Prepare(const Graph& graph, Rng& rng) {
     deg[v] = static_cast<double>(graph.Degree(v));
   }
   start_table_ = std::make_unique<AliasTable>(deg);
+
+  gen_optim_ = std::make_unique<nn::Adam>(model_->GeneratorParameters(),
+                                          config_.generator_lr);
+  disc_optim_ = std::make_unique<nn::Adam>(model_->DiscriminatorParameters(),
+                                           config_.discriminator_lr);
+  pending_slot_.store(-1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -265,17 +276,32 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
   trace::ScopedSpan span("trainer.fit", trace::Category::kTrain);
   FAIRGEN_RETURN_NOT_OK(Prepare(graph, rng));
 
-  // Step 2: initial N+ from f_S and N− from the biased second-order
-  // sampler [32].
-  dataset_ = WalkDataset();
-  dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
-  Node2VecWalker neg_walker(graph, config_.negative_walk);
-  dataset_.AddNegatives(neg_walker.SampleWalks(
-      config_.num_walks, config_.walk_length, rng, config_.num_threads));
-
   SelfPacedScheduler scheduler(config_.lambda, config_.lambda_growth);
   loss_history_.clear();
   num_pseudo_labeled_ = 0;
+
+  const std::string& ckpt_dir = config_.checkpoint.dir;
+  if (!ckpt_dir.empty()) {
+    FAIRGEN_RETURN_NOT_OK(MakeDirectories(ckpt_dir));
+  }
+  uint32_t start_cycle = 0;
+  bool resumed = false;
+  if (config_.checkpoint.resume) {
+    FAIRGEN_ASSIGN_OR_RETURN(
+        resumed, TryResume(ckpt_dir, scheduler, rng, &start_cycle));
+  }
+  if (!resumed) {
+    // Step 2: initial N+ from f_S and N− from the biased second-order
+    // sampler [32]. A resumed run restores the walk pools from the
+    // checkpoint instead (and the restored RNG state supersedes the
+    // draws consumed here, so the resumed trajectory matches the
+    // uninterrupted one bit for bit).
+    dataset_ = WalkDataset();
+    dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
+    Node2VecWalker neg_walker(graph, config_.negative_walk);
+    dataset_.AddNegatives(neg_walker.SampleWalks(
+        config_.num_walks, config_.walk_length, rng, config_.num_threads));
+  }
 
   // The per-cycle training curves (Figures 4–8 pipeline signals). All
   // metric calls are observation-only: they never touch `rng` or the
@@ -292,8 +318,9 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
   metrics::Counter& refresh_counter =
       registry.GetCounter("trainer.negative_refreshes");
 
-  // Steps 3–12: the self-paced cycles.
-  for (uint32_t cycle = 0; cycle < config_.self_paced_cycles; ++cycle) {
+  // Steps 3–12: the self-paced cycles (resume skips the completed ones).
+  for (uint32_t cycle = start_cycle; cycle < config_.self_paced_cycles;
+       ++cycle) {
     trace::ScopedSpan cycle_span("trainer.cycle", trace::Category::kTrain);
     FairGenLosses losses;
 
@@ -335,6 +362,20 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
     parity_series.Append(step, losses.j_f);
     total_series.Append(step, losses.total());
     cycle_counter.Increment();
+
+    // Cycle boundary: capture the resumable state into the emergency
+    // buffer every cycle, and persist it on the configured cadence plus
+    // always after the final cycle (so a kill after training resumes
+    // straight to generation). Checkpointing is observation + I/O only —
+    // it never draws from `rng`.
+    if (!ckpt_dir.empty()) {
+      const uint32_t next_cycle = cycle + 1;
+      UpdatePendingCheckpoint(ckpt_dir, next_cycle, scheduler.lambda(), rng);
+      if (next_cycle % config_.checkpoint.every_cycles == 0 ||
+          next_cycle == config_.self_paced_cycles) {
+        FAIRGEN_RETURN_NOT_OK(WritePendingCheckpoint());
+      }
+    }
   }
   registry.GetGauge("trainer.pseudo_labeled")
       .Set(static_cast<double>(num_pseudo_labeled_));
@@ -396,24 +437,237 @@ std::vector<nn::Var> CheckpointParams(const FairGenModel& model) {
   return params;
 }
 
+// --- Section payload codecs -----------------------------------------------
+// Every Parse* decodes into locals and rejects trailing bytes, so a
+// corrupted section can never commit a partial value.
+
+std::string SerializeParamsPayload(const std::vector<nn::Var>& params) {
+  std::string out;
+  nn::AppendU64(out, params.size());
+  for (const nn::Var& p : params) {
+    nn::AppendTensor(out, p->value);
+  }
+  return out;
+}
+
+Result<std::vector<nn::Tensor>> ParseParamsPayload(
+    const std::string& payload, const std::vector<nn::Var>& like) {
+  nn::ByteReader reader(payload);
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count != like.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: file has " +
+        std::to_string(count) + ", model has " +
+        std::to_string(like.size()));
+  }
+  std::vector<nn::Tensor> tensors;
+  tensors.reserve(like.size());
+  for (const nn::Var& p : like) {
+    FAIRGEN_ASSIGN_OR_RETURN(nn::Tensor t, reader.ReadTensor());
+    if (!t.SameShape(p->value)) {
+      return Status::InvalidArgument(
+          "checkpoint shape mismatch: file [" + std::to_string(t.rows()) +
+          "," + std::to_string(t.cols()) + "] vs model [" +
+          std::to_string(p->value.rows()) + "," +
+          std::to_string(p->value.cols()) + "]");
+    }
+    tensors.push_back(std::move(t));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after the last parameter tensor");
+  }
+  return tensors;
+}
+
+std::string SerializeLabelsPayload(const std::vector<int32_t>& labels) {
+  std::string out;
+  nn::AppendU64(out, labels.size());
+  for (int32_t y : labels) nn::AppendI32(out, y);
+  return out;
+}
+
+// Labels are serialized natively as int32 (the old format round-tripped
+// them through float32, where a corrupted NaN or huge value cast to a
+// garbage int). Each entry must be kUnlabeled or a class id below
+// `num_classes`.
+Result<std::vector<int32_t>> ParseLabelsPayload(const std::string& payload,
+                                                size_t expected,
+                                                uint32_t num_classes) {
+  nn::ByteReader reader(payload);
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count != expected) {
+    return Status::InvalidArgument(
+        "checkpoint label count mismatch: file has " +
+        std::to_string(count) + ", graph has " + std::to_string(expected) +
+        " nodes");
+  }
+  std::vector<int32_t> labels(expected);
+  for (size_t v = 0; v < expected; ++v) {
+    FAIRGEN_ASSIGN_OR_RETURN(labels[v], reader.ReadI32());
+    if (labels[v] != kUnlabeled &&
+        (labels[v] < 0 || labels[v] >= static_cast<int32_t>(num_classes))) {
+      return Status::InvalidArgument(
+          "checkpoint label out of range at node " + std::to_string(v) +
+          ": " + std::to_string(labels[v]) + " (model has " +
+          std::to_string(num_classes) + " classes)");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after the last label");
+  }
+  return labels;
+}
+
+std::string SerializeOptimizerPayload(const nn::OptimizerState& state) {
+  std::string out;
+  nn::AppendString(out, state.type);
+  nn::AppendU64(out, state.step);
+  nn::AppendU64(out, state.slots.size());
+  for (const nn::Tensor& t : state.slots) nn::AppendTensor(out, t);
+  return out;
+}
+
+Result<nn::OptimizerState> ParseOptimizerPayload(
+    const std::string& payload) {
+  nn::ByteReader reader(payload);
+  nn::OptimizerState state;
+  FAIRGEN_ASSIGN_OR_RETURN(state.type, reader.ReadString());
+  FAIRGEN_ASSIGN_OR_RETURN(state.step, reader.ReadU64());
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t slots, reader.ReadU64());
+  state.slots.reserve(static_cast<size_t>(slots));
+  for (uint64_t i = 0; i < slots; ++i) {
+    FAIRGEN_ASSIGN_OR_RETURN(nn::Tensor t, reader.ReadTensor());
+    state.slots.push_back(std::move(t));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after the optimizer slots");
+  }
+  return state;
+}
+
+void AppendWalks(std::string& out, const std::vector<Walk>& walks) {
+  nn::AppendU64(out, walks.size());
+  for (const Walk& walk : walks) {
+    nn::AppendU32(out, static_cast<uint32_t>(walk.size()));
+    for (NodeId v : walk) nn::AppendU32(out, v);
+  }
+}
+
+Status ReadWalks(nn::ByteReader& reader, uint32_t num_nodes,
+                 std::vector<Walk>* out) {
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    FAIRGEN_ASSIGN_OR_RETURN(uint32_t len, reader.ReadU32());
+    Walk walk(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      FAIRGEN_ASSIGN_OR_RETURN(walk[j], reader.ReadU32());
+      if (walk[j] >= num_nodes) {
+        return Status::InvalidArgument(
+            "checkpoint walk references node " + std::to_string(walk[j]) +
+            " outside the graph (" + std::to_string(num_nodes) + " nodes)");
+      }
+    }
+    out->push_back(std::move(walk));
+  }
+  return Status::OK();
+}
+
+std::string SerializeRngPayload(const Rng& rng) {
+  const RngState state = rng.Serialize();
+  std::string out;
+  nn::AppendU64(out, state.state);
+  nn::AppendU64(out, state.inc);
+  nn::AppendU8(out, state.has_cached_normal ? 1 : 0);
+  nn::AppendF64(out, state.cached_normal);
+  return out;
+}
+
+Result<RngState> ParseRngPayload(const std::string& payload) {
+  nn::ByteReader reader(payload);
+  RngState state;
+  FAIRGEN_ASSIGN_OR_RETURN(state.state, reader.ReadU64());
+  FAIRGEN_ASSIGN_OR_RETURN(state.inc, reader.ReadU64());
+  FAIRGEN_ASSIGN_OR_RETURN(uint8_t cached, reader.ReadU8());
+  state.has_cached_normal = cached != 0;
+  FAIRGEN_ASSIGN_OR_RETURN(state.cached_normal, reader.ReadF64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after the RNG state");
+  }
+  return state;
+}
+
 }  // namespace
+
+struct FairGenTrainer::DecodedCheckpoint {
+  uint32_t next_cycle = 0;
+  uint32_t num_pseudo_labeled = 0;
+  std::vector<nn::Tensor> params;
+  std::vector<int32_t> labels;
+  nn::OptimizerState gen_opt;
+  nn::OptimizerState disc_opt;
+  float lambda = 0.0f;
+  std::vector<FairGenLosses> loss_history;
+  RngState rng;
+  std::vector<Walk> positives;
+  std::vector<Walk> negatives;
+};
+
+std::string FairGenTrainer::Fingerprint() const {
+  // Everything that shapes the training trajectory, so a resume against a
+  // different config or graph fails loudly instead of producing silently
+  // different (or garbage) results. num_threads and the checkpoint
+  // options are deliberately absent: results are bit-identical across
+  // thread counts, and checkpoint cadence is observation-only.
+  std::ostringstream out;
+  const FairGenConfig& c = config_;
+  out << "walk_length=" << c.walk_length << ";num_walks=" << c.num_walks
+      << ";batch_iterations=" << c.batch_iterations
+      << ";batch_size=" << c.batch_size
+      << ";self_paced_cycles=" << c.self_paced_cycles
+      << ";general_ratio=" << c.general_ratio << ";alpha=" << c.alpha
+      << ";beta=" << c.beta << ";gamma=" << c.gamma
+      << ";lambda=" << c.lambda << ";lambda_growth=" << c.lambda_growth
+      << ";embedding_dim=" << c.embedding_dim
+      << ";num_heads=" << c.num_heads << ";num_layers=" << c.num_layers
+      << ";ffn_dim=" << c.ffn_dim
+      << ";generator_epochs=" << c.generator_epochs
+      << ";generator_batch=" << c.generator_batch
+      << ";generator_lr=" << c.generator_lr << ";grad_clip=" << c.grad_clip
+      << ";negative_floor_scale=" << c.negative_floor_scale
+      << ";negative_p=" << c.negative_walk.p
+      << ";negative_q=" << c.negative_walk.q
+      << ";refresh_negatives=" << (c.refresh_negatives ? 1 : 0)
+      << ";discriminator_hidden=" << c.discriminator_hidden
+      << ";discriminator_lr=" << c.discriminator_lr
+      << ";parity_sample=" << c.parity_sample
+      << ";gen_transition_multiplier=" << c.gen_transition_multiplier
+      << ";temperature=" << c.temperature
+      << ";variant=" << static_cast<int>(c.variant)
+      << ";num_nodes=" << fitted_graph_.num_nodes()
+      << ";num_edges=" << fitted_graph_.num_edges()
+      << ";num_classes=" << num_classes_
+      << ";num_protected=" << protected_set_.size();
+  return out.str();
+}
 
 Status FairGenTrainer::SaveCheckpoint(const std::string& path) const {
   if (model_ == nullptr) {
     return Status::FailedPrecondition(
         "Prepare or Fit must run before SaveCheckpoint");
   }
-  // The label assignment (ground truth + pseudo labels) is part of the
-  // generation state: it drives the class-informed start distribution.
-  // Serialize it as an extra [n, 1] tensor after the model parameters
-  // (labels are small integers, exactly representable in float32).
-  std::vector<nn::Var> params = CheckpointParams(*model_);
-  nn::Tensor label_tensor(labels_.size(), 1);
-  for (size_t v = 0; v < labels_.size(); ++v) {
-    label_tensor.at(v, 0) = static_cast<float>(labels_[v]);
-  }
-  params.push_back(nn::MakeConstant(std::move(label_tensor)));
-  return nn::SaveParameters(path, params);
+  // The model-export checkpoint: parameters plus the label assignment
+  // (ground truth + pseudo labels), which drives the class-informed
+  // start distribution at generation time. The training-loop checkpoints
+  // written by Fit extend this with the optimizer/RNG/walk-pool state.
+  CheckpointWriter writer;
+  writer.AddSection(ckpt::kSectionFingerprint, Fingerprint());
+  writer.AddSection(ckpt::kSectionParams,
+                    SerializeParamsPayload(CheckpointParams(*model_)));
+  writer.AddSection(ckpt::kSectionLabels, SerializeLabelsPayload(labels_));
+  return writer.WriteFile(path);
 }
 
 Status FairGenTrainer::LoadCheckpoint(const std::string& path) {
@@ -421,18 +675,269 @@ Status FairGenTrainer::LoadCheckpoint(const std::string& path) {
     return Status::FailedPrecondition(
         "Prepare must run before LoadCheckpoint");
   }
-  std::vector<nn::Var> params = CheckpointParams(*model_);
-  nn::Var label_tensor =
-      nn::MakeConstant(nn::Tensor(fitted_graph_.num_nodes(), 1));
-  params.push_back(label_tensor);
-  FAIRGEN_RETURN_NOT_OK(nn::LoadParameters(path, params));
-  std::vector<int32_t> labels(fitted_graph_.num_nodes());
-  for (size_t v = 0; v < labels.size(); ++v) {
-    labels[v] = static_cast<int32_t>(label_tensor->value.at(v, 0));
+  FAIRGEN_ASSIGN_OR_RETURN(CheckpointReader reader,
+                           CheckpointReader::ReadFile(path));
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* fingerprint,
+                           reader.Section(ckpt::kSectionFingerprint));
+  if (*fingerprint != Fingerprint()) {
+    return Status::InvalidArgument(
+        "checkpoint fingerprint mismatch: the file was saved with a "
+        "different config or graph (file: " +
+        *fingerprint + "; this run: " + Fingerprint() + ")");
+  }
+  const std::vector<nn::Var> params = CheckpointParams(*model_);
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* params_payload,
+                           reader.Section(ckpt::kSectionParams));
+  FAIRGEN_ASSIGN_OR_RETURN(std::vector<nn::Tensor> tensors,
+                           ParseParamsPayload(*params_payload, params));
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* labels_payload,
+                           reader.Section(ckpt::kSectionLabels));
+  const uint32_t model_classes = std::max<uint32_t>(2, num_classes_);
+  FAIRGEN_ASSIGN_OR_RETURN(
+      std::vector<int32_t> labels,
+      ParseLabelsPayload(*labels_payload, fitted_graph_.num_nodes(),
+                         model_classes));
+  // All sections decoded and validated — commit.
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(tensors[i]);
   }
   FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(labels));
   labels_ = std::move(labels);
   return Status::OK();
+}
+
+std::string FairGenTrainer::SerializeTrainingCheckpoint(
+    uint32_t next_cycle, float lambda, const Rng& rng) const {
+  CheckpointWriter writer;
+  std::string meta;
+  nn::AppendU32(meta, next_cycle);
+  nn::AppendU32(meta, num_pseudo_labeled_);
+  writer.AddSection(ckpt::kSectionMeta, std::move(meta));
+  writer.AddSection(ckpt::kSectionFingerprint, Fingerprint());
+  writer.AddSection(ckpt::kSectionParams,
+                    SerializeParamsPayload(CheckpointParams(*model_)));
+  writer.AddSection(ckpt::kSectionLabels, SerializeLabelsPayload(labels_));
+  writer.AddSection(ckpt::kSectionGeneratorOpt,
+                    SerializeOptimizerPayload(gen_optim_->SaveState()));
+  writer.AddSection(ckpt::kSectionDiscriminatorOpt,
+                    SerializeOptimizerPayload(disc_optim_->SaveState()));
+  std::string self_paced;
+  nn::AppendF32(self_paced, lambda);
+  writer.AddSection(ckpt::kSectionSelfPaced, std::move(self_paced));
+  std::string history;
+  nn::AppendU64(history, loss_history_.size());
+  for (const FairGenLosses& l : loss_history_) {
+    nn::AppendF64(history, l.j_g);
+    nn::AppendF64(history, l.j_p);
+    nn::AppendF64(history, l.j_f);
+    nn::AppendF64(history, l.j_l);
+    nn::AppendF64(history, l.j_s);
+  }
+  writer.AddSection(ckpt::kSectionLossHistory, std::move(history));
+  writer.AddSection(ckpt::kSectionRng, SerializeRngPayload(rng));
+  std::string dataset;
+  AppendWalks(dataset, dataset_.positives());
+  AppendWalks(dataset, dataset_.negatives());
+  writer.AddSection(ckpt::kSectionDataset, std::move(dataset));
+  return writer.Serialize();
+}
+
+Status FairGenTrainer::DecodeTrainingCheckpoint(
+    const CheckpointReader& reader, DecodedCheckpoint* out) const {
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* fingerprint,
+                           reader.Section(ckpt::kSectionFingerprint));
+  if (*fingerprint != Fingerprint()) {
+    return Status::InvalidArgument(
+        "checkpoint fingerprint mismatch: the file was saved with a "
+        "different config or graph (file: " +
+        *fingerprint + "; this run: " + Fingerprint() + ")");
+  }
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* meta,
+                           reader.Section(ckpt::kSectionMeta));
+  {
+    nn::ByteReader meta_reader(*meta);
+    FAIRGEN_ASSIGN_OR_RETURN(out->next_cycle, meta_reader.ReadU32());
+    FAIRGEN_ASSIGN_OR_RETURN(out->num_pseudo_labeled,
+                             meta_reader.ReadU32());
+    if (!meta_reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes in the meta section");
+    }
+  }
+  if (out->next_cycle > config_.self_paced_cycles) {
+    return Status::InvalidArgument(
+        "checkpoint cycle " + std::to_string(out->next_cycle) +
+        " exceeds self_paced_cycles " +
+        std::to_string(config_.self_paced_cycles));
+  }
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* params_payload,
+                           reader.Section(ckpt::kSectionParams));
+  FAIRGEN_ASSIGN_OR_RETURN(
+      out->params,
+      ParseParamsPayload(*params_payload, CheckpointParams(*model_)));
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* labels_payload,
+                           reader.Section(ckpt::kSectionLabels));
+  const uint32_t model_classes = std::max<uint32_t>(2, num_classes_);
+  FAIRGEN_ASSIGN_OR_RETURN(
+      out->labels,
+      ParseLabelsPayload(*labels_payload, fitted_graph_.num_nodes(),
+                         model_classes));
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* gen_opt,
+                           reader.Section(ckpt::kSectionGeneratorOpt));
+  FAIRGEN_ASSIGN_OR_RETURN(out->gen_opt, ParseOptimizerPayload(*gen_opt));
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* disc_opt,
+                           reader.Section(ckpt::kSectionDiscriminatorOpt));
+  FAIRGEN_ASSIGN_OR_RETURN(out->disc_opt, ParseOptimizerPayload(*disc_opt));
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* self_paced,
+                           reader.Section(ckpt::kSectionSelfPaced));
+  {
+    nn::ByteReader sp_reader(*self_paced);
+    FAIRGEN_ASSIGN_OR_RETURN(out->lambda, sp_reader.ReadF32());
+    if (!sp_reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "trailing bytes in the self-paced section");
+    }
+  }
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* history,
+                           reader.Section(ckpt::kSectionLossHistory));
+  {
+    nn::ByteReader h_reader(*history);
+    FAIRGEN_ASSIGN_OR_RETURN(uint64_t count, h_reader.ReadU64());
+    out->loss_history.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      FairGenLosses l;
+      FAIRGEN_ASSIGN_OR_RETURN(l.j_g, h_reader.ReadF64());
+      FAIRGEN_ASSIGN_OR_RETURN(l.j_p, h_reader.ReadF64());
+      FAIRGEN_ASSIGN_OR_RETURN(l.j_f, h_reader.ReadF64());
+      FAIRGEN_ASSIGN_OR_RETURN(l.j_l, h_reader.ReadF64());
+      FAIRGEN_ASSIGN_OR_RETURN(l.j_s, h_reader.ReadF64());
+      out->loss_history.push_back(l);
+    }
+    if (!h_reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "trailing bytes in the loss-history section");
+    }
+  }
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* rng_payload,
+                           reader.Section(ckpt::kSectionRng));
+  FAIRGEN_ASSIGN_OR_RETURN(out->rng, ParseRngPayload(*rng_payload));
+
+  FAIRGEN_ASSIGN_OR_RETURN(const std::string* dataset,
+                           reader.Section(ckpt::kSectionDataset));
+  {
+    nn::ByteReader d_reader(*dataset);
+    FAIRGEN_RETURN_NOT_OK(
+        ReadWalks(d_reader, fitted_graph_.num_nodes(), &out->positives));
+    FAIRGEN_RETURN_NOT_OK(
+        ReadWalks(d_reader, fitted_graph_.num_nodes(), &out->negatives));
+    if (!d_reader.AtEnd()) {
+      return Status::InvalidArgument(
+          "trailing bytes in the dataset section");
+    }
+  }
+  return Status::OK();
+}
+
+Status FairGenTrainer::CommitCheckpoint(DecodedCheckpoint decoded,
+                                        SelfPacedScheduler& scheduler,
+                                        Rng& rng, uint32_t* next_cycle) {
+  // Scheduler and sampler can still reject (non-finite λ, bad label
+  // layout) — run those first so a failure leaves the trainer untouched.
+  FAIRGEN_RETURN_NOT_OK(scheduler.Restore(decoded.lambda));
+  FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(decoded.labels));
+  const std::vector<nn::Var> params = CheckpointParams(*model_);
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(decoded.params[i]);
+  }
+  FAIRGEN_RETURN_NOT_OK(gen_optim_->LoadState(decoded.gen_opt));
+  FAIRGEN_RETURN_NOT_OK(disc_optim_->LoadState(decoded.disc_opt));
+  labels_ = std::move(decoded.labels);
+  num_pseudo_labeled_ = decoded.num_pseudo_labeled;
+  loss_history_ = std::move(decoded.loss_history);
+  rng.Deserialize(decoded.rng);
+  dataset_ = WalkDataset();
+  dataset_.AddPositives(std::move(decoded.positives));
+  dataset_.AddNegatives(std::move(decoded.negatives));
+  *next_cycle = decoded.next_cycle;
+  return Status::OK();
+}
+
+Result<bool> FairGenTrainer::TryResume(const std::string& dir,
+                                       SelfPacedScheduler& scheduler,
+                                       Rng& rng, uint32_t* next_cycle) {
+  const std::vector<CheckpointFile> files = ListCheckpoints(dir);
+  if (files.empty()) {
+    FAIRGEN_LOG(INFO) << "no checkpoint in '" << dir
+                      << "', starting fresh";
+    return false;
+  }
+  std::string last_error;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    auto reader = CheckpointReader::ReadFile(it->path);
+    Status status = reader.ok() ? Status::OK() : reader.status();
+    if (status.ok()) {
+      DecodedCheckpoint decoded;
+      status = DecodeTrainingCheckpoint(*reader, &decoded);
+      if (status.ok()) {
+        status = CommitCheckpoint(std::move(decoded), scheduler, rng,
+                                  next_cycle);
+      }
+    }
+    if (status.ok()) {
+      FAIRGEN_LOG(INFO) << "resumed from " << it->path << " at cycle "
+                        << *next_cycle << "/" << config_.self_paced_cycles;
+      return true;
+    }
+    FAIRGEN_LOG(WARNING) << "skipping unusable checkpoint " << it->path
+                         << ": " << status.message();
+    last_error = status.message();
+  }
+  return Status::InvalidArgument(
+      "no usable checkpoint in '" + dir + "' (" +
+      std::to_string(files.size()) +
+      " present, all rejected; last error: " + last_error + ")");
+}
+
+void FairGenTrainer::UpdatePendingCheckpoint(const std::string& dir,
+                                             uint32_t next_cycle,
+                                             float lambda, const Rng& rng) {
+  const int slot =
+      pending_slot_.load(std::memory_order_acquire) == 0 ? 1 : 0;
+  pending_[slot].path = dir + "/" + CheckpointFileName(next_cycle);
+  pending_[slot].blob = SerializeTrainingCheckpoint(next_cycle, lambda, rng);
+  pending_[slot].cycle = next_cycle;
+  pending_slot_.store(slot, std::memory_order_release);
+}
+
+Status FairGenTrainer::WritePendingCheckpoint() {
+  const int slot = pending_slot_.load(std::memory_order_acquire);
+  if (slot < 0) return Status::OK();
+  const PendingCheckpoint& pending = pending_[slot];
+  FAIRGEN_RETURN_NOT_OK(WriteFileAtomic(pending.path, pending.blob));
+  RotateCheckpoints(config_.checkpoint.dir, config_.checkpoint.retain);
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  registry.GetCounter("checkpoint.writes").Increment();
+  registry.GetCounter("checkpoint.bytes").Increment(pending.blob.size());
+  registry.GetGauge("checkpoint.last_epoch")
+      .Set(static_cast<double>(pending.cycle));
+  return Status::OK();
+}
+
+void FairGenTrainer::WriteEmergencyCheckpoint() {
+  const int slot = pending_slot_.load(std::memory_order_acquire);
+  if (slot < 0) return;
+  // Best-effort: called on the signal path, where there is nobody left
+  // to consume a Status. The atomic write contract still holds, so a
+  // failure here can at worst leave a stale .tmp file behind.
+  const Status status =
+      WriteFileAtomic(pending_[slot].path, pending_[slot].blob);
+  (void)status;
 }
 
 Result<Graph> FairGenTrainer::Generate(Rng& rng) {

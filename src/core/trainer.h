@@ -1,7 +1,9 @@
 #ifndef FAIRGEN_CORE_TRAINER_H_
 #define FAIRGEN_CORE_TRAINER_H_
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/assembler.h"
@@ -10,10 +12,13 @@
 #include "core/self_paced.h"
 #include "core/walk_dataset.h"
 #include "generators/generator.h"
+#include "nn/optimizer.h"
 #include "rng/sampling.h"
 #include "walk/context_sampler.h"
 
 namespace fairgen {
+
+class CheckpointReader;
 
 /// \brief The components of the joint objective J (Eq. 3), recorded once
 /// per self-paced cycle. Values are empirical means over the cycle's
@@ -65,12 +70,24 @@ class FairGenTrainer : public GraphGenerator {
   Status Fit(const Graph& graph, Rng& rng) override;
 
   /// Saves all trained parameters (g_θ including the shared embeddings,
-  /// plus the d_θ head) to a binary checkpoint. Requires Fit or Prepare.
+  /// plus the d_θ head) and the current label assignment to a sectioned
+  /// FGCKPT2 checkpoint, written atomically. Requires Fit or Prepare.
+  /// The file also records a config/graph fingerprint so a mismatched
+  /// load fails with a descriptive error instead of garbage weights.
   Status SaveCheckpoint(const std::string& path) const;
 
   /// Restores parameters saved by SaveCheckpoint into a model prepared
-  /// with the same config and graph size.
+  /// with the same config and graph. Validates the fingerprint, every
+  /// tensor shape, and the label range before mutating anything — a
+  /// corrupted or mismatched file never leaves a half-overwritten model.
   Status LoadCheckpoint(const std::string& path);
+
+  /// Writes the most recent pending training checkpoint (captured at the
+  /// last completed self-paced cycle boundary) to its file. Installed as
+  /// the CLI's signal flush so SIGINT/SIGTERM persist progress; safe to
+  /// call from any thread at any time — a no-op when nothing is pending.
+  /// Never throws; failures are swallowed (best-effort crash path).
+  void WriteEmergencyCheckpoint();
 
   /// Generates synthetic walks from g_θ and assembles them under the
   /// fairness criteria of Sec. II-D.
@@ -110,8 +127,52 @@ class FairGenTrainer : public GraphGenerator {
   const FairGenConfig& config() const { return config_; }
 
  private:
+  /// Decoded training state of a checkpoint, fully validated before any
+  /// of it is committed to the trainer (no partial restores).
+  struct DecodedCheckpoint;
+
   /// Whether supervision with at least one labeled node was provided.
   bool has_supervision() const { return num_classes_ > 0 && has_labels_; }
+
+  /// The key=value fingerprint of everything that shapes the training
+  /// trajectory: all trajectory-relevant config fields plus the graph and
+  /// supervision dimensions. Thread count and checkpoint options are
+  /// excluded (results are bit-identical across both).
+  std::string Fingerprint() const;
+
+  /// Serializes the full resumable training state (model, both optimizer
+  /// moments, labels, self-paced λ, loss history, RNG, walk pools) as an
+  /// FGCKPT2 blob. `next_cycle` is the first cycle still to run.
+  std::string SerializeTrainingCheckpoint(uint32_t next_cycle, float lambda,
+                                          const Rng& rng) const;
+
+  /// Decodes and validates every section of `reader` without touching the
+  /// trainer; returns InvalidArgument on any mismatch or corruption.
+  Status DecodeTrainingCheckpoint(const CheckpointReader& reader,
+                                  DecodedCheckpoint* out) const;
+
+  /// Commits a decoded checkpoint: restores model/optimizers/labels/
+  /// scheduler/RNG/walk pools and reports the cycle to resume from.
+  Status CommitCheckpoint(DecodedCheckpoint decoded,
+                          SelfPacedScheduler& scheduler, Rng& rng,
+                          uint32_t* next_cycle);
+
+  /// Resumes from the newest valid checkpoint in `dir`, falling back to
+  /// older files on corruption (with a warning). Returns false when the
+  /// directory holds no checkpoints (fresh start); an error when every
+  /// checkpoint present is unusable.
+  Result<bool> TryResume(const std::string& dir,
+                         SelfPacedScheduler& scheduler, Rng& rng,
+                         uint32_t* next_cycle);
+
+  /// Captures the state at a cycle boundary into the emergency
+  /// double-buffer (lock-free: the publishing store is the only sync).
+  void UpdatePendingCheckpoint(const std::string& dir, uint32_t next_cycle,
+                               float lambda, const Rng& rng);
+
+  /// Writes the pending checkpoint file (periodic cadence path): atomic
+  /// write, rotation, and checkpoint metrics.
+  Status WritePendingCheckpoint();
 
   /// One generator-training pass over the current N+/N− pools; returns the
   /// mean generator loss.
@@ -146,6 +207,25 @@ class FairGenTrainer : public GraphGenerator {
   uint32_t num_pseudo_labeled_ = 0;
   std::vector<FairGenLosses> loss_history_;
   AssemblyReport assembly_report_;
+
+  // Persistent optimizers (created in Prepare): the Adam moments live
+  // across self-paced cycles so they can be checkpointed and resumed
+  // mid-run without changing the update trajectory.
+  std::unique_ptr<nn::Adam> gen_optim_;
+  std::unique_ptr<nn::Adam> disc_optim_;
+
+  // Emergency-checkpoint double buffer. The training loop serializes the
+  // state at every completed cycle boundary into the slot NOT currently
+  // published, then publishes it with a release store; the signal path
+  // reads the published slot only, so it never observes a half-built
+  // blob even if the signal lands mid-serialization.
+  struct PendingCheckpoint {
+    std::string path;
+    std::string blob;
+    uint32_t cycle = 0;
+  };
+  PendingCheckpoint pending_[2];
+  std::atomic<int> pending_slot_{-1};
 };
 
 }  // namespace fairgen

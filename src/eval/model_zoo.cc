@@ -7,6 +7,11 @@ Result<std::unique_ptr<FairGenTrainer>> MakeFairGen(
     FairGenVariant variant, uint64_t seed) {
   FairGenConfig fg = config.fairgen;
   fg.variant = variant;
+  // Fault tolerance: each dataset/variant fit gets its own checkpoint
+  // subdirectory so zoo runs never mix checkpoint files.
+  if (!fg.checkpoint.dir.empty()) {
+    fg.checkpoint.dir += "/" + data.name + "-" + FairGenVariantName(variant);
+  }
   auto trainer = std::make_unique<FairGenTrainer>(fg);
   if (data.has_labels()) {
     Rng rng(seed ^ 0x5eedf00dULL);

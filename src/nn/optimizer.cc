@@ -24,6 +24,32 @@ double Optimizer::ClipGradNorm(double max_norm) {
   return norm;
 }
 
+Status Optimizer::ValidateState(const OptimizerState& state,
+                                size_t expected_slots) const {
+  if (state.type != type()) {
+    return Status::InvalidArgument(
+        "optimizer mismatch: checkpoint was saved with '" + state.type +
+        "', resuming with '" + type() + "'");
+  }
+  if (state.slots.size() != expected_slots) {
+    return Status::InvalidArgument(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " moment tensors, expected " + std::to_string(expected_slots));
+  }
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    const Tensor& ref = params_[i % params_.size()]->value;
+    if (!state.slots[i].SameShape(ref)) {
+      return Status::InvalidArgument(
+          "optimizer state slot " + std::to_string(i) + " has shape [" +
+          std::to_string(state.slots[i].rows()) + "," +
+          std::to_string(state.slots[i].cols()) + "], parameter is [" +
+          std::to_string(ref.rows()) + "," + std::to_string(ref.cols()) +
+          "]");
+    }
+  }
+  return Status::OK();
+}
+
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum,
          float weight_decay)
     : Optimizer(std::move(params)),
@@ -36,6 +62,19 @@ Sgd::Sgd(std::vector<Var> params, float lr, float momentum,
       velocity_.emplace_back(p->value.rows(), p->value.cols());
     }
   }
+}
+
+OptimizerState Sgd::SaveState() const {
+  OptimizerState state;
+  state.type = type();
+  state.slots = velocity_;  // empty without momentum
+  return state;
+}
+
+Status Sgd::LoadState(const OptimizerState& state) {
+  FAIRGEN_RETURN_NOT_OK(ValidateState(state, velocity_.size()));
+  velocity_ = state.slots;
+  return Status::OK();
 }
 
 void Sgd::Step() {
@@ -67,6 +106,24 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+OptimizerState Adam::SaveState() const {
+  OptimizerState state;
+  state.type = type();
+  state.step = t_;
+  state.slots.reserve(m_.size() + v_.size());
+  for (const Tensor& m : m_) state.slots.push_back(m);
+  for (const Tensor& v : v_) state.slots.push_back(v);
+  return state;
+}
+
+Status Adam::LoadState(const OptimizerState& state) {
+  FAIRGEN_RETURN_NOT_OK(ValidateState(state, m_.size() + v_.size()));
+  for (size_t i = 0; i < m_.size(); ++i) m_[i] = state.slots[i];
+  for (size_t i = 0; i < v_.size(); ++i) v_[i] = state.slots[m_.size() + i];
+  t_ = state.step;
+  return Status::OK();
 }
 
 void Adam::Step() {

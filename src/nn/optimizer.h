@@ -1,11 +1,24 @@
 #ifndef FAIRGEN_NN_OPTIMIZER_H_
 #define FAIRGEN_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/autograd.h"
 
 namespace fairgen::nn {
+
+/// \brief The serializable internal state of an optimizer, for
+/// checkpoint/resume. `type` names the algorithm ("sgd" or "adam"),
+/// `step` is Adam's bias-correction counter t (0 for SGD), and `slots`
+/// holds the per-parameter moment tensors in a type-defined order (SGD:
+/// velocity, or empty without momentum; Adam: all m then all v).
+struct OptimizerState {
+  std::string type;
+  uint64_t step = 0;
+  std::vector<Tensor> slots;
+};
 
 /// \brief Base class of first-order optimizers over a fixed parameter set.
 class Optimizer {
@@ -15,6 +28,19 @@ class Optimizer {
 
   /// Applies one update using the gradients accumulated in the parameters.
   virtual void Step() = 0;
+
+  /// The algorithm name recorded in checkpoints ("sgd", "adam").
+  virtual const char* type() const = 0;
+
+  /// Captures the internal state (moments, step counter). Restoring it
+  /// with `LoadState` resumes the exact update trajectory.
+  virtual OptimizerState SaveState() const = 0;
+
+  /// Restores state captured by `SaveState` on an optimizer of the same
+  /// type over the same parameter shapes. Returns `InvalidArgument` when
+  /// the algorithm or any slot shape disagrees (e.g. a checkpoint written
+  /// with Adam resumed with SGD) — the state is left untouched on error.
+  virtual Status LoadState(const OptimizerState& state) = 0;
 
   /// Zeroes all parameter gradients.
   void ZeroGrad();
@@ -26,6 +52,12 @@ class Optimizer {
   const std::vector<Var>& params() const { return params_; }
 
  protected:
+  /// Shared LoadState validation: checks the type tag and that `state`
+  /// has exactly `expected_slots` tensors matching the parameter shapes
+  /// cyclically (slot i must match params_[i % params_.size()]).
+  Status ValidateState(const OptimizerState& state,
+                       size_t expected_slots) const;
+
   std::vector<Var> params_;
 };
 
@@ -37,6 +69,9 @@ class Sgd : public Optimizer {
       float weight_decay = 0.0f);
 
   void Step() override;
+  const char* type() const override { return "sgd"; }
+  OptimizerState SaveState() const override;
+  Status LoadState(const OptimizerState& state) override;
 
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
@@ -55,6 +90,9 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step() override;
+  const char* type() const override { return "adam"; }
+  OptimizerState SaveState() const override;
+  Status LoadState(const OptimizerState& state) override;
 
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }

@@ -1,79 +1,173 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
+
+#include "common/fileio.h"
 
 namespace fairgen::nn {
 
 namespace {
 constexpr char kMagic[] = "FGCKPT1\n";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+template <typename T>
+void AppendRaw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadRaw(const std::string& bytes, size_t& pos) {
+  T v;
+  std::memcpy(&v, bytes.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
 }  // namespace
 
-Status SaveParameters(const std::string& path,
-                      const std::vector<Var>& params) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file.is_open()) {
-    return Status::IOError("cannot open checkpoint for writing: " + path);
-  }
-  file.write(kMagic, static_cast<std::streamsize>(kMagicLen));
-  uint64_t count = params.size();
-  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Var& p : params) {
-    if (p == nullptr) {
-      return Status::InvalidArgument("null parameter in checkpoint list");
-    }
-    uint64_t rows = p->value.rows();
-    uint64_t cols = p->value.cols();
-    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    file.write(reinterpret_cast<const char*>(p->value.data()),
-               static_cast<std::streamsize>(rows * cols * sizeof(float)));
-  }
-  if (!file.good()) {
-    return Status::IOError("write failed: " + path);
+void AppendU8(std::string& out, uint8_t v) { AppendRaw(out, v); }
+void AppendU32(std::string& out, uint32_t v) { AppendRaw(out, v); }
+void AppendU64(std::string& out, uint64_t v) { AppendRaw(out, v); }
+void AppendI32(std::string& out, int32_t v) { AppendRaw(out, v); }
+void AppendF32(std::string& out, float v) { AppendRaw(out, v); }
+void AppendF64(std::string& out, double v) { AppendRaw(out, v); }
+
+void AppendString(std::string& out, const std::string& v) {
+  AppendU32(out, static_cast<uint32_t>(v.size()));
+  out.append(v);
+}
+
+void AppendTensor(std::string& out, const Tensor& t) {
+  AppendU64(out, t.rows());
+  AppendU64(out, t.cols());
+  out.append(reinterpret_cast<const char*>(t.data()),
+             t.size() * sizeof(float));
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status::InvalidArgument(
+        "truncated checkpoint data: need " + std::to_string(n) +
+        " bytes at offset " + std::to_string(pos_) + ", have " +
+        std::to_string(remaining()));
   }
   return Status::OK();
 }
 
+Result<uint8_t> ByteReader::ReadU8() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(uint8_t)));
+  return ReadRaw<uint8_t>(*bytes_, pos_);
+}
+Result<uint32_t> ByteReader::ReadU32() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(uint32_t)));
+  return ReadRaw<uint32_t>(*bytes_, pos_);
+}
+Result<uint64_t> ByteReader::ReadU64() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(uint64_t)));
+  return ReadRaw<uint64_t>(*bytes_, pos_);
+}
+Result<int32_t> ByteReader::ReadI32() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(int32_t)));
+  return ReadRaw<int32_t>(*bytes_, pos_);
+}
+Result<float> ByteReader::ReadF32() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(float)));
+  return ReadRaw<float>(*bytes_, pos_);
+}
+Result<double> ByteReader::ReadF64() {
+  FAIRGEN_RETURN_NOT_OK(Need(sizeof(double)));
+  return ReadRaw<double>(*bytes_, pos_);
+}
+
+Result<std::string> ByteReader::ReadString() {
+  FAIRGEN_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  FAIRGEN_RETURN_NOT_OK(Need(len));
+  std::string out = bytes_->substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+Result<Tensor> ByteReader::ReadTensor() {
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t rows, ReadU64());
+  FAIRGEN_ASSIGN_OR_RETURN(uint64_t cols, ReadU64());
+  const uint64_t count = rows * cols;
+  // Overflow-safe size validation before any allocation: a corrupted
+  // header must not provoke a multi-gigabyte allocation or a wrap-around.
+  if ((rows != 0 && count / rows != cols) ||
+      count > remaining() / sizeof(float)) {
+    return Status::InvalidArgument(
+        "tensor shape [" + std::to_string(rows) + "," +
+        std::to_string(cols) + "] exceeds the remaining checkpoint bytes");
+  }
+  Tensor t(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::memcpy(t.data(), bytes_->data() + pos_,
+              static_cast<size_t>(count) * sizeof(float));
+  pos_ += static_cast<size_t>(count) * sizeof(float);
+  return t;
+}
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Var>& params) {
+  // Validate before serializing a single byte, then write atomically: a
+  // failed save must never leave a truncated file at `path` (the old
+  // streaming writer emitted the header before noticing a null parameter).
+  for (const Var& p : params) {
+    if (p == nullptr) {
+      return Status::InvalidArgument("null parameter in checkpoint list");
+    }
+  }
+  std::string out(kMagic, kMagicLen);
+  AppendU64(out, params.size());
+  for (const Var& p : params) {
+    AppendTensor(out, p->value);
+  }
+  return WriteFileAtomic(path, out);
+}
+
 Status LoadParameters(const std::string& path,
                       const std::vector<Var>& params) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file.is_open()) {
-    return Status::IOError("cannot open checkpoint: " + path);
-  }
-  char magic[kMagicLen];
-  file.read(magic, static_cast<std::streamsize>(kMagicLen));
-  if (!file.good() || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+  FAIRGEN_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
     return Status::InvalidArgument("not a FairGen checkpoint: " + path);
   }
-  uint64_t count = 0;
-  file.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!file.good() || count != params.size()) {
+  ByteReader reader(bytes, kMagicLen);
+  auto count = reader.ReadU64();
+  if (!count.ok() || *count != params.size()) {
     return Status::InvalidArgument(
         "checkpoint parameter count mismatch: file has " +
-        std::to_string(count) + ", model has " +
-        std::to_string(params.size()));
+        (count.ok() ? std::to_string(*count) : std::string("<unreadable>")) +
+        ", model has " + std::to_string(params.size()));
   }
+  // Decode and validate everything first; only then copy into the model,
+  // so a bad file never leaves the parameters half-overwritten.
+  std::vector<Tensor> tensors;
+  tensors.reserve(params.size());
   for (const Var& p : params) {
-    uint64_t rows = 0;
-    uint64_t cols = 0;
-    file.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    file.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!file.good() || rows != p->value.rows() ||
-        cols != p->value.cols()) {
+    auto t = reader.ReadTensor();
+    if (!t.ok()) {
+      return Status::InvalidArgument("truncated checkpoint: " + path + ": " +
+                                     t.status().message());
+    }
+    if (!t->SameShape(p->value)) {
       return Status::InvalidArgument(
-          "checkpoint shape mismatch: file [" + std::to_string(rows) + "," +
-          std::to_string(cols) + "] vs model [" +
+          "checkpoint shape mismatch: file [" + std::to_string(t->rows()) +
+          "," + std::to_string(t->cols()) + "] vs model [" +
           std::to_string(p->value.rows()) + "," +
           std::to_string(p->value.cols()) + "]");
     }
-    file.read(reinterpret_cast<char*>(p->value.data()),
-              static_cast<std::streamsize>(rows * cols * sizeof(float)));
-    if (!file.good()) {
-      return Status::IOError("truncated checkpoint: " + path);
-    }
+    tensors.push_back(t.MoveValueUnsafe());
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(reader.remaining()) +
+        " trailing bytes after the last tensor (concatenated or corrupted "
+        "file): " +
+        path);
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(tensors[i]);
   }
   return Status::OK();
 }

@@ -1,13 +1,66 @@
 #ifndef FAIRGEN_NN_SERIALIZE_H_
 #define FAIRGEN_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "nn/autograd.h"
+#include "nn/tensor.h"
 
 namespace fairgen::nn {
+
+/// \name Byte-buffer primitives
+///
+/// Little-endian fixed-width encoders/decoders shared by the FGCKPT1
+/// parameter files below and the sectioned FGCKPT2 training checkpoints
+/// (core/checkpoint.h). `ByteReader` is a bounds-checked cursor: every
+/// decode fails with `InvalidArgument` instead of reading past the end,
+/// so a truncated or corrupted checkpoint can never crash the loader.
+/// @{
+
+void AppendU8(std::string& out, uint8_t v);
+void AppendU32(std::string& out, uint32_t v);
+void AppendU64(std::string& out, uint64_t v);
+void AppendI32(std::string& out, int32_t v);
+void AppendF32(std::string& out, float v);
+void AppendF64(std::string& out, double v);
+/// Length-prefixed (u32) byte string.
+void AppendString(std::string& out, const std::string& v);
+/// u64 rows, u64 cols, rows*cols f32 payload.
+void AppendTensor(std::string& out, const Tensor& t);
+
+/// \brief Sequentially decodes values appended by the Append* functions.
+class ByteReader {
+ public:
+  /// Reads from `bytes[offset..)`; the buffer must outlive the reader.
+  explicit ByteReader(const std::string& bytes, size_t offset = 0)
+      : bytes_(&bytes), pos_(offset) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+  Result<Tensor> ReadTensor();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return bytes_->size() - pos_; }
+  /// True iff the cursor consumed the whole buffer.
+  bool AtEnd() const { return remaining() == 0; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const std::string* bytes_;
+  size_t pos_;
+};
+
+/// @}
 
 /// \brief Writes the parameter values to a binary checkpoint.
 ///
@@ -15,12 +68,18 @@ namespace fairgen::nn {
 /// uint64 rows, uint64 cols, rows*cols little-endian float32. The
 /// parameter *order* defines identity — load into a model built with the
 /// same architecture/config.
+///
+/// The write is atomic (temp + fsync + rename, common/fileio.h): a failed
+/// save leaves no partial file at `path`, and a concurrent reader never
+/// observes a torn checkpoint.
 Status SaveParameters(const std::string& path,
                       const std::vector<Var>& params);
 
 /// \brief Restores parameter values from a checkpoint written by
 /// SaveParameters. Fails if the count or any shape disagrees with
-/// `params` (architecture mismatch).
+/// `params` (architecture mismatch), if the file is truncated, or if
+/// trailing bytes follow the last tensor (a concatenated or corrupted
+/// file). No parameter is modified unless the whole file validates.
 Status LoadParameters(const std::string& path,
                       const std::vector<Var>& params);
 

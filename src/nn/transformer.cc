@@ -149,6 +149,9 @@ uint32_t TransformerLM::SampleNext(const std::vector<uint32_t>& prefix,
   for (size_t i = 0; i < config_.vocab_size; ++i) {
     weights[i] = std::exp((row[i] - max_val) / temperature);
   }
+  // exp(row - max) keeps the max weight at 1, but NaN logits can still
+  // poison the total; SampleDiscrete then degrades to a uniform in-range
+  // pick, so `pick` is always a valid token.
   uint32_t pick = SampleDiscrete(weights, rng);
   FAIRGEN_CHECK(pick < config_.vocab_size);
   return pick;

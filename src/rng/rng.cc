@@ -100,4 +100,20 @@ uint64_t Rng::Geometric(double p) {
 
 Rng Rng::Split() { return Rng(NextU64(), NextU64() | 1); }
 
+RngState Rng::Serialize() const {
+  RngState s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::Deserialize(const RngState& state) {
+  state_ = state.state;
+  inc_ = state.inc;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace fairgen

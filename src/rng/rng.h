@@ -6,6 +6,17 @@
 
 namespace fairgen {
 
+/// \brief The complete serializable state of an `Rng`: the PCG32 state
+/// and stream words plus the Box–Muller second-draw cache. Restoring it
+/// resumes the exact random sequence — the training checkpoints persist
+/// this so a resumed run replays the uninterrupted run bit for bit.
+struct RngState {
+  uint64_t state = 0;
+  uint64_t inc = 1;
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// \brief PCG32 pseudo-random generator (O'Neill 2014).
 ///
 /// Every stochastic component in the library takes an explicit `Rng` (or a
@@ -60,6 +71,14 @@ class Rng {
   /// Derives an independent generator from this one (for parallel or
   /// per-component streams).
   Rng Split();
+
+  /// Captures the full generator state (including the cached Box–Muller
+  /// draw, which would otherwise desynchronize `Normal()` on restore).
+  RngState Serialize() const;
+
+  /// Restores state captured by `Serialize`; subsequent draws continue
+  /// the saved sequence exactly.
+  void Deserialize(const RngState& state);
 
  private:
   uint64_t state_;

@@ -1,5 +1,6 @@
 #include "rng/sampling.h"
 
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
@@ -74,8 +75,15 @@ double AliasTable::Probability(uint32_t i) const {
 }
 
 uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng) {
+  FAIRGEN_CHECK(!weights.empty());
   double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  if (total <= 0.0) return static_cast<uint32_t>(weights.size());
+  // Degenerate distribution (all-zero weights, or a NaN/inf weight
+  // poisoning the total): fall back to a uniform pick so callers always
+  // receive a valid index. This consumes one draw either way, so the
+  // non-degenerate sequence is unchanged.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    return rng.UniformU32(static_cast<uint32_t>(weights.size()));
+  }
   double u = rng.UniformDouble() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {

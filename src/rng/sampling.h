@@ -38,7 +38,11 @@ class AliasTable {
 };
 
 /// \brief Samples an index from unnormalized `weights` in O(n).
-/// Returns `weights.size()` if all weights are zero.
+/// `weights` must be non-empty; the result is always a valid index in
+/// [0, weights.size()). If the weight total is zero or non-finite (all
+/// weights zero, or a NaN/inf entry), the call falls back to a uniform
+/// pick over all indices — callers that index arrays with the result
+/// (walk samplers, LM decoders) stay in range even on degenerate logits.
 uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng);
 
 /// \brief Fisher–Yates shuffle of `items`.

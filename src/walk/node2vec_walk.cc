@@ -49,6 +49,9 @@ Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
         weights[i] = 1.0 / params_.q;
       }
     }
+    // The 1/p, 1, 1/q biases are positive and finite, so the uniform
+    // zero-total fallback inside SampleDiscrete is unreachable here; the
+    // contract still guarantees an in-range neighbor index.
     uint32_t pick = SampleDiscrete(weights, rng);
     FAIRGEN_CHECK(pick < cur_nbrs.size());
     cur = cur_nbrs[pick];

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "nn/serialize.h"
@@ -97,6 +98,42 @@ TEST(SerializeTest, MissingFileIsIOError) {
       nn::LoadParameters("/no/such/checkpoint.bin", params).IsIOError());
 }
 
+// Regression: trailing bytes after the last tensor (a concatenated or
+// bit-rotted file) were silently accepted; the loader must reject them
+// and leave the target parameters untouched.
+TEST(SerializeTest, RejectsTrailingBytes) {
+  Rng rng(6);
+  std::vector<nn::Var> params{
+      nn::MakeParameter(nn::Tensor::Randn(2, 2, 1.0f, rng))};
+  std::string path = TempPath("trailing");
+  ASSERT_TRUE(nn::SaveParameters(path, params).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    std::fputc(0, f);
+    std::fclose(f);
+  }
+  std::vector<nn::Var> target{nn::MakeParameter(nn::Tensor(2, 2, 7.0f))};
+  EXPECT_TRUE(nn::LoadParameters(path, target).IsInvalidArgument());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(target[0]->value.data()[i], 7.0f) << "partial load";
+  }
+  std::remove(path.c_str());
+}
+
+// Regression: a failed save used to leave a truncated garbage file at
+// the destination; the atomic write must leave no file at all.
+TEST(SerializeTest, FailedSaveLeavesNoFile) {
+  Rng rng(7);
+  std::vector<nn::Var> params{
+      nn::MakeParameter(nn::Tensor::Randn(2, 2, 1.0f, rng))};
+  std::string path =
+      testing::TempDir() + "/fairgen_no_such_dir/ckpt.bin";
+  EXPECT_FALSE(nn::SaveParameters(path, params).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "failed save left a file behind";
+  if (f != nullptr) std::fclose(f);
+}
+
 TEST(CheckpointTest, RequiresPrepare) {
   FairGenTrainer trainer(QuickConfig());
   EXPECT_TRUE(
@@ -137,6 +174,46 @@ TEST(CheckpointTest, RestoredModelGeneratesIdentically) {
   ASSERT_TRUE(graph_a.ok());
   ASSERT_TRUE(graph_b.ok());
   EXPECT_EQ(graph_a->ToEdgeList(), graph_b->ToEdgeList());
+  std::remove(path.c_str());
+}
+
+// Satellite of the label-serialization fix: labels travel as native
+// int32 and every entry must be kUnlabeled or a valid class id — a
+// corrupted labels section is rejected before anything is committed.
+TEST(CheckpointTest, LoadRejectsOutOfRangeLabel) {
+  LabeledGraph data = MakeData(6);
+  Rng sup_rng(6);
+  std::vector<int32_t> few = FewShotLabels(data, 4, sup_rng);
+  FairGenTrainer trained(QuickConfig());
+  ASSERT_TRUE(
+      trained.SetSupervision(few, data.protected_set, data.num_classes)
+          .ok());
+  Rng fit_rng(6);
+  ASSERT_TRUE(trained.Fit(data.graph, fit_rng).ok());
+  std::string path = TempPath("badlabel");
+  ASSERT_TRUE(trained.SaveCheckpoint(path).ok());
+
+  // Rewrite the labels section with the first entry out of range.
+  auto reader = CheckpointReader::ReadFile(path);
+  ASSERT_TRUE(reader.ok());
+  CheckpointWriter writer;
+  for (const std::string& name : reader->SectionNames()) {
+    auto payload = reader->Section(name);
+    ASSERT_TRUE(payload.ok());
+    std::string bytes = **payload;
+    if (name == ckpt::kSectionLabels) {
+      ASSERT_GT(bytes.size(), 12u);  // u64 count + first i32
+      bytes[8] = 99;  // far beyond num_classes
+      bytes[9] = bytes[10] = bytes[11] = 0;
+    }
+    writer.AddSection(name, bytes);
+  }
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+
+  Status status = trained.LoadCheckpoint(path);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.ToString().find("label"), std::string::npos)
+      << status.ToString();
   std::remove(path.c_str());
 }
 

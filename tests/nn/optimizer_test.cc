@@ -122,6 +122,92 @@ TEST(OptimizerDeathTest, RejectsConstantParams) {
   EXPECT_DEATH(Sgd({c}, 0.1f), "requires_grad");
 }
 
+// Resuming from SaveState/LoadState must replay the exact update
+// trajectory: 10 checkpointed + 10 resumed steps end bitwise equal to 20
+// uninterrupted steps.
+TEST(OptimizerStateTest, AdamRoundTripResumesExactTrajectory) {
+  Rng rng(21);
+  Tensor init = Tensor::Randn(2, 3, 1.0f, rng);
+  Tensor target(2, 3, 0.7f);
+
+  Var ref = MakeParameter(init);
+  Adam ref_opt({ref}, 0.1f);
+  MinimizeQuadratic(ref_opt, ref, target, 10);
+  OptimizerState saved = ref_opt.SaveState();
+  Tensor at_checkpoint = ref->value;
+  MinimizeQuadratic(ref_opt, ref, target, 10);
+
+  Var resumed = MakeParameter(at_checkpoint);
+  Adam resumed_opt({resumed}, 0.1f);
+  ASSERT_TRUE(resumed_opt.LoadState(saved).ok());
+  MinimizeQuadratic(resumed_opt, resumed, target, 10);
+
+  for (size_t i = 0; i < ref->value.size(); ++i) {
+    EXPECT_EQ(resumed->value.data()[i], ref->value.data()[i]) << "elem " << i;
+  }
+}
+
+TEST(OptimizerStateTest, SgdMomentumRoundTripResumesExactTrajectory) {
+  Rng rng(22);
+  Tensor init = Tensor::Randn(3, 2, 1.0f, rng);
+  Tensor target(3, 2, -0.4f);
+
+  Var ref = MakeParameter(init);
+  Sgd ref_opt({ref}, 0.05f, 0.9f);
+  MinimizeQuadratic(ref_opt, ref, target, 10);
+  OptimizerState saved = ref_opt.SaveState();
+  EXPECT_EQ(saved.type, "sgd");
+  Tensor at_checkpoint = ref->value;
+  MinimizeQuadratic(ref_opt, ref, target, 10);
+
+  Var resumed = MakeParameter(at_checkpoint);
+  Sgd resumed_opt({resumed}, 0.05f, 0.9f);
+  ASSERT_TRUE(resumed_opt.LoadState(saved).ok());
+  MinimizeQuadratic(resumed_opt, resumed, target, 10);
+
+  for (size_t i = 0; i < ref->value.size(); ++i) {
+    EXPECT_EQ(resumed->value.data()[i], ref->value.data()[i]) << "elem " << i;
+  }
+}
+
+// A checkpoint written with one algorithm must not load into the other —
+// the descriptive error names both, and the target is left untouched.
+TEST(OptimizerStateTest, RejectsCrossOptimizerState) {
+  Var x = MakeParameter(Tensor(1, 2, 1.0f));
+  Adam adam({x}, 0.1f);
+  Var y = MakeParameter(Tensor(1, 2, 1.0f));
+  Sgd sgd({y}, 0.1f, 0.9f);
+
+  Status adam_into_sgd = sgd.LoadState(adam.SaveState());
+  EXPECT_TRUE(adam_into_sgd.IsInvalidArgument());
+  EXPECT_NE(adam_into_sgd.ToString().find("optimizer mismatch"),
+            std::string::npos)
+      << adam_into_sgd.ToString();
+
+  Status sgd_into_adam = adam.LoadState(sgd.SaveState());
+  EXPECT_TRUE(sgd_into_adam.IsInvalidArgument());
+  EXPECT_NE(sgd_into_adam.ToString().find("optimizer mismatch"),
+            std::string::npos);
+}
+
+TEST(OptimizerStateTest, RejectsSlotShapeMismatch) {
+  Var x = MakeParameter(Tensor(2, 2, 1.0f));
+  Adam adam({x}, 0.1f);
+  OptimizerState state = adam.SaveState();
+  state.slots[0] = Tensor(2, 3);  // wrong shape for the first moment
+  Status status = adam.LoadState(state);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.ToString().find("shape"), std::string::npos);
+}
+
+TEST(OptimizerStateTest, RejectsSlotCountMismatch) {
+  Var x = MakeParameter(Tensor(2, 2, 1.0f));
+  Adam adam({x}, 0.1f);
+  OptimizerState state = adam.SaveState();
+  state.slots.pop_back();
+  EXPECT_TRUE(adam.LoadState(state).IsInvalidArgument());
+}
+
 TEST(AdamTest, LearningRateAccessors) {
   Var x = MakeParameter(Tensor(1, 1));
   Adam adam({x}, 0.1f);

@@ -164,6 +164,35 @@ TEST(RngTest, SplitProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(RngTest, SerializeDeserializeContinuesSequenceExactly) {
+  Rng original(37);
+  for (int i = 0; i < 50; ++i) original.NextU32();  // advance mid-stream
+  RngState state = original.Serialize();
+
+  Rng restored;  // different seed — fully overwritten by the state
+  restored.Deserialize(state);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(restored.NextU32(), original.NextU32()) << "draw " << i;
+  }
+}
+
+TEST(RngTest, SerializePreservesCachedBoxMullerDraw) {
+  Rng original(41);
+  // An odd number of Normal() calls leaves the second Box–Muller draw
+  // cached; dropping it on restore would desynchronize every later draw.
+  original.Normal();
+  RngState state = original.Serialize();
+  EXPECT_TRUE(state.has_cached_normal);
+
+  Rng restored;
+  restored.Deserialize(state);
+  EXPECT_EQ(restored.Normal(), original.Normal());  // the cached value
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.Normal(), original.Normal());
+    EXPECT_EQ(restored.NextU32(), original.NextU32());
+  }
+}
+
 TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == UINT32_MAX);

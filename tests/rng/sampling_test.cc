@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -75,10 +76,44 @@ TEST(SampleDiscreteTest, MatchesDistribution) {
   EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.25, 0.01);
 }
 
-TEST(SampleDiscreteTest, AllZeroReturnsSize) {
+// Degenerate weights must never yield the historic out-of-range sentinel
+// (weights.size()), which silently indexed one past the end at the LSTM /
+// transformer call sites. The contract is a uniform in-range fallback.
+TEST(SampleDiscreteTest, AllZeroFallsBackToUniformInRange) {
   std::vector<double> weights{0.0, 0.0};
   Rng rng(1);
-  EXPECT_EQ(SampleDiscrete(weights, rng), 2u);
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t idx = SampleDiscrete(weights, rng);
+    ASSERT_LT(idx, weights.size());
+    ++counts[idx];
+  }
+  // Uniform: both indices must actually occur.
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(SampleDiscreteTest, NonFiniteTotalFallsBackToUniformInRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng rng(2);
+  for (const std::vector<double>& weights :
+       {std::vector<double>{nan, 1.0, 1.0}, std::vector<double>{inf, 1.0},
+        std::vector<double>{-1.0, 0.5}}) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_LT(SampleDiscrete(weights, rng), weights.size());
+    }
+  }
+}
+
+TEST(SampleDiscreteTest, FallbackConsumesExactlyOneDraw) {
+  // The fallback draws exactly once, like the non-degenerate path, so a
+  // degenerate softmax does not desynchronize downstream sampling.
+  std::vector<double> zeros{0.0, 0.0, 0.0};
+  Rng a(9), b(9);
+  SampleDiscrete(zeros, a);
+  b.UniformU32(3);
+  EXPECT_EQ(a.NextU32(), b.NextU32());
 }
 
 TEST(ShuffleTest, IsPermutation) {

@@ -18,6 +18,7 @@
 //   --cycles=<n>         self-paced cycles (default 4)
 //   --epochs=<n>         generator epochs per cycle (default 2)
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -60,6 +61,10 @@ struct Options {
   std::string trace_out_path;
   std::string log_level;
   std::string telemetry_dir;
+  std::string checkpoint_dir;
+  uint32_t checkpoint_every = 1;
+  uint32_t checkpoint_retain = 3;
+  bool resume = false;
   int32_t telemetry_port = -1;        // -1 = no HTTP endpoint
   uint32_t telemetry_interval_ms = 1000;
   uint64_t seed = 7;
@@ -77,6 +82,17 @@ int Usage() {
       "       --nodes=<file> --out=<file> --seed=<n> --walks=<n>\n"
       "       --cycles=<n> --epochs=<n> --threads=<n>\n"
       "       --save-model=<ckpt> --load-model=<ckpt> (fairgen models)\n"
+      "       --checkpoint-dir=<d>  fault tolerance (fairgen models):\n"
+      "                             write ckpt-*.fgckpt training\n"
+      "                             checkpoints under <d> (atomic renames;\n"
+      "                             SIGINT/SIGTERM flush the latest state)\n"
+      "       --checkpoint-every=<n>  cycles between checkpoints (default\n"
+      "                             1; the final cycle always checkpoints)\n"
+      "       --checkpoint-retain=<n>  checkpoint files kept (default 3)\n"
+      "       --resume              resume from the newest valid\n"
+      "                             checkpoint in --checkpoint-dir; the\n"
+      "                             resumed run is bit-identical to the\n"
+      "                             uninterrupted one\n"
       "       --metrics-out=<file>  write the metrics registry as JSON\n"
       "       --trace-out=<file>    enable tracing, write spans as JSON\n"
       "                             (*.perfetto.json / *.chrome.json: Chrome\n"
@@ -128,6 +144,16 @@ Result<Options> Parse(int argc, char** argv) {
       opts.save_model_path = value("--save-model=");
     } else if (StrStartsWith(arg, "--load-model=")) {
       opts.load_model_path = value("--load-model=");
+    } else if (StrStartsWith(arg, "--checkpoint-dir=")) {
+      opts.checkpoint_dir = value("--checkpoint-dir=");
+    } else if (StrStartsWith(arg, "--checkpoint-every=")) {
+      opts.checkpoint_every = std::strtoul(
+          value("--checkpoint-every=").c_str(), nullptr, 10);
+    } else if (StrStartsWith(arg, "--checkpoint-retain=")) {
+      opts.checkpoint_retain = std::strtoul(
+          value("--checkpoint-retain=").c_str(), nullptr, 10);
+    } else if (arg == "--resume") {
+      opts.resume = true;
     } else if (StrStartsWith(arg, "--metrics-out=")) {
       opts.metrics_out_path = value("--metrics-out=");
     } else if (StrStartsWith(arg, "--trace-out=")) {
@@ -212,6 +238,11 @@ Result<std::vector<NodeId>> LoadNodeSet(const std::string& path,
 Result<std::unique_ptr<GraphGenerator>> BuildModel(const Options& opts,
                                                    const Graph& graph) {
   const std::string& m = opts.model;
+  if ((!opts.checkpoint_dir.empty() || opts.resume) &&
+      !StrStartsWith(m, "fairgen")) {
+    return Status::InvalidArgument(
+        "--checkpoint-dir/--resume are only supported for fairgen* models");
+  }
   if (m == "er") return std::unique_ptr<GraphGenerator>(
       std::make_unique<ErdosRenyiGenerator>());
   if (m == "ba") return std::unique_ptr<GraphGenerator>(
@@ -246,6 +277,10 @@ Result<std::unique_ptr<GraphGenerator>> BuildModel(const Options& opts,
   cfg.self_paced_cycles = opts.cycles;
   cfg.generator_epochs = opts.epochs;
   cfg.num_threads = opts.threads;
+  cfg.checkpoint.dir = opts.checkpoint_dir;
+  cfg.checkpoint.every_cycles = opts.checkpoint_every;
+  cfg.checkpoint.retain = opts.checkpoint_retain;
+  cfg.checkpoint.resume = opts.resume;
   if (m == "fairgen") {
     cfg.variant = FairGenVariant::kFull;
   } else if (m == "fairgen-r") {
@@ -306,6 +341,20 @@ Status RunStats(const Options& opts) {
   return Status::OK();
 }
 
+// The live FairGen trainer while a fit/generate is in flight, so
+// SIGINT/SIGTERM can persist the latest completed-cycle checkpoint.
+std::atomic<FairGenTrainer*> g_signal_trainer{nullptr};
+
+// Publishes/clears the signal-visible trainer for the enclosing scope.
+struct SignalTrainerScope {
+  explicit SignalTrainerScope(FairGenTrainer* trainer) {
+    g_signal_trainer.store(trainer, std::memory_order_release);
+  }
+  ~SignalTrainerScope() {
+    g_signal_trainer.store(nullptr, std::memory_order_release);
+  }
+};
+
 Status RunGenerate(const Options& opts) {
   if (opts.out_path.empty()) {
     return Status::InvalidArgument("generate requires --out=<file>");
@@ -315,6 +364,7 @@ Status RunGenerate(const Options& opts) {
   FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
   Rng rng(opts.seed);
   auto* fairgen_trainer = dynamic_cast<FairGenTrainer*>(model.get());
+  SignalTrainerScope signal_scope(fairgen_trainer);
   if (!opts.load_model_path.empty()) {
     if (fairgen_trainer == nullptr) {
       return Status::InvalidArgument(
@@ -355,6 +405,8 @@ Status RunEvaluate(const Options& opts) {
   FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
   FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
   Rng rng(opts.seed);
+  SignalTrainerScope signal_scope(
+      dynamic_cast<FairGenTrainer*>(model.get()));
   FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
   FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
 
@@ -427,6 +479,11 @@ Status WriteTelemetry(const Options& opts) {
 // this covers the --metrics-out/--trace-out files that otherwise only
 // appear on a normal return from Main.
 void SignalExtraFlush() {
+  // The training checkpoint first: it is the state the user would lose.
+  if (FairGenTrainer* trainer =
+          g_signal_trainer.load(std::memory_order_acquire)) {
+    trainer->WriteEmergencyCheckpoint();
+  }
   if (g_signal_opts != nullptr) WriteTelemetry(*g_signal_opts);
 }
 
