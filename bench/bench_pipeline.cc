@@ -24,8 +24,11 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "embed/node2vec.h"
+#include "graph/transition.h"
+#include "nn/kernels/kernels.h"
 #include "perf_harness.h"
 #include "rng/rng.h"
+#include "rng/sampling.h"
 #include "walk/node2vec_walk.h"
 #include "walk/random_walk.h"
 
@@ -93,8 +96,14 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
     if (!name.empty()) wanted.push_back(std::move(name));
   }
   static constexpr const char* kKnownScenarios[] = {
-      "walk_sampling", "node2vec_walks", "node2vec_train", "trainer_cycle",
-      "generation",    "assembly",       "end_to_end"};
+      "walk_sampling", "node2vec_walks", "node2vec_train",
+      "trainer_cycle", "generation",     "assembly",
+      "end_to_end",    "micro_substrates_matmul",
+      "micro_substrates_alias"};
+  // The substrate microbenchmarks are tight, low-variance loops, so they
+  // gate at 10% where the end-to-end stages keep the default threshold.
+  harness.SetScenarioThreshold("micro_substrates_matmul", 0.10);
+  harness.SetScenarioThreshold("micro_substrates_alias", 0.10);
   for (const std::string& name : wanted) {
     if (std::find(std::begin(kKnownScenarios), std::end(kKnownScenarios),
                   name) == std::end(kKnownScenarios)) {
@@ -220,6 +229,49 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
     });
   }
 
+  if (enabled("micro_substrates_matmul")) {
+    // The dispatched kernel in isolation, without the autograd/trainer
+    // layers above it. Shape chosen to resemble the trainer's projection
+    // matmuls at default scale.
+    constexpr size_t kDim = 96;
+    std::vector<float> a(kDim * kDim), b(kDim * kDim), c(kDim * kDim);
+    Rng init_rng(options.seed);
+    for (float& v : a) {
+      v = static_cast<float>(init_rng.UniformDouble()) - 0.5f;
+    }
+    for (float& v : b) {
+      v = static_cast<float>(init_rng.UniformDouble()) - 0.5f;
+    }
+    harness.RunScenario("micro_substrates_matmul", [&] {
+      constexpr uint64_t kIters = 50;
+      float sink = 0.0f;
+      for (uint64_t i = 0; i < kIters; ++i) {
+        nn::kernels::MatMul(a.data(), b.data(), c.data(), kDim, kDim, kDim);
+        sink += c[i % c.size()];
+      }
+      // The checksum term is 0 for any finite result; folding it into the
+      // item count keeps the optimizer from eliding the kernel calls.
+      return kIters + static_cast<uint64_t>(sink != sink);
+    });
+  }
+
+  if (enabled("micro_substrates_alias")) {
+    // Alias-table build + O(1) draws over the bench graph's degree
+    // distribution — the substrate under walk start sampling and the
+    // second-order transition tables.
+    harness.RunScenario("micro_substrates_alias", [&] {
+      Rng rng(options.seed);
+      StartDistribution starts(graph,
+                               StartDistribution::Kind::kDegreeProportional);
+      const uint64_t draws = static_cast<uint64_t>(graph.num_nodes()) * 200;
+      uint64_t sink = 0;
+      for (uint64_t i = 0; i < draws; ++i) {
+        sink += starts.Sample(rng);
+      }
+      return draws + (sink == ~uint64_t{0} ? 1 : 0);
+    });
+  }
+
   if (enabled("end_to_end")) {
     harness.RunScenario("end_to_end", [&] {
       Rng rng(options.seed);
@@ -245,11 +297,11 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
 
   // Result table + stable-schema JSON.
   Table table({"scenario", "median_ms", "iqr_ms", "items_per_s",
-               "peak_rss_mb"});
+               "rss_delta_mb"});
   for (const ScenarioResult& r : harness.results()) {
     table.AddRow(r.name,
                  {r.median_ms, r.iqr_ms, r.items_per_s,
-                  static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0)},
+                  static_cast<double>(r.rss_delta_bytes) / (1024.0 * 1024.0)},
                  3);
   }
   EmitTable(table, options, "pipeline perf profile");

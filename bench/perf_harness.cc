@@ -44,10 +44,19 @@ std::string FormatFixed(double v, int precision) {
 
 PerfHarness::PerfHarness(HarnessOptions options) : options_(options) {
   if (options_.repetitions == 0) options_.repetitions = 1;
+  if (options_.warmup == 0) options_.warmup = 1;
+}
+
+void PerfHarness::SetScenarioThreshold(const std::string& name,
+                                       double threshold) {
+  scenario_thresholds_[name] = threshold;
 }
 
 const ScenarioResult& PerfHarness::RunScenario(
     const std::string& name, const std::function<uint64_t()>& body) {
+  // Captured before warmup so one-time setup cost inside the closure is
+  // attributed to the scenario that incurred it.
+  const uint64_t rss_before = memprobe::PeakRssBytes();
   for (uint32_t i = 0; i < options_.warmup; ++i) body();
 
   std::vector<double> times_ms;
@@ -73,11 +82,13 @@ const ScenarioResult& PerfHarness::RunScenario(
     result.items_per_s =
         static_cast<double>(items) / (result.median_ms / 1000.0);
   }
-  // Process-level high-water mark: monotone over the run, so later
-  // scenarios inherit the peak of earlier ones. Useful as a ceiling, not
-  // as per-scenario attribution (that is what the nn/graph byte gauges
-  // are for).
-  result.peak_rss_bytes = memprobe::PeakRssBytes();
+  // Peak RSS is a monotone process-level high-water mark; recording it
+  // verbatim per scenario just repeats the running maximum (every row
+  // after the largest scenario shows the same number). The delta against
+  // the scenario-start peak is what this scenario actually added.
+  const uint64_t rss_after = memprobe::PeakRssBytes();
+  result.rss_delta_bytes = rss_after > rss_before ? rss_after - rss_before
+                                                  : 0;
   result.repetitions = options_.repetitions;
   results_.push_back(std::move(result));
   return results_.back();
@@ -85,7 +96,12 @@ const ScenarioResult& PerfHarness::RunScenario(
 
 std::string PerfHarness::ToJson() const {
   std::string out = "{\n";
-  out += "  \"schema_version\": 1,\n";
+  // v2: per-scenario "peak_rss_bytes" (the repeated process-global
+  // high-water mark) became "rss_delta_bytes" (growth attributable to the
+  // scenario); the global peak moved to this run-level header field.
+  out += "  \"schema_version\": 2,\n";
+  out += "  \"peak_rss_bytes\": " + std::to_string(memprobe::PeakRssBytes()) +
+         ",\n";
   out += "  \"git_rev\": \"" + JsonEscape(GitRevision()) + "\",\n";
   out += "  \"seed\": " + std::to_string(options_.seed) + ",\n";
   out += "  \"threads\": " + std::to_string(options_.threads) + ",\n";
@@ -101,7 +117,7 @@ std::string PerfHarness::ToJson() const {
     out += "\"iqr_ms\": " + FormatDouble(r.iqr_ms) + ", ";
     out += "\"items\": " + std::to_string(r.items) + ", ";
     out += "\"items_per_s\": " + FormatDouble(r.items_per_s) + ", ";
-    out += "\"peak_rss_bytes\": " + std::to_string(r.peak_rss_bytes) + ", ";
+    out += "\"rss_delta_bytes\": " + std::to_string(r.rss_delta_bytes) + ", ";
     out += "\"repetitions\": " + std::to_string(r.repetitions) + "}";
   }
   out += results_.empty() ? "]\n" : "\n  ]\n";
@@ -144,8 +160,8 @@ Result<std::vector<ScenarioResult>> PerfHarness::LoadBaseline(
     r.iqr_ms = entry.GetDouble("iqr_ms", 0.0);
     r.items = static_cast<uint64_t>(entry.GetDouble("items", 0.0));
     r.items_per_s = entry.GetDouble("items_per_s", 0.0);
-    r.peak_rss_bytes =
-        static_cast<uint64_t>(entry.GetDouble("peak_rss_bytes", 0.0));
+    r.rss_delta_bytes =
+        static_cast<uint64_t>(entry.GetDouble("rss_delta_bytes", 0.0));
     r.repetitions =
         static_cast<uint32_t>(entry.GetDouble("repetitions", 0.0));
     out.push_back(std::move(r));
@@ -156,7 +172,7 @@ Result<std::vector<ScenarioResult>> PerfHarness::LoadBaseline(
 int PerfHarness::CompareWithBaseline(
     const std::vector<ScenarioResult>& baseline, double threshold) const {
   Table table({"scenario", "baseline_ms", "current_ms", "delta_pct",
-               "status"});
+               "threshold_pct", "status"});
   int regressions = 0;
   for (const ScenarioResult& current : results_) {
     const ScenarioResult* base = nullptr;
@@ -166,9 +182,13 @@ int PerfHarness::CompareWithBaseline(
         break;
       }
     }
+    const auto override_it = scenario_thresholds_.find(current.name);
+    const double row_threshold = override_it != scenario_thresholds_.end()
+                                     ? override_it->second
+                                     : threshold;
     if (base == nullptr) {
       table.AddRow({current.name, "-", FormatFixed(current.median_ms, 3), "-",
-                    "new"});
+                    FormatFixed(row_threshold * 100.0, 0), "new"});
       continue;
     }
     double delta_pct =
@@ -177,11 +197,12 @@ int PerfHarness::CompareWithBaseline(
             : 0.0;
     bool regressed = base->median_ms > 0.0 &&
                      current.median_ms >
-                         base->median_ms * (1.0 + threshold);
+                         base->median_ms * (1.0 + row_threshold);
     if (regressed) ++regressions;
     table.AddRow({current.name, FormatFixed(base->median_ms, 3),
-                  FormatFixed(current.median_ms, 3),
-                  FormatFixed(delta_pct, 1), regressed ? "REGRESSED" : "ok"});
+                  FormatFixed(current.median_ms, 3), FormatFixed(delta_pct, 1),
+                  FormatFixed(row_threshold * 100.0, 0),
+                  regressed ? "REGRESSED" : "ok"});
   }
   for (const ScenarioResult& base : baseline) {
     bool present = false;
@@ -192,7 +213,7 @@ int PerfHarness::CompareWithBaseline(
       }
     }
     if (!present) {
-      table.AddRow({base.name, FormatFixed(base.median_ms, 3), "-", "-",
+      table.AddRow({base.name, FormatFixed(base.median_ms, 3), "-", "-", "-",
                     "missing"});
     }
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,14 +19,24 @@ struct ScenarioResult {
   double iqr_ms = 0.0;         ///< interquartile range of the wall times
   uint64_t items = 0;          ///< work items per repetition (0 = untracked)
   double items_per_s = 0.0;    ///< items / median (0 when items == 0)
-  uint64_t peak_rss_bytes = 0; ///< process peak RSS after the scenario
+  /// Growth of the process peak RSS attributable to this scenario:
+  /// max(0, peak after − peak at scenario start). Because peak RSS is
+  /// monotone, a scenario whose working set fits inside a previous
+  /// scenario's high-water mark records 0 — that means "no new peak", not
+  /// "no memory used" (the byte gauges track live usage). The process-wide
+  /// peak is a run-level header field, not a per-scenario one.
+  uint64_t rss_delta_bytes = 0;
   uint32_t repetitions = 0;
 };
 
 /// \brief Harness-level knobs recorded into the result file so a baseline
 /// and a candidate run can be checked for comparability.
 struct HarnessOptions {
-  uint32_t warmup = 1;       ///< untimed runs before measurement
+  /// Untimed runs of the full scenario closure before measurement. Forced
+  /// to at least 1: one-time setup inside the closure (allocator growth,
+  /// lazily built tables, branch-predictor state) otherwise lands in the
+  /// first timed repetition and inflates the IQR past the median.
+  uint32_t warmup = 1;
   uint32_t repetitions = 5;  ///< timed runs per scenario
   uint64_t seed = 7;         ///< forwarded into the result header
   uint32_t threads = 0;      ///< forwarded into the result header
@@ -64,14 +75,22 @@ class PerfHarness {
   static Result<std::vector<ScenarioResult>> LoadBaseline(
       const std::string& path);
 
+  /// Tightens (or loosens) the regression threshold for one scenario;
+  /// `CompareWithBaseline` uses it instead of the default threshold for
+  /// that row. Microbenchmark scenarios gate at 10% where the noisier
+  /// end-to-end stages keep the default 25%.
+  void SetScenarioThreshold(const std::string& name, double threshold);
+
   /// Prints a delta table (baseline vs current medians) and returns the
-  /// number of scenarios regressing past `threshold` (0.25 = +25%).
+  /// number of scenarios regressing past their threshold — the
+  /// per-scenario override when set, else `threshold` (0.25 = +25%).
   int CompareWithBaseline(const std::vector<ScenarioResult>& baseline,
                           double threshold) const;
 
  private:
   HarnessOptions options_;
   std::vector<ScenarioResult> results_;
+  std::map<std::string, double> scenario_thresholds_;
 };
 
 /// Short git revision of the working tree, or "unknown" outside a

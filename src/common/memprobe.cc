@@ -57,6 +57,23 @@ ByteCounter& NnBytes() {
   return *counter;
 }
 
+ByteCounter& TransitionBytes() {
+  static ByteCounter* counter = new ByteCounter();
+  return *counter;
+}
+
+namespace internal {
+
+void* AlignedNew(size_t bytes, size_t alignment) {
+  return ::operator new(bytes, std::align_val_t{alignment});
+}
+
+void AlignedDelete(void* p, size_t alignment) noexcept {
+  ::operator delete(p, std::align_val_t{alignment});
+}
+
+}  // namespace internal
+
 void Sample(std::string_view stage) {
   const uint64_t rss_current = CurrentRssBytes();
   const uint64_t rss_peak = PeakRssBytes();
@@ -69,6 +86,11 @@ void Sample(std::string_view stage) {
   registry.GetGauge("mem.rss_peak_bytes").Set(static_cast<double>(rss_peak));
   registry.GetGauge("nn.bytes_live").Set(static_cast<double>(nn_live));
   registry.GetGauge("nn.bytes_peak").Set(static_cast<double>(nn.peak()));
+  const ByteCounter& transition = TransitionBytes();
+  registry.GetGauge("transition.bytes_live")
+      .Set(static_cast<double>(transition.live()));
+  registry.GetGauge("transition.bytes_peak")
+      .Set(static_cast<double>(transition.peak()));
 
   // The step is a process-wide sample index, so repeated samples line up
   // across the two series; the Perfetto placement uses the per-point

@@ -70,16 +70,42 @@ class ByteCounter {
 /// by `Sample` as the `nn.bytes_live` / `nn.bytes_peak` gauges.
 ByteCounter& NnBytes();
 
+/// Process-wide tally of precomputed walk-transition structures (the
+/// Vose alias tables in `graph/transition.h`). Exported by `Sample` as
+/// the `transition.bytes_live` / `transition.bytes_peak` gauges.
+ByteCounter& TransitionBytes();
+
+namespace internal {
+
+/// Over-aligned raw storage for `TrackingAllocator`. Out of line on
+/// purpose: letting GCC inline the aligned `operator delete` into nested
+/// container destructors trips a -Wuse-after-free false positive (the
+/// alias analysis conflates the inner aligned buffer with the outer
+/// array), and no caller is allocation-rate-bound.
+void* AlignedNew(size_t bytes, size_t alignment);
+void AlignedDelete(void* p, size_t alignment) noexcept;
+
+}  // namespace internal
+
 /// \brief Minimal std allocator charging every allocation to the
 /// `ByteCounter` returned by `CounterFn`. Used as the allocator of
 /// `nn::FloatBuffer`; the container reports true allocation sizes here, so
 /// the tally is exact (no capacity guessing in copy/move special members).
 ///
+/// `Alignment` (a power of two; 0 means natural alignment) over-aligns
+/// every allocation via the aligned `operator new`; `nn::FloatBuffer`
+/// uses 64 so tensor rows start cache-line-aligned for the SIMD kernels.
+///
 /// Stateless by construction (the counter is a function-pointer template
 /// argument), so containers with this allocator swap/move storage freely.
-template <typename T, ByteCounter& (*CounterFn)()>
+template <typename T, ByteCounter& (*CounterFn)(), size_t Alignment = 0>
 class TrackingAllocator {
  public:
+  static_assert(Alignment == 0 || (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment == 0 || Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
   using value_type = T;
   using propagate_on_container_move_assignment = std::true_type;
   using is_always_equal = std::true_type;
@@ -88,27 +114,37 @@ class TrackingAllocator {
   // parameter lists; the function-pointer NTTP needs an explicit rebind.
   template <typename U>
   struct rebind {
-    using other = TrackingAllocator<U, CounterFn>;
+    using other = TrackingAllocator<U, CounterFn, Alignment>;
   };
 
   TrackingAllocator() noexcept = default;
   template <typename U>
-  TrackingAllocator(const TrackingAllocator<U, CounterFn>&) noexcept {}
+  TrackingAllocator(const TrackingAllocator<U, CounterFn, Alignment>&)
+      noexcept {}
 
   T* allocate(size_t n) {
     CounterFn().Add(n * sizeof(T));
-    return static_cast<T*>(::operator new(n * sizeof(T)));
+    if constexpr (Alignment > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return static_cast<T*>(internal::AlignedNew(n * sizeof(T), Alignment));
+    } else {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
   }
 
   void deallocate(T* p, size_t n) noexcept {
-    ::operator delete(p);
+    if constexpr (Alignment > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      internal::AlignedDelete(p, Alignment);
+    } else {
+      ::operator delete(p);
+    }
     CounterFn().Sub(n * sizeof(T));
   }
 };
 
-template <typename T, typename U, ByteCounter& (*CounterFn)()>
-bool operator==(const TrackingAllocator<T, CounterFn>&,
-                const TrackingAllocator<U, CounterFn>&) {
+template <typename T, typename U, ByteCounter& (*CounterFn)(),
+          size_t Alignment>
+bool operator==(const TrackingAllocator<T, CounterFn, Alignment>&,
+                const TrackingAllocator<U, CounterFn, Alignment>&) {
   return true;
 }
 

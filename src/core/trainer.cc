@@ -258,11 +258,8 @@ Status FairGenTrainer::Prepare(const Graph& graph, Rng& rng) {
   FAIRGEN_RETURN_NOT_OK(sampler.SetLabels(labels_));
   sampler_ = std::make_unique<ContextSampler>(std::move(sampler));
 
-  std::vector<double> deg(graph.num_nodes());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    deg[v] = static_cast<double>(graph.Degree(v));
-  }
-  start_table_ = std::make_unique<AliasTable>(deg);
+  start_table_ = std::make_unique<StartDistribution>(
+      graph, StartDistribution::Kind::kDegreeProportional);
 
   gen_optim_ = std::make_unique<nn::Adam>(model_->GeneratorParameters(),
                                           config_.generator_lr);

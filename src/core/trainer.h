@@ -12,6 +12,7 @@
 #include "core/self_paced.h"
 #include "core/walk_dataset.h"
 #include "generators/generator.h"
+#include "graph/transition.h"
 #include "nn/optimizer.h"
 #include "rng/sampling.h"
 #include "walk/context_sampler.h"
@@ -201,7 +202,7 @@ class FairGenTrainer : public GraphGenerator {
   // Training state.
   std::unique_ptr<FairGenModel> model_;
   std::unique_ptr<ContextSampler> sampler_;
-  std::unique_ptr<AliasTable> start_table_;
+  std::unique_ptr<StartDistribution> start_table_;
   WalkDataset dataset_;
   std::vector<int32_t> labels_;
   uint32_t num_pseudo_labeled_ = 0;

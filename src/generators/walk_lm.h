@@ -75,11 +75,8 @@ class WalkLMGenerator : public GraphGenerator {
     TrainOnWalks(corpus, rng);
 
     // Degree-proportional start distribution for generation.
-    std::vector<double> deg(graph.num_nodes());
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      deg[v] = static_cast<double>(graph.Degree(v));
-    }
-    start_table_ = std::make_unique<AliasTable>(deg);
+    start_table_ = std::make_unique<StartDistribution>(
+        graph, StartDistribution::Kind::kDegreeProportional);
     return Status::OK();
   }
 
@@ -177,7 +174,7 @@ class WalkLMGenerator : public GraphGenerator {
   Graph fitted_graph_{Graph::Empty(0)};
   bool fitted_ = false;
   std::unique_ptr<LM> model_;
-  std::unique_ptr<AliasTable> start_table_;
+  std::unique_ptr<StartDistribution> start_table_;
   double last_loss_ = 0.0;
 };
 

@@ -62,6 +62,15 @@ class Graph {
             neighbors_.data() + offsets_[v + 1]};
   }
 
+  /// Start of `v`'s slice in the flat neighbor array. `NeighborOffset(v)
+  /// + i` is the *directed-edge slot* of (v → Neighbors(v)[i]) — the row
+  /// key used by the per-edge transition tables in graph/transition.h.
+  uint64_t NeighborOffset(NodeId v) const { return offsets_[v]; }
+
+  /// Head of the directed-edge slot: `EdgeTarget(NeighborOffset(v) + i)`
+  /// is `Neighbors(v)[i]`. `slot` must be < 2m.
+  NodeId EdgeTarget(uint64_t slot) const { return neighbors_[slot]; }
+
   /// True iff the undirected edge {u, v} exists. O(log deg(u)).
   bool HasEdge(NodeId u, NodeId v) const;
 

@@ -1,8 +1,11 @@
 #include "graph/transition.h"
 
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/memprobe.h"
+#include "rng/sampling.h"
 
 namespace fairgen {
 
@@ -57,6 +60,163 @@ std::vector<double> TransitionOperator::TruncatedPower(
 
 double TransitionOperator::Mass(const std::vector<double>& x) {
   return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Alias-table transition sampling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t VectorBytes(const std::vector<double>& p,
+                     const std::vector<uint32_t>& a) {
+  return p.capacity() * sizeof(double) + a.capacity() * sizeof(uint32_t);
+}
+
+/// Uniform index in [0, n) from one rng draw — the same draw shape as
+/// SampleAliasRow, so uniform and table-backed rows stay interchangeable
+/// without changing the per-step draw budget.
+uint32_t UniformIndexOneDraw(size_t n, Rng& rng) {
+  const double u = rng.UniformDouble() * static_cast<double>(n);
+  size_t idx = static_cast<size_t>(u);
+  if (idx >= n) idx = n - 1;
+  return static_cast<uint32_t>(idx);
+}
+
+}  // namespace
+
+StartDistribution::StartDistribution(const Graph& graph, Kind kind) {
+  const size_t n = graph.num_nodes();
+  FAIRGEN_CHECK(n > 0);
+  std::vector<double> weights(n);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t deg = graph.Degree(v);
+    weights[v] = kind == Kind::kDegreeProportional
+                     ? static_cast<double>(deg)
+                     : (deg > 0 ? 1.0 : 0.0);
+  }
+  prob_.resize(n);
+  alias_.resize(n);
+  // An edgeless graph makes every weight zero; BuildAliasRow then
+  // degrades to uniform over all nodes — the historical start fallback.
+  BuildAliasRow(weights.data(), n, prob_.data(), alias_.data());
+  accounted_bytes_ = VectorBytes(prob_, alias_);
+  memprobe::TransitionBytes().Add(accounted_bytes_);
+}
+
+StartDistribution::~StartDistribution() {
+  memprobe::TransitionBytes().Sub(accounted_bytes_);
+}
+
+StartDistribution::StartDistribution(StartDistribution&& other) noexcept
+    : prob_(std::move(other.prob_)),
+      alias_(std::move(other.alias_)),
+      accounted_bytes_(std::exchange(other.accounted_bytes_, 0)) {}
+
+StartDistribution& StartDistribution::operator=(
+    StartDistribution&& other) noexcept {
+  if (this != &other) {
+    memprobe::TransitionBytes().Sub(accounted_bytes_);
+    prob_ = std::move(other.prob_);
+    alias_ = std::move(other.alias_);
+    accounted_bytes_ = std::exchange(other.accounted_bytes_, 0);
+  }
+  return *this;
+}
+
+NodeId StartDistribution::Sample(Rng& rng) const {
+  return SampleAliasRow(prob_.data(), alias_.data(), prob_.size(), rng);
+}
+
+SecondOrderTransitionTables::SecondOrderTransitionTables(const Graph& graph,
+                                                         double p, double q)
+    : graph_(&graph) {
+  FAIRGEN_CHECK(p > 0.0 && q > 0.0);
+  uniform_ = (p == 1.0 && q == 1.0);
+  if (uniform_) return;  // every row is uniform; sample directly
+
+  const uint64_t num_slots = 2 * graph.num_edges();
+  row_offsets_.resize(num_slots + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const uint64_t base = graph.NeighborOffset(u);
+    const auto nbrs = graph.Neighbors(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      row_offsets_[base + i + 1] = graph.Degree(nbrs[i]);
+    }
+  }
+  for (uint64_t s = 0; s < num_slots; ++s) {
+    row_offsets_[s + 1] += row_offsets_[s];
+  }
+  prob_.resize(row_offsets_[num_slots]);
+  alias_.resize(row_offsets_[num_slots]);
+
+  const double inv_p = 1.0 / p;
+  const double inv_q = 1.0 / q;
+  std::vector<double> weights;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const uint64_t base = graph.NeighborOffset(u);
+    const auto u_nbrs = graph.Neighbors(u);
+    for (size_t i = 0; i < u_nbrs.size(); ++i) {
+      const NodeId cur = u_nbrs[i];
+      const auto cur_nbrs = graph.Neighbors(cur);
+      if (cur_nbrs.empty()) continue;  // dead end: row stays empty
+      weights.resize(cur_nbrs.size());
+      for (size_t j = 0; j < cur_nbrs.size(); ++j) {
+        const NodeId x = cur_nbrs[j];
+        if (x == u) {
+          weights[j] = inv_p;
+        } else if (graph.HasEdge(x, u)) {
+          weights[j] = 1.0;
+        } else {
+          weights[j] = inv_q;
+        }
+      }
+      const uint64_t row = row_offsets_[base + i];
+      BuildAliasRow(weights.data(), weights.size(), prob_.data() + row,
+                    alias_.data() + row);
+    }
+  }
+
+  accounted_bytes_ = row_offsets_.capacity() * sizeof(uint64_t) +
+                     VectorBytes(prob_, alias_);
+  memprobe::TransitionBytes().Add(accounted_bytes_);
+}
+
+SecondOrderTransitionTables::~SecondOrderTransitionTables() {
+  memprobe::TransitionBytes().Sub(accounted_bytes_);
+}
+
+SecondOrderTransitionTables::SecondOrderTransitionTables(
+    SecondOrderTransitionTables&& other) noexcept
+    : graph_(other.graph_),
+      uniform_(other.uniform_),
+      row_offsets_(std::move(other.row_offsets_)),
+      prob_(std::move(other.prob_)),
+      alias_(std::move(other.alias_)),
+      accounted_bytes_(std::exchange(other.accounted_bytes_, 0)) {}
+
+SecondOrderTransitionTables& SecondOrderTransitionTables::operator=(
+    SecondOrderTransitionTables&& other) noexcept {
+  if (this != &other) {
+    memprobe::TransitionBytes().Sub(accounted_bytes_);
+    graph_ = other.graph_;
+    uniform_ = other.uniform_;
+    row_offsets_ = std::move(other.row_offsets_);
+    prob_ = std::move(other.prob_);
+    alias_ = std::move(other.alias_);
+    accounted_bytes_ = std::exchange(other.accounted_bytes_, 0);
+  }
+  return *this;
+}
+
+uint32_t SecondOrderTransitionTables::SampleStep(uint64_t slot,
+                                                 Rng& rng) const {
+  const NodeId cur = graph_->EdgeTarget(slot);
+  const uint32_t deg = graph_->Degree(cur);
+  FAIRGEN_CHECK(deg > 0) << "SampleStep on a dead-end row";
+  if (uniform_) return UniformIndexOneDraw(deg, rng);
+  const uint64_t row = row_offsets_[slot];
+  return SampleAliasRow(prob_.data() + row, alias_.data() + row, deg, rng);
 }
 
 }  // namespace fairgen

@@ -23,15 +23,27 @@ Var MakeParameter(Tensor value) { return MakeLeaf(std::move(value), true); }
 
 Var MakeConstant(Tensor value) { return MakeLeaf(std::move(value), false); }
 
+namespace {
+thread_local int no_grad_depth = 0;
+}  // namespace
+
+NoGradScope::NoGradScope() { ++no_grad_depth; }
+
+NoGradScope::~NoGradScope() { --no_grad_depth; }
+
+bool GradRecordingEnabled() { return no_grad_depth == 0; }
+
 namespace internal {
 
 Var MakeOpNode(Tensor value, std::vector<Var> parents,
                std::function<void(Node&)> backward_fn, const char* op_name) {
   bool needs_grad = false;
-  for (const Var& p : parents) {
-    if (p->requires_grad) {
-      needs_grad = true;
-      break;
+  if (GradRecordingEnabled()) {
+    for (const Var& p : parents) {
+      if (p->requires_grad) {
+        needs_grad = true;
+        break;
+      }
     }
   }
   Var node = std::make_shared<Node>(std::move(value), needs_grad);

@@ -55,6 +55,26 @@ Var MakeParameter(Tensor value);
 /// \brief Creates a constant (leaf with requires_grad = false).
 Var MakeConstant(Tensor value);
 
+/// \brief RAII guard that disables gradient-graph construction on this
+/// thread: while at least one scope is alive, op nodes are created
+/// without parents or backward closures, exactly as if no input required
+/// grad. Forward values are unchanged. Wrap inference-only paths (the
+/// generators' sequential decode) in one — it removes the tape
+/// allocation and shared_ptr churn from code that never calls
+/// Backward(). Scopes nest; thread-local, so worker threads are
+/// independent.
+class NoGradScope {
+ public:
+  NoGradScope();
+  ~NoGradScope();
+  NoGradScope(const NoGradScope&) = delete;
+  NoGradScope& operator=(const NoGradScope&) = delete;
+};
+
+/// True when gradient recording is enabled on this thread (no live
+/// NoGradScope).
+bool GradRecordingEnabled();
+
 /// \brief Runs reverse-mode differentiation from `root`, which must hold a
 /// 1x1 scalar. After the call, every reachable leaf with requires_grad has
 /// dL/d leaf accumulated into its `grad` (existing grad content is kept,

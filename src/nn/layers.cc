@@ -25,11 +25,9 @@ Linear::Linear(size_t in_features, size_t out_features, Rng& rng,
 }
 
 Var Linear::Forward(const Var& x) const {
-  Var y = MatMulOp(x, weight_);
-  if (bias_ != nullptr) {
-    y = AddRowBroadcast(y, bias_);
-  }
-  return y;
+  // Fused matmul + bias: same bits as AddRowBroadcast(MatMulOp(x, w), b)
+  // with one fewer tape node and output copy.
+  return LinearOp(x, weight_, bias_);
 }
 
 std::vector<Var> Linear::Parameters() const {

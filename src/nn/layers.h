@@ -74,6 +74,12 @@ class LayerNorm : public Module {
 
   std::vector<Var> Parameters() const override;
 
+  /// Learned scale [1, dim]; exposed for the KV-cache decoder, which
+  /// re-applies the normalization outside the autograd tape.
+  const Var& gain() const { return gain_; }
+  /// Learned shift [1, dim].
+  const Var& bias() const { return bias_; }
+
  private:
   Var gain_;  // [1, dim], init 1
   Var bias_;  // [1, dim], init 0

@@ -1,26 +1,79 @@
 #include "nn/loss.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "nn/autograd.h"
+#include "nn/kernels/kernels.h"
 
 namespace fairgen::nn {
 
 using internal::MakeOpNode;
 
+// Fused softmax + NLL (kernels::SoftmaxNll{Forward,Backward}) replaces
+// the old LogSoftmaxRows → PickPerRow → MeanAll → Scale chain: one pass
+// over the logits forward, one backward, and the only intermediate kept
+// alive for the tape is the [T', V] softmax itself (charged to NnBytes
+// like any tensor). Under a NoGradScope the closure (and the cached
+// softmax) is dropped immediately.
 Var SequenceNll(const Var& logits, const std::vector<uint32_t>& targets) {
   FAIRGEN_CHECK(logits->rows() == targets.size());
-  Var logp = PickPerRow(LogSoftmaxRows(logits), targets);  // [T', 1]
-  return Scale(MeanAll(logp), -1.0f);
+  const size_t rows = logits->rows();
+  const size_t cols = logits->cols();
+  auto probs = std::make_shared<Tensor>(rows, cols);
+  const double total = kernels::SoftmaxNllForward(
+      logits->value.data(), rows, cols, targets.data(), probs->data());
+  const float mean = static_cast<float>(total / static_cast<double>(rows));
+  return MakeOpNode(
+      Tensor::Scalar(mean), {logits},
+      [targets, probs](Node& n) {
+        Node* p = n.parents[0].get();
+        const float g = n.grad.ScalarValue() /
+                        static_cast<float>(p->value.rows());
+        kernels::SoftmaxNllBackward(probs->data(), targets.data(),
+                                    /*row_mask=*/nullptr, g, p->value.rows(),
+                                    p->value.cols(), p->grad.data());
+      },
+      "softmax_nll");
 }
 
 Var NegativeWalkPenalty(const Var& logits,
                         const std::vector<uint32_t>& targets,
                         float floor_logprob) {
   FAIRGEN_CHECK(logits->rows() == targets.size());
-  Var logp = PickPerRow(LogSoftmaxRows(logits), targets);
-  return MeanAll(Relu(AddScalar(logp, -floor_logprob)));
+  const size_t rows = logits->rows();
+  const size_t cols = logits->cols();
+  // mean_t relu(log p_t − floor): log p_t is −nll_t, so the fused forward
+  // yields every per-row term in one pass; rows above the floor form the
+  // relu-active mask the backward replays (grad flows only where the
+  // hinge is strictly positive, matching the Relu op's convention).
+  auto probs = std::make_shared<Tensor>(rows, cols);
+  auto mask = std::make_shared<std::vector<uint8_t>>(rows, uint8_t{0});
+  double total = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double nll = kernels::SoftmaxNllForward(
+        logits->value.row(r), 1, cols, &targets[r], probs->row(r));
+    const double hinge = -nll - static_cast<double>(floor_logprob);
+    if (hinge > 0.0) {
+      (*mask)[r] = 1;
+      total += hinge;
+    }
+  }
+  const float mean = static_cast<float>(total / static_cast<double>(rows));
+  return MakeOpNode(
+      Tensor::Scalar(mean), {logits},
+      [targets, probs, mask](Node& n) {
+        Node* p = n.parents[0].get();
+        // d logp_t = g/T on active rows; dlogits = −d logp_t · (softmax −
+        // onehot), i.e. the NLL backward with a negated scale.
+        const float g = -n.grad.ScalarValue() /
+                        static_cast<float>(p->value.rows());
+        kernels::SoftmaxNllBackward(probs->data(), targets.data(),
+                                    mask->data(), g, p->value.rows(),
+                                    p->value.cols(), p->grad.data());
+      },
+      "negative_walk_penalty");
 }
 
 Var SoftmaxCrossEntropy(const Var& logits,

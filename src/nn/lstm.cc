@@ -80,6 +80,8 @@ uint32_t LstmLM::SampleNext(const std::vector<uint32_t>& prefix, Rng& rng,
                             float temperature) const {
   FAIRGEN_CHECK(!prefix.empty());
   FAIRGEN_CHECK(temperature > 0.0f);
+  // Pure inference: no tape needed.
+  NoGradScope no_grad;
   std::vector<Var> states = RunStates(prefix);
   Var logits = out_.Forward(states.back());
   const float* row = logits->value.row(0);
@@ -104,7 +106,8 @@ std::vector<uint32_t> LstmLM::SampleWalk(uint32_t start, uint32_t length,
   FAIRGEN_CHECK(start < config_.vocab_size);
   FAIRGEN_CHECK(temperature > 0.0f);
   // Stateful decoding: O(T) cell steps per walk instead of re-running the
-  // prefix for every token.
+  // prefix for every token. Inference-only, so the tape is disabled.
+  NoGradScope no_grad;
   std::vector<uint32_t> walk{start};
   Var h = cell_.ZeroState();
   Var c = cell_.ZeroState();

@@ -160,20 +160,24 @@ Var SigmoidOp(const Var& a) {
 
 Var Gelu(const Var& a) {
   Tensor out = a->value;
+  // Cache tanh(inner) for the backward pass: the libm tanh is the most
+  // expensive part of the gradient and is recomputed bit-identically
+  // otherwise.
+  auto tanhs = std::make_shared<std::vector<float>>(out.size());
   for (size_t i = 0; i < out.size(); ++i) {
     float x = out.data()[i];
     float inner = kSqrt2OverPi * (x + 0.044715f * x * x * x);
-    out.data()[i] = 0.5f * x * (1.0f + std::tanh(inner));
+    float t = std::tanh(inner);
+    (*tanhs)[i] = t;
+    out.data()[i] = 0.5f * x * (1.0f + t);
   }
   return MakeOpNode(
       std::move(out), {a},
-      [](Node& n) {
+      [tanhs = std::move(tanhs)](Node& n) {
         Node* p = n.parents[0].get();
         for (size_t i = 0; i < n.grad.size(); ++i) {
           float x = p->value.data()[i];
-          float x3 = x * x * x;
-          float inner = kSqrt2OverPi * (x + 0.044715f * x3);
-          float t = std::tanh(inner);
+          float t = (*tanhs)[i];
           float dinner = kSqrt2OverPi * (1.0f + 3.0f * 0.044715f * x * x);
           float dy = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
           p->grad.data()[i] += n.grad.data()[i] * dy;
@@ -271,11 +275,67 @@ Var MatMulOp(const Var& a, const Var& b) {
       "matmul");
 }
 
+Var LinearOp(const Var& x, const Var& w, const Var& bias) {
+  Tensor out = MatMul(x->value, w->value);
+  if (bias != nullptr) {
+    FAIRGEN_CHECK(bias->rows() == 1 && bias->cols() == out.cols());
+    const float* brow = bias->value.row(0);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      float* orow = out.row(r);
+      for (size_t c = 0; c < out.cols(); ++c) orow[c] += brow[c];
+    }
+  }
+  std::vector<Var> parents =
+      bias != nullptr ? std::vector<Var>{x, w, bias} : std::vector<Var>{x, w};
+  return MakeOpNode(
+      std::move(out), std::move(parents),
+      [](Node& n) {
+        Node* px = n.parents[0].get();
+        Node* pw = n.parents[1].get();
+        if (px->requires_grad) {
+          // dX = dC · W^T
+          px->grad.Add(MatMulTransB(n.grad, pw->value));
+        }
+        if (pw->requires_grad) {
+          // dW = X^T · dC
+          pw->grad.Add(MatMulTransA(px->value, n.grad));
+        }
+        if (n.parents.size() > 2 && n.parents[2]->requires_grad) {
+          // db = column sums of dC.
+          float* brow = n.parents[2]->grad.row(0);
+          for (size_t r = 0; r < n.grad.rows(); ++r) {
+            const float* grow = n.grad.row(r);
+            for (size_t c = 0; c < n.grad.cols(); ++c) brow[c] += grow[c];
+          }
+        }
+      },
+      "linear");
+}
+
 Var TransposeOp(const Var& a) {
   return MakeOpNode(
       Transpose(a->value), {a},
       [](Node& n) { n.parents[0]->grad.Add(Transpose(n.grad)); },
       "transpose");
+}
+
+Var MatMulTransBOp(const Var& a, const Var& b) {
+  Tensor out = MatMulTransB(a->value, b->value);
+  return MakeOpNode(
+      std::move(out), {a, b},
+      [](Node& n) {
+        Node* pa = n.parents[0].get();
+        Node* pb = n.parents[1].get();
+        if (pa->requires_grad) {
+          // dA = dC · B
+          pa->grad.Add(MatMul(n.grad, pb->value));
+        }
+        if (pb->requires_grad) {
+          // dB = dC^T · A
+          pb->grad.Add(MatMulTransA(n.grad, pa->value));
+        }
+      },
+      "matmul_trans_b");
 }
 
 Var SliceCols(const Var& a, size_t start, size_t len) {

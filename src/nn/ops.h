@@ -65,6 +65,19 @@ Var MatMulOp(const Var& a, const Var& b);
 /// c = a^T.
 Var TransposeOp(const Var& a);
 
+/// c = a · b^T without materializing the transpose. Replaces the
+/// `MatMulOp(a, TransposeOp(b))` composition on hot paths (tied output
+/// projection, attention q·kᵀ): forward and both backward products run
+/// as single kernel calls.
+Var MatMulTransBOp(const Var& a, const Var& b);
+
+/// c = x · w + bias (row-broadcast), fused into one tape node. `bias`
+/// may be null (plain matmul). Bitwise identical to the
+/// `AddRowBroadcast(MatMulOp(x, w), bias)` composition it replaces, but
+/// skips that composition's full output copy and extra node — Linear
+/// layers sit on the per-walk training hot path.
+Var LinearOp(const Var& x, const Var& w, const Var& bias);
+
 /// Columns [start, start+len) of a.
 Var SliceCols(const Var& a, size_t start, size_t len);
 

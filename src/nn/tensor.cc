@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 
 namespace fairgen::nn {
 
@@ -45,18 +46,16 @@ void Tensor::Fill(float value) {
 
 void Tensor::Add(const Tensor& other) {
   FAIRGEN_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Add(data_.data(), other.data_.data(), data_.size());
 }
 
 void Tensor::AddScaled(const Tensor& other, float alpha) {
   FAIRGEN_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  kernels::AddScaled(data_.data(), other.data_.data(), alpha, data_.size());
 }
 
 void Tensor::Scale(float alpha) {
-  for (float& x : data_) x *= alpha;
+  kernels::Scale(data_.data(), alpha, data_.size());
 }
 
 float Tensor::Sum() const {
@@ -81,61 +80,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "matmul shape mismatch: [" << a.rows() << "," << a.cols() << "] x ["
       << b.rows() << "," << b.cols() << "]";
   Tensor c(a.rows(), b.cols());
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  kernels::MatMul(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
   return c;
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   FAIRGEN_CHECK(a.rows() == b.rows());
   Tensor c(a.cols(), b.cols());
-  const size_t k = a.rows();
-  const size_t m = a.cols();
-  const size_t n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (size_t i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i);
-      for (size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  kernels::MatMulTransA(a.data(), b.data(), c.data(), a.cols(), a.rows(),
+                        b.cols());
   return c;
 }
 
+// Delegates to the kernel's transpose-then-matmul path: saxpy over the
+// shared dimension vectorizes, and the bits match MatMul on B^T exactly
+// (the old per-element double-precision dot product did not, and kept
+// this path scalar).
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   FAIRGEN_CHECK(a.cols() == b.cols());
   Tensor c(a.rows(), b.rows());
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      double dot = 0.0;
-      for (size_t p = 0; p < k; ++p) dot += arow[p] * brow[p];
-      crow[j] = static_cast<float>(dot);
-    }
-  }
+  kernels::MatMulTransB(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                        b.rows());
   return c;
 }
 

@@ -13,8 +13,11 @@ namespace fairgen::nn {
 /// allocator charges every allocation to `memprobe::NnBytes()`, so the
 /// process-wide `nn.bytes_live` / `nn.bytes_peak` gauges account the
 /// numeric working set exactly (allocation-sized, no capacity guessing).
+/// Storage is 64-byte aligned (one cache line, one AVX-512 lane width)
+/// for the dispatched SIMD kernels in nn/kernels/.
 using FloatBuffer =
-    std::vector<float, memprobe::TrackingAllocator<float, &memprobe::NnBytes>>;
+    std::vector<float,
+                memprobe::TrackingAllocator<float, &memprobe::NnBytes, 64>>;
 
 /// \brief A dense row-major float32 matrix — the numeric value type of the
 /// autodiff substrate.

@@ -1,8 +1,10 @@
 #include "nn/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "nn/kernels/kernels.h"
 #include "nn/loss.h"
 #include "rng/sampling.h"
 
@@ -39,7 +41,7 @@ Var MultiHeadSelfAttention::Forward(const Var& x) const {
     Var q = SliceCols(qkv, h * head_dim_, head_dim_);
     Var k = SliceCols(qkv, dim_ + h * head_dim_, head_dim_);
     Var v = SliceCols(qkv, 2 * dim_ + h * head_dim_, head_dim_);
-    Var scores = Scale(MatMulOp(q, TransposeOp(k)), scale);  // [T, T]
+    Var scores = Scale(MatMulTransBOp(q, k), scale);  // [T, T]
     scores = Add(scores, mask_var);
     Var probs = SoftmaxRows(scores);
     head_outputs.push_back(MatMulOp(probs, v));  // [T, dh]
@@ -107,6 +109,26 @@ Var HiddenStates(const Embedding& tok, const Embedding& pos,
   }
   return final_ln.Forward(x);
 }
+
+// Temperature-scaled categorical draw from a [vocab] logits row. Shared
+// by SampleNext and the KV-cache SampleWalk so the two paths consume the
+// rng stream identically. exp(row - max) keeps the max weight at 1, but
+// NaN logits can still poison the total; SampleDiscrete then degrades to
+// a uniform in-range pick, so the result is always a valid token.
+uint32_t SampleFromLogitsRow(const float* row, size_t vocab, Rng& rng,
+                             float temperature) {
+  float max_val = row[0];
+  for (size_t i = 1; i < vocab; ++i) {
+    max_val = std::max(max_val, row[i]);
+  }
+  std::vector<double> weights(vocab);
+  for (size_t i = 0; i < vocab; ++i) {
+    weights[i] = std::exp((row[i] - max_val) / temperature);
+  }
+  uint32_t pick = SampleDiscrete(weights, rng);
+  FAIRGEN_CHECK(pick < vocab);
+  return pick;
+}
 }  // namespace
 
 Var TransformerLM::Logits(const std::vector<uint32_t>& walk) const {
@@ -116,14 +138,14 @@ Var TransformerLM::Logits(const std::vector<uint32_t>& walk) const {
       << config_.max_len;
   Var x = HiddenStates(tok_, pos_, blocks_, final_ln_, walk);
   // Tied output projection: logits = x · E^T.
-  return MatMulOp(x, TransposeOp(tok_.table()));
+  return MatMulTransBOp(x, tok_.table());
 }
 
 Var TransformerLM::NextLogits(const std::vector<uint32_t>& prefix) const {
   FAIRGEN_CHECK(!prefix.empty());
   FAIRGEN_CHECK(prefix.size() <= config_.max_len);
   Var x = HiddenStates(tok_, pos_, blocks_, final_ln_, prefix);
-  return MatMulOp(Row(x, x->rows() - 1), TransposeOp(tok_.table()));
+  return MatMulTransBOp(Row(x, x->rows() - 1), tok_.table());
 }
 
 Var TransformerLM::WalkNll(const std::vector<uint32_t>& walk) const {
@@ -139,22 +161,12 @@ uint32_t TransformerLM::SampleNext(const std::vector<uint32_t>& prefix,
                                    Rng& rng, float temperature) const {
   FAIRGEN_CHECK(!prefix.empty());
   FAIRGEN_CHECK(temperature > 0.0f);
+  // Pure inference: skip tape construction entirely (forward values are
+  // identical with or without the tape).
+  NoGradScope no_grad;
   Var logits = NextLogits(prefix);
-  const float* row = logits->value.row(0);
-  float max_val = row[0];
-  for (size_t i = 1; i < config_.vocab_size; ++i) {
-    max_val = std::max(max_val, row[i]);
-  }
-  std::vector<double> weights(config_.vocab_size);
-  for (size_t i = 0; i < config_.vocab_size; ++i) {
-    weights[i] = std::exp((row[i] - max_val) / temperature);
-  }
-  // exp(row - max) keeps the max weight at 1, but NaN logits can still
-  // poison the total; SampleDiscrete then degrades to a uniform in-range
-  // pick, so `pick` is always a valid token.
-  uint32_t pick = SampleDiscrete(weights, rng);
-  FAIRGEN_CHECK(pick < config_.vocab_size);
-  return pick;
+  return SampleFromLogitsRow(logits->value.row(0), config_.vocab_size, rng,
+                             temperature);
 }
 
 std::vector<uint32_t> TransformerLM::SampleWalk(uint32_t start,
@@ -162,8 +174,20 @@ std::vector<uint32_t> TransformerLM::SampleWalk(uint32_t start,
                                                 float temperature) const {
   FAIRGEN_CHECK(start < config_.vocab_size);
   std::vector<uint32_t> walk{start};
+  if (walk.size() >= length) return walk;
+  FAIRGEN_CHECK(temperature > 0.0f);
+  // Incremental decode: one KV-cached step per token instead of a full
+  // forward pass over the growing prefix. The decoder's logits are
+  // bitwise identical to NextLogits (see TransformerDecoder), and
+  // SampleFromLogitsRow consumes the rng stream exactly like SampleNext,
+  // so this produces the same walks as the SampleNext loop it replaced.
+  TransformerDecoder decoder(*this);
+  uint32_t cur = start;
   while (walk.size() < length) {
-    walk.push_back(SampleNext(walk, rng, temperature));
+    const std::vector<float>& logits = decoder.Step(cur);
+    cur = SampleFromLogitsRow(logits.data(), config_.vocab_size, rng,
+                              temperature);
+    walk.push_back(cur);
   }
   return walk;
 }
@@ -176,6 +200,191 @@ std::vector<Var> TransformerLM::Parameters() const {
   }
   for (const Var& p : final_ln_.Parameters()) params.push_back(p);
   return params;
+}
+
+// ---------------------------------------------------------------------------
+// TransformerDecoder
+// ---------------------------------------------------------------------------
+//
+// The single-row helpers below replay the exact floating-point operation
+// sequences of the ops.cc forwards they shadow (LayerNormRows,
+// SoftmaxForward, Gelu, AddRowBroadcast). Any change to those loops must
+// be mirrored here; the KvDecoderMatchesNextLogitsBitwise test pins the
+// equivalence.
+
+namespace {
+// Keep in sync with ops.cc (Gelu).
+constexpr float kSqrt2OverPiDecode = 0.7978845608028654f;
+
+// LayerNormRows forward on one row, eps = LayerNorm's default 1e-5f.
+void NormRow(const float* src, const float* g, const float* b, size_t cols,
+             float* dst) {
+  double mean = 0.0;
+  for (size_t c = 0; c < cols; ++c) mean += src[c];
+  mean /= static_cast<double>(cols);
+  double var = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    double d = src[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(cols);
+  float inv_std = static_cast<float>(1.0 / std::sqrt(var + 1e-5f));
+  for (size_t c = 0; c < cols; ++c) {
+    float xhat = (src[c] - static_cast<float>(mean)) * inv_std;
+    dst[c] = g[c] * xhat + b[c];
+  }
+}
+
+// SoftmaxForward on one row (float max, float exp, double total).
+void SoftmaxRow(const float* src, size_t cols, float* dst) {
+  float max_val = src[0];
+  for (size_t c = 1; c < cols; ++c) max_val = std::max(max_val, src[c]);
+  double total = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    dst[c] = std::exp(src[c] - max_val);
+    total += dst[c];
+  }
+  float inv = static_cast<float>(1.0 / total);
+  for (size_t c = 0; c < cols; ++c) dst[c] *= inv;
+}
+
+// Gelu forward on one row.
+void GeluRow(float* row, size_t cols) {
+  for (size_t i = 0; i < cols; ++i) {
+    float x = row[i];
+    float inner = kSqrt2OverPiDecode * (x + 0.044715f * x * x * x);
+    row[i] = 0.5f * x * (1.0f + std::tanh(inner));
+  }
+}
+
+// AddRowBroadcast on one row; Linear skips the add when bias is null.
+void AddBiasRow(float* row, const Var& bias, size_t cols) {
+  if (bias == nullptr) return;
+  const float* b = bias->value.row(0);
+  for (size_t c = 0; c < cols; ++c) row[c] += b[c];
+}
+
+// Single-row matmul c[1,n] = a[1,k] · B[k,n] where B's rows are `stride`
+// apart (a submatrix view). Per output element this accumulates p in
+// ascending order with the same zero-skip as the kernel matmuls, so the
+// bits match a kernels::MatMul call on a compacted B. (This TU is built
+// without FMA, so the separate multiply and add cannot be contracted.)
+void MatVecStrided(const float* a, const float* b, size_t stride, float* c,
+                   size_t k, size_t n) {
+  std::fill(c, c + n, 0.0f);
+  for (size_t p = 0; p < k; ++p) {
+    const float av = a[p];
+    if (av == 0.0f) continue;
+    const float* brow = b + p * stride;
+    for (size_t j = 0; j < n; ++j) c[j] += av * brow[j];
+  }
+}
+}  // namespace
+
+TransformerDecoder::TransformerDecoder(const TransformerLM& lm)
+    : lm_(&lm),
+      dim_(lm.config_.dim),
+      head_dim_(lm.config_.dim / lm.config_.num_heads),
+      layers_(lm.config_.num_layers) {
+  const TransformerConfig& cfg = lm.config_;
+  for (LayerCache& layer : layers_) {
+    layer.heads.resize(cfg.num_heads);
+    for (HeadCache& head : layer.heads) {
+      head.kt.resize(head_dim_ * cfg.max_len);
+      head.v.resize(cfg.max_len * head_dim_);
+    }
+  }
+  // Transpose the tied embedding table once (same element moves as
+  // MatMulTransB's internal transpose, hoisted out of the step loop).
+  const float* table = lm.tok_.table()->value.data();
+  tok_t_.resize(dim_ * cfg.vocab_size);
+  for (size_t j = 0; j < cfg.vocab_size; ++j) {
+    for (size_t p = 0; p < dim_; ++p) {
+      tok_t_[p * cfg.vocab_size + j] = table[j * dim_ + p];
+    }
+  }
+  x_.resize(dim_);
+  norm_.resize(dim_);
+  qkv_row_.resize(3 * dim_);
+  scores_.resize(cfg.max_len);
+  probs_.resize(cfg.max_len);
+  concat_.resize(dim_);
+  sub_.resize(std::max(dim_, cfg.ffn_dim));
+  logits_.resize(cfg.vocab_size);
+}
+
+const std::vector<float>& TransformerDecoder::Step(uint32_t token) {
+  const TransformerConfig& cfg = lm_->config_;
+  FAIRGEN_CHECK(token < cfg.vocab_size);
+  FAIRGEN_CHECK(length_ < cfg.max_len)
+      << "decoder prefix already at max_len " << cfg.max_len;
+  const size_t t = length_;
+
+  // Embedding row: tok[token] + pos[t].
+  const float* tok_row = lm_->tok_.table()->value.row(token);
+  const float* pos_row = lm_->pos_.table()->value.row(t);
+  for (size_t c = 0; c < dim_; ++c) x_[c] = tok_row[c] + pos_row[c];
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const TransformerBlock& block = *lm_->blocks_[l];
+    const MultiHeadSelfAttention& attn = block.attn_;
+    LayerCache& cache = layers_[l];
+
+    // Attention sublayer: x += Wout · concat_h(softmax(q·Kᵀ/√dh)·V) + b.
+    NormRow(x_.data(), block.ln1_.gain()->value.row(0),
+            block.ln1_.bias()->value.row(0), dim_, norm_.data());
+    kernels::MatMul(norm_.data(), attn.qkv_.weight()->value.data(),
+                    qkv_row_.data(), 1, dim_, 3 * dim_);
+    AddBiasRow(qkv_row_.data(), attn.qkv_.bias(), 3 * dim_);
+    for (size_t h = 0; h < cache.heads.size(); ++h) {
+      HeadCache& head = cache.heads[h];
+      const float* q = qkv_row_.data() + h * head_dim_;
+      const float* k_new = qkv_row_.data() + dim_ + h * head_dim_;
+      const float* v_new = qkv_row_.data() + 2 * dim_ + h * head_dim_;
+      for (size_t p = 0; p < head_dim_; ++p) {
+        head.kt[p * cfg.max_len + t] = k_new[p];
+      }
+      std::copy(v_new, v_new + head_dim_, head.v.begin() + t * head_dim_);
+
+      // scores = (q · Kᵀ) * scale, then the causal-mask add: the mask row
+      // for the newest position is all zeros, and x + 0.0f is *not* an FP
+      // identity (it flips -0.0 to +0.0), so the add is replayed
+      // verbatim to keep the bits equal to the full forward pass.
+      MatVecStrided(q, head.kt.data(), cfg.max_len, scores_.data(),
+                    head_dim_, t + 1);
+      kernels::Scale(scores_.data(), scale, t + 1);
+      for (size_t j = 0; j <= t; ++j) scores_[j] += 0.0f;
+      SoftmaxRow(scores_.data(), t + 1, probs_.data());
+      kernels::MatMul(probs_.data(), head.v.data(),
+                      concat_.data() + h * head_dim_, 1, t + 1, head_dim_);
+    }
+    kernels::MatMul(concat_.data(), attn.out_.weight()->value.data(),
+                    sub_.data(), 1, dim_, dim_);
+    AddBiasRow(sub_.data(), attn.out_.bias(), dim_);
+    for (size_t c = 0; c < dim_; ++c) x_[c] += sub_[c];
+
+    // FFN sublayer: x += W2 · gelu(W1 · ln2(x) + b1) + b2.
+    NormRow(x_.data(), block.ln2_.gain()->value.row(0),
+            block.ln2_.bias()->value.row(0), dim_, norm_.data());
+    kernels::MatMul(norm_.data(), block.ffn1_.weight()->value.data(),
+                    sub_.data(), 1, dim_, cfg.ffn_dim);
+    AddBiasRow(sub_.data(), block.ffn1_.bias(), cfg.ffn_dim);
+    GeluRow(sub_.data(), cfg.ffn_dim);
+    kernels::MatMul(sub_.data(), block.ffn2_.weight()->value.data(),
+                    norm_.data(), 1, cfg.ffn_dim, dim_);
+    AddBiasRow(norm_.data(), block.ffn2_.bias(), dim_);
+    for (size_t c = 0; c < dim_; ++c) x_[c] += norm_[c];
+  }
+
+  // Final layer norm + tied output projection (logits = x · Eᵀ, against
+  // the table transposed once at construction).
+  NormRow(x_.data(), lm_->final_ln_.gain()->value.row(0),
+          lm_->final_ln_.bias()->value.row(0), dim_, norm_.data());
+  kernels::MatMul(norm_.data(), tok_t_.data(), logits_.data(), 1, dim_,
+                  cfg.vocab_size);
+  ++length_;
+  return logits_;
 }
 
 }  // namespace fairgen::nn

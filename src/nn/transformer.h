@@ -10,6 +10,8 @@
 
 namespace fairgen::nn {
 
+class TransformerDecoder;
+
 /// \brief Hyperparameters of the causal transformer walk model — the
 /// architecture of the paper's generator g_θ (M1) and of the TagGen
 /// baseline.
@@ -34,6 +36,8 @@ class MultiHeadSelfAttention : public Module {
   std::vector<Var> Parameters() const override;
 
  private:
+  friend class TransformerDecoder;
+
   size_t dim_;
   size_t num_heads_;
   size_t head_dim_;
@@ -51,6 +55,8 @@ class TransformerBlock : public Module {
   std::vector<Var> Parameters() const override;
 
  private:
+  friend class TransformerDecoder;
+
   LayerNorm ln1_;
   MultiHeadSelfAttention attn_;
   LayerNorm ln2_;
@@ -97,11 +103,86 @@ class TransformerLM : public Module {
   const TransformerConfig& config() const { return config_; }
 
  private:
+  friend class TransformerDecoder;
+
   TransformerConfig config_;
   Embedding tok_;
   Embedding pos_;
   std::vector<std::unique_ptr<TransformerBlock>> blocks_;
   LayerNorm final_ln_;
+};
+
+/// \brief KV-cached incremental decoder over a frozen TransformerLM.
+///
+/// Feeding tokens one at a time, Step() returns the next-token logits for
+/// the prefix consumed so far while caching every layer's per-head K/V
+/// rows, so each step costs O(D² + T·D) instead of the O(T·D² + T²·D) of
+/// re-running the full forward pass over the whole prefix.
+///
+/// Bitwise contract: Step() reproduces `lm.NextLogits(prefix)->value`
+/// exactly, bit for bit, because every op in the forward pass is row-wise
+/// independent and the decoder replays the same kernels in the same
+/// accumulation order on the last row only:
+///  - single-row `kernels::MatMul`/`MatMulTransB` calls traverse p (and
+///    the zero-skip fast path) exactly as the full-matrix call does for
+///    that row;
+///  - cached K/V rows equal recomputed ones because the weights are
+///    frozen while decoding;
+///  - the causal-mask add contributes exactly +0.0f on the surviving row,
+///    which the decoder replays verbatim (x + 0.0f is not an FP identity
+///    for -0.0, and the softmax consumes the same bits either way).
+/// The parity test pins this against NextLogits for every prefix length.
+///
+/// The decoder holds a pointer to the model: the model must outlive it,
+/// and mutating the model's parameters invalidates the cache (Reset()
+/// recovers). Not thread-safe; use one decoder per thread.
+class TransformerDecoder {
+ public:
+  explicit TransformerDecoder(const TransformerLM& lm);
+
+  /// Drops the cached prefix; the next Step() starts a new sequence.
+  void Reset() { length_ = 0; }
+
+  /// Consumes `token` as prefix position length() and returns the [vocab]
+  /// logits row for the following position. Checks token < vocab_size and
+  /// length() < max_len.
+  const std::vector<float>& Step(uint32_t token);
+
+  /// Number of tokens consumed since construction / Reset().
+  size_t length() const { return length_; }
+
+ private:
+  struct HeadCache {
+    /// K stored pre-transposed as [head_dim, max_len] (column t holds the
+    /// key of position t), so the q·Kᵀ score row needs no per-step
+    /// transpose — MatMulTransB's explicit transpose is the single
+    /// largest cost of a naive decode loop.
+    std::vector<float> kt;
+    std::vector<float> v;  // [max_len, head_dim], rows filled up to length_
+  };
+  struct LayerCache {
+    std::vector<HeadCache> heads;
+  };
+
+  const TransformerLM* lm_;
+  size_t dim_;
+  size_t head_dim_;
+  size_t length_ = 0;
+  std::vector<LayerCache> layers_;
+  /// Embedding table transposed once at construction ([dim, vocab]): the
+  /// weights are frozen while decoding, so the tied output projection is
+  /// a plain matmul against this instead of a transpose per step.
+  std::vector<float> tok_t_;
+
+  // Scratch rows, sized once at construction.
+  std::vector<float> x_;        // [dim] residual stream
+  std::vector<float> norm_;     // [dim] layer-norm output
+  std::vector<float> qkv_row_;  // [3*dim]
+  std::vector<float> scores_;   // [max_len] attention scores/probs
+  std::vector<float> probs_;    // [max_len]
+  std::vector<float> concat_;   // [dim] concatenated head outputs
+  std::vector<float> sub_;      // [max(dim, ffn_dim)] sublayer output
+  std::vector<float> logits_;   // [vocab]
 };
 
 }  // namespace fairgen::nn

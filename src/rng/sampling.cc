@@ -86,11 +86,93 @@ uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng) {
   }
   double u = rng.UniformDouble() * total;
   double acc = 0.0;
+  // Zero-weight entries must be unreachable: skipping them keeps `acc`
+  // (and thus the selection boundaries) unchanged, but guarantees a
+  // rounding-boundary `u` can never land on an entry that contributed
+  // nothing, and the numerical-tail fallback below returns the last
+  // *positive* entry instead of a possibly-zero-weight final element.
+  uint32_t last_positive = 0;
   for (size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] > 0.0)) continue;
     acc += weights[i];
-    if (u < acc) return static_cast<uint32_t>(i);
+    last_positive = static_cast<uint32_t>(i);
+    if (u < acc) return last_positive;
   }
-  return static_cast<uint32_t>(weights.size() - 1);
+  return last_positive;
+}
+
+void BuildAliasRow(const double* weights, size_t n, double* prob,
+                   uint32_t* alias) {
+  FAIRGEN_CHECK(n > 0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    FAIRGEN_CHECK(weights[i] >= 0.0) << "negative weight";
+    total += weights[i];
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    // Degenerate row: uniform over all entries (alias never consulted).
+    for (size_t i = 0; i < n; ++i) {
+      prob[i] = 1.0;
+      alias[i] = static_cast<uint32_t>(i);
+    }
+    return;
+  }
+
+  std::vector<double> scaled(n);
+  uint32_t first_positive = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] / total * static_cast<double>(n);
+    if (weights[i] > 0.0 && weights[first_positive] <= 0.0) {
+      first_positive = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Numerical leftovers get probability 1 — except entries whose input
+  // weight is exactly zero (mass conservation says they cannot be left
+  // over, but float round-off must not make them samplable): those stay
+  // at probability 0 with a positive-weight alias.
+  while (!large.empty()) {
+    prob[large.back()] = 1.0;
+    alias[large.back()] = large.back();
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    if (weights[s] > 0.0) {
+      prob[s] = 1.0;
+      alias[s] = s;
+    } else {
+      prob[s] = 0.0;
+      alias[s] = first_positive;
+    }
+  }
 }
 
 std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,

@@ -39,11 +39,39 @@ class AliasTable {
 
 /// \brief Samples an index from unnormalized `weights` in O(n).
 /// `weights` must be non-empty; the result is always a valid index in
-/// [0, weights.size()). If the weight total is zero or non-finite (all
-/// weights zero, or a NaN/inf entry), the call falls back to a uniform
-/// pick over all indices — callers that index arrays with the result
-/// (walk samplers, LM decoders) stay in range even on degenerate logits.
+/// [0, weights.size()). Zero-weight entries are never returned: the
+/// prefix scan skips them (so a rounding-boundary `u` cannot land on an
+/// entry whose `acc` did not move) and the numerical-tail fallback
+/// returns the last *positive* index, not `size()-1`. If the weight
+/// total is zero or non-finite (all weights zero, or a NaN/inf entry),
+/// the call falls back to a uniform pick over all indices — callers that
+/// index arrays with the result (walk samplers, LM decoders) stay in
+/// range even on degenerate logits. Exactly one rng draw per call.
 uint32_t SampleDiscrete(const std::vector<double>& weights, Rng& rng);
+
+/// \brief Builds one Vose alias row over `weights` into the caller's
+/// `prob[0..n)` / `alias[0..n)` slices (flat-array layout, so a graph's
+/// per-edge rows pack into two contiguous vectors — see
+/// graph/transition.h). Zero-weight entries are never samplable.
+/// Degenerate rows (all-zero or non-finite total) degrade to the uniform
+/// distribution over all n entries, mirroring `SampleDiscrete`'s
+/// fallback.
+void BuildAliasRow(const double* weights, size_t n, double* prob,
+                   uint32_t* alias);
+
+/// \brief Draws an index in [0, n) from an alias row built by
+/// `BuildAliasRow`, consuming exactly ONE rng draw (like
+/// `SampleDiscrete`): the integer part of u·n picks the bucket and the
+/// fractional part decides bucket-vs-alias. O(1) per call — this is the
+/// walk-stepping fast path.
+inline uint32_t SampleAliasRow(const double* prob, const uint32_t* alias,
+                               size_t n, Rng& rng) {
+  const double u = rng.UniformDouble() * static_cast<double>(n);
+  size_t bucket = static_cast<size_t>(u);
+  if (bucket >= n) bucket = n - 1;  // guard the u → n rounding edge
+  const double frac = u - static_cast<double>(bucket);
+  return frac < prob[bucket] ? static_cast<uint32_t>(bucket) : alias[bucket];
+}
 
 /// \brief Fisher–Yates shuffle of `items`.
 template <typename T>

@@ -10,7 +10,10 @@
 namespace fairgen {
 
 Node2VecWalker::Node2VecWalker(const Graph& graph, Node2VecParams params)
-    : graph_(&graph), params_(params), base_(graph) {
+    : graph_(&graph),
+      params_(params),
+      base_(graph),
+      tables_(graph, params.p, params.q) {
   FAIRGEN_CHECK(params_.p > 0.0 && params_.q > 0.0);
 }
 
@@ -22,38 +25,32 @@ Walk Node2VecWalker::SampleWalk(NodeId start, uint32_t length, Rng& rng) const {
   walk.push_back(start);
   if (length == 1) return walk;
 
-  // First step: uniform neighbor.
+  // First step: uniform neighbor. `slot` tracks the directed CSR edge
+  // the walk arrived through — the row key of the precomputed (p, q)
+  // alias tables.
   NodeId cur = start;
   auto nbrs = graph_->Neighbors(cur);
+  uint64_t slot = 0;
   if (!nbrs.empty()) {
-    cur = nbrs[rng.UniformU32(static_cast<uint32_t>(nbrs.size()))];
+    const uint32_t idx = rng.UniformU32(static_cast<uint32_t>(nbrs.size()));
+    slot = graph_->NeighborOffset(cur) + idx;
+    cur = nbrs[idx];
   }
   walk.push_back(cur);
 
-  std::vector<double> weights;
   for (uint32_t t = 2; t < length; ++t) {
-    NodeId prev = walk[walk.size() - 2];
     auto cur_nbrs = graph_->Neighbors(cur);
     if (cur_nbrs.empty()) {
+      // Only reachable when the walk never moved (isolated start): an
+      // arrival edge implies at least the reverse neighbor exists.
       walk.push_back(cur);
       continue;
     }
-    weights.resize(cur_nbrs.size());
-    for (size_t i = 0; i < cur_nbrs.size(); ++i) {
-      NodeId x = cur_nbrs[i];
-      if (x == prev) {
-        weights[i] = 1.0 / params_.p;
-      } else if (graph_->HasEdge(x, prev)) {
-        weights[i] = 1.0;
-      } else {
-        weights[i] = 1.0 / params_.q;
-      }
-    }
-    // The 1/p, 1, 1/q biases are positive and finite, so the uniform
-    // zero-total fallback inside SampleDiscrete is unreachable here; the
-    // contract still guarantees an in-range neighbor index.
-    uint32_t pick = SampleDiscrete(weights, rng);
+    // One O(1) alias draw replaces the old O(deg) weight scan; exactly
+    // one rng value per step either way.
+    const uint32_t pick = tables_.SampleStep(slot, rng);
     FAIRGEN_CHECK(pick < cur_nbrs.size());
+    slot = graph_->NeighborOffset(cur) + pick;
     cur = cur_nbrs[pick];
     walk.push_back(cur);
   }

@@ -23,9 +23,17 @@ struct Node2VecParams {
 };
 
 /// \brief Biased second-order random walker.
+///
+/// Construction precomputes per-directed-edge Vose alias tables
+/// (`SecondOrderTransitionTables`), so every step after the first is one
+/// O(1) draw instead of an O(deg) weight scan with O(log deg) adjacency
+/// probes per neighbor. The tables live as long as the walker and are
+/// reused across every walk (and every training cycle holding the
+/// walker).
 class Node2VecWalker {
  public:
   /// Keeps a pointer to `graph`; the graph must outlive the walker.
+  /// Builds the transition tables (skipped when p == q == 1).
   Node2VecWalker(const Graph& graph, Node2VecParams params);
 
   /// A biased walk of `length` nodes starting at `start`. The first step is
@@ -43,10 +51,14 @@ class Node2VecWalker {
 
   const Node2VecParams& params() const { return params_; }
 
+  /// The precomputed (p, q) transition tables (for tests/accounting).
+  const SecondOrderTransitionTables& tables() const { return tables_; }
+
  private:
   const Graph* graph_;
   Node2VecParams params_;
   RandomWalker base_;
+  SecondOrderTransitionTables tables_;
 };
 
 }  // namespace fairgen

@@ -8,12 +8,9 @@
 
 namespace fairgen {
 
-RandomWalker::RandomWalker(const Graph& graph) : graph_(&graph) {
-  positive_degree_nodes_.reserve(graph.num_nodes());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-    if (graph.Degree(v) > 0) positive_degree_nodes_.push_back(v);
-  }
-}
+RandomWalker::RandomWalker(const Graph& graph)
+    : graph_(&graph),
+      starts_(graph, StartDistribution::Kind::kUniformPositiveDegree) {}
 
 Walk RandomWalker::UniformWalk(NodeId start, uint32_t length,
                                Rng& rng) const {
@@ -60,12 +57,9 @@ Walk RandomWalker::MaskedWalk(NodeId start, uint32_t length,
 }
 
 NodeId RandomWalker::SampleStartNode(Rng& rng) const {
-  if (positive_degree_nodes_.empty()) {
-    FAIRGEN_CHECK(graph_->num_nodes() > 0);
-    return rng.UniformU32(graph_->num_nodes());
-  }
-  return positive_degree_nodes_[rng.UniformU32(
-      static_cast<uint32_t>(positive_degree_nodes_.size()))];
+  // Alias-backed: uniform over positive-degree nodes (an edgeless graph
+  // degrades to uniform over all nodes inside StartDistribution).
+  return starts_.Sample(rng);
 }
 
 std::vector<Walk> RandomWalker::SampleUniformWalks(size_t count,

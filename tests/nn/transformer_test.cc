@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 #include "nn/transformer.h"
 
 #include <gtest/gtest.h>
@@ -150,6 +151,67 @@ TEST(TransformerLMTest, ParameterCountReasonable) {
   size_t n = lm.NumParameters();
   EXPECT_GT(n, 1000u);
   EXPECT_LT(n, 50000u);
+}
+
+TEST(TransformerDecoderTest, KvDecoderMatchesNextLogitsBitwise) {
+  // The KV-cache decoder must reproduce the full forward pass bit for
+  // bit at every prefix length — it is substituted for NextLogits in
+  // SampleWalk without any numeric-tolerance escape hatch. Use a config
+  // with 2 layers and a ragged head_dim to exercise the cache layout.
+  Rng rng(13);
+  TransformerConfig cfg = SmallConfig();
+  cfg.num_layers = 2;
+  TransformerLM lm(cfg, rng);
+  const std::vector<uint32_t> prefix{3, 1, 7, 2, 0, 11, 5, 5, 9};
+  TransformerDecoder decoder(lm);
+  for (size_t len = 1; len <= prefix.size(); ++len) {
+    const std::vector<float>& inc = decoder.Step(prefix[len - 1]);
+    EXPECT_EQ(decoder.length(), len);
+    std::vector<uint32_t> head(prefix.begin(), prefix.begin() + len);
+    Var full = lm.NextLogits(head);
+    ASSERT_EQ(inc.size(), cfg.vocab_size);
+    EXPECT_EQ(std::memcmp(inc.data(), full->value.row(0),
+                          cfg.vocab_size * sizeof(float)),
+              0)
+        << "decoder diverged from NextLogits at prefix length " << len;
+  }
+}
+
+TEST(TransformerDecoderTest, ResetStartsAFreshSequence) {
+  Rng rng(14);
+  TransformerLM lm(SmallConfig(), rng);
+  TransformerDecoder decoder(lm);
+  std::vector<float> first = decoder.Step(4);
+  decoder.Step(9);
+  decoder.Reset();
+  EXPECT_EQ(decoder.length(), 0u);
+  const std::vector<float>& again = decoder.Step(4);
+  EXPECT_EQ(std::memcmp(first.data(), again.data(),
+                        first.size() * sizeof(float)),
+            0);
+}
+
+TEST(TransformerDecoderTest, SampleWalkMatchesSampleNextLoop) {
+  // SampleWalk now decodes incrementally; the walks must be identical to
+  // the SampleNext-per-token loop it replaced (same rng consumption,
+  // same picks) — this is what keeps checkpointed runs reproducible
+  // across the change.
+  Rng rng(15);
+  TransformerConfig cfg = SmallConfig();
+  cfg.num_layers = 2;
+  TransformerLM lm(cfg, rng);
+  for (uint32_t seed = 1; seed <= 5; ++seed) {
+    Rng walk_rng(seed), ref_rng(seed);
+    std::vector<uint32_t> walk =
+        lm.SampleWalk(seed % cfg.vocab_size, 10, walk_rng, 0.8f);
+    std::vector<uint32_t> ref{seed % static_cast<uint32_t>(cfg.vocab_size)};
+    while (ref.size() < 10) {
+      ref.push_back(lm.SampleNext(ref, ref_rng, 0.8f));
+    }
+    EXPECT_EQ(walk, ref) << "seed " << seed;
+    // The two paths must also leave the rng streams in the same state.
+    EXPECT_EQ(walk_rng.NextU32(), ref_rng.NextU32()) << "seed " << seed;
+  }
 }
 
 TEST(TransformerLMDeathTest, WalkExceedingMaxLenRejected) {

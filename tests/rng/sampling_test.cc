@@ -106,6 +106,18 @@ TEST(SampleDiscreteTest, NonFiniteTotalFallsBackToUniformInRange) {
   }
 }
 
+// Regression: the cumulative scan used to include zero-weight entries, so
+// a draw landing exactly on the running total (u == acc, possible when a
+// huge weight swamps the sum's floating-point resolution) returned a
+// zero-weight index. Zero-weight entries must never be returned.
+TEST(SampleDiscreteTest, ZeroWeightEntriesAreNeverReturned) {
+  std::vector<double> weights{0.0, 1e300, 0.0};
+  Rng rng(11);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_EQ(SampleDiscrete(weights, rng), 1u);
+  }
+}
+
 TEST(SampleDiscreteTest, FallbackConsumesExactlyOneDraw) {
   // The fallback draws exactly once, like the non-degenerate path, so a
   // degenerate softmax does not desynchronize downstream sampling.
