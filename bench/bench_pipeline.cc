@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/fileio.h"
 #include "common/memprobe.h"
 #include "common/strings.h"
 #include "core/assembler.h"
@@ -38,6 +39,7 @@ namespace {
 struct PipelineOptions {
   std::string out = "BENCH_pipeline.json";
   std::string compare;             // baseline path; empty = no gate
+  std::string attr_out;            // attribution JSON path (needs --compare)
   uint32_t warmup = 1;
   uint32_t repetitions = 5;
   double regress_threshold = 0.25; // +25% median = regression
@@ -322,6 +324,17 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
                    baseline.status().ToString().c_str());
       return 2;
     }
+    if (!pipeline.attr_out.empty()) {
+      Status s = WriteFileAtomic(
+          pipeline.attr_out,
+          harness.AttributionJson(*baseline, pipeline.regress_threshold));
+      if (!s.ok()) {
+        std::fprintf(stderr, "attribution write failed: %s\n",
+                     s.ToString().c_str());
+        return 2;
+      }
+      std::printf("(attribution written to %s)\n", pipeline.attr_out.c_str());
+    }
     int regressions = harness.CompareWithBaseline(
         *baseline, pipeline.regress_threshold);
     if (regressions > 0) {
@@ -346,6 +359,8 @@ int Main(int argc, char** argv) {
       pipeline.out = std::string(arg.substr(6));
     } else if (StrStartsWith(arg, "--compare=")) {
       pipeline.compare = std::string(arg.substr(10));
+    } else if (StrStartsWith(arg, "--attr-out=")) {
+      pipeline.attr_out = std::string(arg.substr(11));
     } else if (StrStartsWith(arg, "--warmup=")) {
       pipeline.warmup = static_cast<uint32_t>(
           std::strtoul(std::string(arg.substr(9)).c_str(), nullptr, 10));
@@ -373,6 +388,8 @@ int Main(int argc, char** argv) {
             "BENCH_pipeline.json; empty = skip)\n"
             "  --compare=<path>        gate against a recorded baseline;\n"
             "                          exit 1 past the threshold\n"
+            "  --attr-out=<path>       with --compare: write the regression\n"
+            "                          attribution diff JSON to <path>\n"
             "  --warmup=<n>            untimed runs per scenario "
             "(default 1)\n"
             "  --repetitions=<n>       timed runs per scenario (default 5)\n"
@@ -382,6 +399,10 @@ int Main(int argc, char** argv) {
       }
       forwarded.push_back(argv[i]);
     }
+  }
+  if (!pipeline.attr_out.empty() && pipeline.compare.empty()) {
+    std::fprintf(stderr, "--attr-out requires --compare\n");
+    return 2;
   }
   BenchOptions options =
       ParseOptions(static_cast<int>(forwarded.size()), forwarded.data(),

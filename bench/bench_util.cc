@@ -9,6 +9,7 @@
 #include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/prof.h"
 #include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -24,6 +25,9 @@ std::string g_trace_out;
 
 void WriteTelemetryAtExit() {
   memprobe::Sample("exit");
+  // Stop the profiler before the publisher's final snapshot so the last
+  // ring contents make it into profile.folded / profile_top.json.
+  prof::Profiler::Global().Stop();
   // atexit cannot observe the exit code; a bench that got here exited
   // normally, so finalize the run manifest as a success. Signal deaths go
   // through telemetry::InstallSignalFlush instead, which records 128+sig.
@@ -85,7 +89,13 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "(default 1)\n"
           "  --checkpoint-retain=<n>    checkpoint files kept (default 3)\n"
           "  --resume                   continue each FairGen fit from its\n"
-          "                             newest valid checkpoint\n",
+          "                             newest valid checkpoint\n"
+          "  --profile-hz=<n>           sample call stacks at <n> Hz of CPU\n"
+          "                             time (SIGPROF profiler; writes\n"
+          "                             profile.folded + profile_top.json\n"
+          "                             into the telemetry run dir; the\n"
+          "                             FAIRGEN_PROF_HZ env var is the\n"
+          "                             fallback when the flag is absent)\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -132,6 +142,13 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           std::strtoul(std::string(arg.substr(20)).c_str(), nullptr, 10));
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (StrStartsWith(arg, "--profile-hz=")) {
+      options.profile_hz = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(13)).c_str(), nullptr, 10));
+      if (options.profile_hz == 0 || options.profile_hz > 10000) {
+        std::fprintf(stderr, "bad --profile-hz (want 1..10000)\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
@@ -163,9 +180,13 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
                  "--checkpoint-every/--checkpoint-retain must be >= 1\n");
     std::exit(2);
   }
+  // Flag wins over the FAIRGEN_PROF_HZ env fallback (same precedence as
+  // --log-level vs FAIRGEN_LOG_LEVEL).
+  if (options.profile_hz == 0) options.profile_hz = prof::HzFromEnv();
   const bool any_telemetry = !options.metrics_out.empty() ||
                              !options.trace_out.empty() ||
-                             !options.telemetry_dir.empty();
+                             !options.telemetry_dir.empty() ||
+                             options.profile_hz > 0;
   if (any_telemetry) {
     g_metrics_out = options.metrics_out;
     g_trace_out = options.trace_out;
@@ -205,6 +226,20 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
                   (*publisher)->bound_port());
     }
     std::printf(")\n");
+  }
+  if (options.profile_hz > 0) {
+    prof::ProfilerOptions prof_options;
+    prof_options.hz = options.profile_hz;
+    Status s = prof::Profiler::Global().Start(prof_options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "profiler start failed: %s\n",
+                   s.ToString().c_str());
+      std::exit(2);
+    }
+    std::printf("(profiling at %u Hz%s)\n", options.profile_hz,
+                prof::Profiler::Global().hw_available()
+                    ? ", hw counters on"
+                    : "");
   }
   return options;
 }

@@ -43,6 +43,10 @@ struct BenchOptions {
   bool resume = false;               ///< --resume: continue from the newest
                                      ///< valid checkpoint (bit-identical to
                                      ///< the uninterrupted run)
+  uint32_t profile_hz = 0;           ///< --profile-hz=<n>: SIGPROF sampling
+                                     ///< profiler at <n> Hz (0 = off; the
+                                     ///< FAIRGEN_PROF_HZ env var is the
+                                     ///< fallback when the flag is absent)
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

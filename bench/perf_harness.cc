@@ -8,6 +8,7 @@
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/memprobe.h"
+#include "common/prof.h"
 #include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -40,6 +41,77 @@ std::string FormatFixed(double v, int precision) {
   return std::string(buf);
 }
 
+// Per-scenario verdict against the baseline, shared by the ASCII compare
+// table and the attribution JSON so the two can never disagree.
+struct RowJudgment {
+  const ScenarioResult* base = nullptr;  // nullptr = scenario is new
+  double threshold = 0.0;
+  double delta_pct = 0.0;
+  bool regressed = false;
+};
+
+RowJudgment JudgeRow(const ScenarioResult& current,
+                     const std::vector<ScenarioResult>& baseline,
+                     const std::map<std::string, double>& overrides,
+                     double default_threshold) {
+  RowJudgment judgment;
+  for (const ScenarioResult& b : baseline) {
+    if (b.name == current.name) {
+      judgment.base = &b;
+      break;
+    }
+  }
+  const auto it = overrides.find(current.name);
+  judgment.threshold =
+      it != overrides.end() ? it->second : default_threshold;
+  if (judgment.base != nullptr && judgment.base->median_ms > 0.0) {
+    judgment.delta_pct = 100.0 *
+                         (current.median_ms - judgment.base->median_ms) /
+                         judgment.base->median_ms;
+    judgment.regressed = current.median_ms >
+                         judgment.base->median_ms *
+                             (1.0 + judgment.threshold);
+  }
+  return judgment;
+}
+
+// Trace spans that *started* inside [start_ns, end_ns) on the steady
+// clock, aggregated by name (wall time + count), heaviest first. The
+// harness's own bench.* wrapper spans are excluded — they would always
+// win and say nothing. Empty when tracing was off.
+struct SpanAgg {
+  std::string name;
+  uint64_t wall_ns = 0;
+  uint64_t count = 0;
+};
+
+std::vector<SpanAgg> TopSpansInWindow(uint64_t start_ns, uint64_t end_ns,
+                                      size_t n) {
+  const trace::Tracer& tracer = trace::Tracer::Global();
+  const uint64_t epoch = tracer.epoch_ns();
+  std::map<std::string, SpanAgg> by_name;
+  for (const trace::SpanRecord& span : tracer.Snapshot()) {
+    const uint64_t abs_start = epoch + span.start_ns;
+    if (abs_start < start_ns || abs_start >= end_ns) continue;
+    if (StrStartsWith(span.name, "bench.")) continue;
+    SpanAgg& agg = by_name[span.name];
+    agg.name = span.name;
+    agg.wall_ns += span.wall_ns;
+    ++agg.count;
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  std::sort(out.begin(), out.end(), [](const SpanAgg& a, const SpanAgg& b) {
+    if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+    return a.name < b.name;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+constexpr size_t kAttributionTopN = 5;
+
 }  // namespace
 
 PerfHarness::PerfHarness(HarnessOptions options) : options_(options) {
@@ -62,6 +134,12 @@ const ScenarioResult& PerfHarness::RunScenario(
   std::vector<double> times_ms;
   times_ms.reserve(options_.repetitions);
   uint64_t items = 0;
+  // Window over the timed repetitions, on the steady clock the profiler
+  // also stamps samples with — the attribution report intersects the two.
+  const uint64_t window_start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   for (uint32_t i = 0; i < options_.repetitions; ++i) {
     trace::ScopedSpan span("bench." + name, trace::Category::kEval);
     auto start = std::chrono::steady_clock::now();
@@ -70,6 +148,10 @@ const ScenarioResult& PerfHarness::RunScenario(
     times_ms.push_back(
         std::chrono::duration<double, std::milli>(end - start).count());
   }
+  const uint64_t window_end_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
   memprobe::Sample("bench." + name);
 
   std::sort(times_ms.begin(), times_ms.end());
@@ -90,6 +172,8 @@ const ScenarioResult& PerfHarness::RunScenario(
   result.rss_delta_bytes = rss_after > rss_before ? rss_after - rss_before
                                                   : 0;
   result.repetitions = options_.repetitions;
+  result.window_start_ns = window_start_ns;
+  result.window_end_ns = window_end_ns;
   results_.push_back(std::move(result));
   return results_.back();
 }
@@ -174,35 +258,24 @@ int PerfHarness::CompareWithBaseline(
   Table table({"scenario", "baseline_ms", "current_ms", "delta_pct",
                "threshold_pct", "status"});
   int regressions = 0;
+  std::vector<const ScenarioResult*> regressed_rows;
   for (const ScenarioResult& current : results_) {
-    const ScenarioResult* base = nullptr;
-    for (const ScenarioResult& b : baseline) {
-      if (b.name == current.name) {
-        base = &b;
-        break;
-      }
-    }
-    const auto override_it = scenario_thresholds_.find(current.name);
-    const double row_threshold = override_it != scenario_thresholds_.end()
-                                     ? override_it->second
-                                     : threshold;
-    if (base == nullptr) {
+    const RowJudgment judgment =
+        JudgeRow(current, baseline, scenario_thresholds_, threshold);
+    if (judgment.base == nullptr) {
       table.AddRow({current.name, "-", FormatFixed(current.median_ms, 3), "-",
-                    FormatFixed(row_threshold * 100.0, 0), "new"});
+                    FormatFixed(judgment.threshold * 100.0, 0), "new"});
       continue;
     }
-    double delta_pct =
-        base->median_ms > 0.0
-            ? 100.0 * (current.median_ms - base->median_ms) / base->median_ms
-            : 0.0;
-    bool regressed = base->median_ms > 0.0 &&
-                     current.median_ms >
-                         base->median_ms * (1.0 + row_threshold);
-    if (regressed) ++regressions;
-    table.AddRow({current.name, FormatFixed(base->median_ms, 3),
-                  FormatFixed(current.median_ms, 3), FormatFixed(delta_pct, 1),
-                  FormatFixed(row_threshold * 100.0, 0),
-                  regressed ? "REGRESSED" : "ok"});
+    if (judgment.regressed) {
+      ++regressions;
+      regressed_rows.push_back(&current);
+    }
+    table.AddRow({current.name, FormatFixed(judgment.base->median_ms, 3),
+                  FormatFixed(current.median_ms, 3),
+                  FormatFixed(judgment.delta_pct, 1),
+                  FormatFixed(judgment.threshold * 100.0, 0),
+                  judgment.regressed ? "REGRESSED" : "ok"});
   }
   for (const ScenarioResult& base : baseline) {
     bool present = false;
@@ -219,7 +292,110 @@ int PerfHarness::CompareWithBaseline(
   }
   std::printf("\n== perf vs baseline (threshold +%.0f%%) ==\n%s",
               threshold * 100.0, table.ToAscii().c_str());
+
+  // Attribution: when the run was profiled, name the symbols/spans that
+  // were hot inside each regressed scenario's window instead of leaving
+  // the reader with a bare scenario name and exit code.
+  prof::Profiler& profiler = prof::Profiler::Global();
+  if (!regressed_rows.empty() && profiler.samples() > 0) {
+    for (const ScenarioResult* row : regressed_rows) {
+      std::vector<prof::SymbolCount> symbols = profiler.TopSymbolsInWindow(
+          row->window_start_ns, row->window_end_ns, kAttributionTopN);
+      uint64_t window_samples = 0;
+      for (const prof::SymbolCount& s : symbols) window_samples += s.samples;
+      std::printf("  -- attribution: %s (%llu samples in window) --\n",
+                  row->name.c_str(),
+                  static_cast<unsigned long long>(window_samples));
+      for (const prof::SymbolCount& s : symbols) {
+        const double pct =
+            window_samples > 0
+                ? 100.0 * static_cast<double>(s.samples) /
+                      static_cast<double>(window_samples)
+                : 0.0;
+        std::printf("    %5.1f%%  %s\n", pct, s.symbol.c_str());
+      }
+      for (const SpanAgg& span : TopSpansInWindow(
+               row->window_start_ns, row->window_end_ns, kAttributionTopN)) {
+        std::printf("    span %s: %.3f ms over %llu spans\n",
+                    span.name.c_str(),
+                    static_cast<double>(span.wall_ns) / 1e6,
+                    static_cast<unsigned long long>(span.count));
+      }
+    }
+  } else if (!regressed_rows.empty()) {
+    std::printf(
+        "  (rerun with --profile-hz=97 for per-symbol attribution of the "
+        "regressed scenarios)\n");
+  }
   return regressions;
+}
+
+std::string PerfHarness::AttributionJson(
+    const std::vector<ScenarioResult>& baseline, double threshold) const {
+  prof::Profiler& profiler = prof::Profiler::Global();
+  profiler.Drain();
+  const uint64_t total_samples = profiler.samples();
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += std::string("  \"profiled\": ") +
+         (total_samples > 0 ? "true" : "false") + ",\n";
+  out += "  \"prof_samples\": " + std::to_string(total_samples) + ",\n";
+  out += "  \"scenarios\": [";
+  for (size_t i = 0; i < results_.size(); ++i) {
+    const ScenarioResult& current = results_[i];
+    const RowJudgment judgment =
+        JudgeRow(current, baseline, scenario_thresholds_, threshold);
+    std::vector<prof::SymbolCount> symbols =
+        total_samples > 0
+            ? profiler.TopSymbolsInWindow(current.window_start_ns,
+                                          current.window_end_ns,
+                                          kAttributionTopN)
+            : std::vector<prof::SymbolCount>{};
+    uint64_t window_samples = 0;
+    for (const prof::SymbolCount& s : symbols) window_samples += s.samples;
+
+    out += i > 0 ? ",\n    {" : "\n    {";
+    out += "\"scenario\": \"" + JsonEscape(current.name) + "\", ";
+    out += "\"baseline_ms\": " +
+           (judgment.base != nullptr
+                ? FormatDouble(judgment.base->median_ms)
+                : std::string("null")) +
+           ", ";
+    out += "\"current_ms\": " + FormatDouble(current.median_ms) + ", ";
+    out += "\"delta_pct\": " + FormatDouble(judgment.delta_pct) + ", ";
+    out += std::string("\"status\": \"") +
+           (judgment.base == nullptr
+                ? "new"
+                : (judgment.regressed ? "REGRESSED" : "ok")) +
+           "\", ";
+    out += "\"samples\": " + std::to_string(window_samples) + ", ";
+    out += "\"top_symbols\": [";
+    for (size_t s = 0; s < symbols.size(); ++s) {
+      if (s > 0) out += ", ";
+      const double pct =
+          window_samples > 0
+              ? 100.0 * static_cast<double>(symbols[s].samples) /
+                    static_cast<double>(window_samples)
+              : 0.0;
+      out += "{\"symbol\": \"" + JsonEscape(symbols[s].symbol) +
+             "\", \"samples\": " + std::to_string(symbols[s].samples) +
+             ", \"pct\": " + FormatFixed(pct, 2) + "}";
+    }
+    out += "], ";
+    out += "\"top_spans\": [";
+    const std::vector<SpanAgg> spans = TopSpansInWindow(
+        current.window_start_ns, current.window_end_ns, kAttributionTopN);
+    for (size_t s = 0; s < spans.size(); ++s) {
+      if (s > 0) out += ", ";
+      out += "{\"name\": \"" + JsonEscape(spans[s].name) +
+             "\", \"wall_ns\": " + std::to_string(spans[s].wall_ns) +
+             ", \"count\": " + std::to_string(spans[s].count) + "}";
+    }
+    out += "]}";
+  }
+  out += results_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 std::string GitRevision() { return telemetry::GitRevision(); }

@@ -27,6 +27,14 @@ struct ScenarioResult {
   /// peak is a run-level header field, not a per-scenario one.
   uint64_t rss_delta_bytes = 0;
   uint32_t repetitions = 0;
+  /// Steady-clock (CLOCK_MONOTONIC) window covering the timed
+  /// repetitions — the same timeline as profiler sample timestamps and
+  /// span start times, so a regression can be attributed to the symbols
+  /// and spans that were hot *while this scenario ran*. In-memory only:
+  /// not serialized into BENCH_pipeline.json (wall-clock windows are
+  /// meaningless across runs) and zero when loaded from a baseline.
+  uint64_t window_start_ns = 0;
+  uint64_t window_end_ns = 0;
 };
 
 /// \brief Harness-level knobs recorded into the result file so a baseline
@@ -84,8 +92,26 @@ class PerfHarness {
   /// Prints a delta table (baseline vs current medians) and returns the
   /// number of scenarios regressing past their threshold — the
   /// per-scenario override when set, else `threshold` (0.25 = +25%).
+  /// When the sampling profiler collected samples during the run, each
+  /// REGRESSED row is followed by its per-scenario attribution: the top
+  /// symbols sampled inside that scenario's time window, so the exit code
+  /// names code locations instead of just scenario names.
   int CompareWithBaseline(const std::vector<ScenarioResult>& baseline,
                           double threshold) const;
+
+  /// Machine-readable attribution diff vs `baseline` (the document behind
+  /// `bench_pipeline --attr-out`):
+  /// {"schema_version": 1, "profiled": bool, "prof_samples": n,
+  ///  "scenarios": [{"scenario", "baseline_ms", "current_ms",
+  ///    "delta_pct", "status" ("ok"|"REGRESSED"|"new"), "samples",
+  ///    "top_symbols": [{"symbol", "samples", "pct"}],
+  ///    "top_spans": [{"name", "wall_ns", "count"}]}]}
+  /// `top_symbols` comes from profiler samples inside the scenario's
+  /// window (empty without --profile-hz); `top_spans` aggregates trace
+  /// spans inside the window (empty without tracing). Regression status
+  /// uses the same thresholds as `CompareWithBaseline`.
+  std::string AttributionJson(const std::vector<ScenarioResult>& baseline,
+                              double threshold) const;
 
  private:
   HarnessOptions options_;

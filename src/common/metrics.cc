@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -15,6 +16,7 @@ namespace metrics {
 namespace {
 
 std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_best_effort_reads{false};
 
 // %.17g round-trips every finite double through text exactly.
 std::string FormatValue(double v) {
@@ -50,6 +52,21 @@ void SetEnabled(bool enabled) {
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
+void SetBestEffortReads(bool on) {
+  g_best_effort_reads.store(on, std::memory_order_release);
+}
+
+bool BestEffortReads() {
+  return g_best_effort_reads.load(std::memory_order_acquire);
+}
+
+std::unique_lock<std::mutex> BestEffortLock(std::mutex& mu) {
+  if (BestEffortReads()) {
+    return std::unique_lock<std::mutex>(mu, std::try_to_lock);
+  }
+  return std::unique_lock<std::mutex>(mu);
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
   FAIRGEN_CHECK(!bounds_.empty());
@@ -58,6 +75,10 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 
 void Histogram::Observe(double value) {
   if (!Enabled()) return;
+  // NaN is rejected outright: upper_bound's comparisons are all false for
+  // NaN, which would silently file it in the overflow bucket and — worse —
+  // poison sum_ (and every later mean) with NaN.
+  if (std::isnan(value)) return;
   size_t i = static_cast<size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
@@ -75,6 +96,9 @@ void Histogram::Observe(double value) {
 double Histogram::Quantile(double q) const {
   const uint64_t total = count();
   if (total == 0) return 0.0;
+  // NaN q would propagate through the clamp (both comparisons false) and
+  // make target NaN; treat it like the empty histogram instead.
+  if (std::isnan(q)) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
@@ -110,7 +134,8 @@ void Series::Append(double step, double value) {
 }
 
 std::vector<std::pair<double, double>> Series::points() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = BestEffortLock(mu_);
+  if (!lock.owns_lock()) return {};
   std::vector<std::pair<double, double>> out;
   out.reserve(points_.size());
   for (const SeriesPoint& p : points_) out.emplace_back(p.step, p.value);
@@ -192,7 +217,8 @@ Series& MetricsRegistry::GetSeries(std::string_view name) {
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = BestEffortLock(mu_);
+  if (!lock.owns_lock()) return {};
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

@@ -24,6 +24,19 @@ namespace metrics {
 void SetEnabled(bool enabled);
 bool Enabled();
 
+/// \brief Crash-flush read mode. The telemetry crash flush runs on a
+/// signal handler's stack, and the interrupted thread may hold a registry,
+/// series, or tracer mutex (a FATAL check inside `GetEntry` aborts with
+/// the registry lock held). While this mode is on, the export-side read
+/// paths acquire their mutexes with `try_lock` via `BestEffortLock` and
+/// degrade to empty results on contention instead of deadlocking.
+void SetBestEffortReads(bool on);
+bool BestEffortReads();
+
+/// \brief Acquires `mu` — except in crash-flush read mode, where it only
+/// tries. Callers must check `owns_lock()` and degrade when it is false.
+std::unique_lock<std::mutex> BestEffortLock(std::mutex& mu);
+
 /// \brief Monotonic event count. Increments are relaxed atomic adds, so
 /// concurrent updates from `ParallelFor` workers sum exactly (integers
 /// commute; no locks on the hot path).
@@ -77,7 +90,9 @@ class Histogram {
   /// `upper_bounds` must be strictly increasing and non-empty.
   explicit Histogram(std::vector<double> upper_bounds);
 
-  /// Records one observation (no-op while metrics are disabled).
+  /// Records one observation (no-op while metrics are disabled). NaN is
+  /// rejected (not counted): it would land in the overflow bucket and
+  /// poison the running sum.
   void Observe(double value);
 
   /// Cumulative count of all observations.
@@ -96,7 +111,8 @@ class Histogram {
   /// the containing bucket (the `histogram_quantile` rule: the lower edge
   /// of the first bucket is clamped to 0 for positive bounds, and any
   /// quantile landing in the overflow bucket reports the largest finite
-  /// bound). 0 when nothing has been observed. Exported as the
+  /// bound). 0 when nothing has been observed or `q` is NaN; `q` outside
+  /// [0, 1] is clamped. Exported as the
   /// p50/p95/p99 snapshot fields and the Prometheus `_quantile` family so
   /// latency tails are visible without opening a trace.
   double Quantile(double q) const;

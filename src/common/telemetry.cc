@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/memprobe.h"
 #include "common/metrics.h"
+#include "common/prof.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -129,6 +130,41 @@ std::string PrometheusText() {
     out += std::string(p.name) + " " + FormatValue(p.value) + "\n";
   }
 
+  // Per-category hardware-counter annotations from profiled spans
+  // (common/prof.h). Families appear only when at least one span carried
+  // a valid perf_event reading — on hosts without perf_event the
+  // exposition is byte-identical to an unprofiled run.
+  {
+    const auto categories = trace::Tracer::Global().SummarizeByCategory();
+    const char* kFamilies[] = {
+        "fairgen_prof_span_cycles", "fairgen_prof_span_instructions",
+        "fairgen_prof_span_cache_misses", "fairgen_prof_span_branch_misses",
+        "fairgen_prof_span_ipc"};
+    // Family-outer iteration: the exposition format requires all samples
+    // of one family in a single group under its # TYPE line.
+    for (size_t f = 0; f < 5; ++f) {
+      std::string family_out;
+      for (const auto& [category, summary] : categories) {
+        if (summary.hw_count == 0) continue;
+        const double values[5] = {
+            static_cast<double>(summary.cycles),
+            static_cast<double>(summary.instructions),
+            static_cast<double>(summary.cache_misses),
+            static_cast<double>(summary.branch_misses),
+            summary.cycles > 0
+                ? static_cast<double>(summary.instructions) /
+                      static_cast<double>(summary.cycles)
+                : 0.0};
+        family_out += std::string(kFamilies[f]) + "{cat=\"" + category +
+                      "\"} " + FormatValue(values[f]) + "\n";
+      }
+      if (!family_out.empty()) {
+        out += std::string("# TYPE ") + kFamilies[f] + " gauge\n";
+        out += family_out;
+      }
+    }
+  }
+
   const metrics::MetricsRegistry& registry =
       metrics::MetricsRegistry::Global();
   for (const metrics::MetricSnapshot& snap : registry.Snapshot()) {
@@ -209,7 +245,18 @@ std::string SnapshotJson(const std::string& run_id, uint64_t sequence,
     out += JsonQuote(category) + ": {\"count\": " +
            std::to_string(summary.count) +
            ", \"wall_ns\": " + std::to_string(summary.wall_ns) +
-           ", \"cpu_ns\": " + std::to_string(summary.cpu_ns) + "}";
+           ", \"cpu_ns\": " + std::to_string(summary.cpu_ns);
+    if (summary.hw_count > 0) {
+      // Hardware-counter aggregate of the spans profiled with perf_event
+      // available; absent (not zero) otherwise, so consumers can
+      // distinguish "no misses" from "not measured".
+      out += ", \"hw_spans\": " + std::to_string(summary.hw_count) +
+             ", \"cycles\": " + std::to_string(summary.cycles) +
+             ", \"instructions\": " + std::to_string(summary.instructions) +
+             ", \"cache_misses\": " + std::to_string(summary.cache_misses) +
+             ", \"branch_misses\": " + std::to_string(summary.branch_misses);
+    }
+    out += "}";
   }
   out += "},\n";
   out += "  \"spans_dropped\": " + std::to_string(tracer.dropped()) + ",\n";
@@ -348,6 +395,21 @@ Status Publisher::WriteManifest(bool finalized, int exit_status,
 Status Publisher::WriteSnapshotFiles() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  // The publisher tick is the profiler's ring-drain heartbeat: samples
+  // move out of the per-thread SPSC rings here, off the signal path, and
+  // the collapsed-stack artifacts land next to the snapshot. A run that
+  // never profiled (or never collected a sample) writes nothing extra.
+  prof::Profiler& profiler = prof::Profiler::Global();
+  if (profiler.running() || profiler.samples() > 0) {
+    // Drain also refreshes the prof.* counters/gauges, so the snapshot
+    // and Prometheus exports below see up-to-date sample totals.
+    profiler.Drain();
+    Status prof_status = profiler.WriteArtifacts(run_dir_);
+    if (!prof_status.ok()) {
+      FAIRGEN_LOG(WARNING) << "profile artifact write failed: "
+                           << prof_status.ToString();
+    }
+  }
   FAIRGEN_RETURN_NOT_OK(WriteFileAtomic(
       run_dir_ + "/snapshot.json", SnapshotJson(run_id_, seq,
                                                 start_unix_ms_)));
@@ -491,12 +553,18 @@ void Publisher::CrashFlush(int exit_status) {
   if (crash_flushing_.exchange(true, std::memory_order_acq_rel)) return;
   // Deliberately skips the snapshot mutex (the interrupted thread might
   // hold it) — WriteFileAtomic's rename keeps even a racing periodic
-  // snapshot from tearing the file.
+  // snapshot from tearing the file. The same hazard applies to the
+  // registry/series/tracer mutexes the exports read under (a FATAL check
+  // aborts while *holding* the registry lock), so the flush runs in
+  // best-effort read mode: contended sections come out empty instead of
+  // deadlocking the dying process.
+  metrics::SetBestEffortReads(true);
   const uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
   WriteFileAtomic(run_dir_ + "/snapshot.json",
                   SnapshotJson(run_id_, seq, start_unix_ms_));
   WriteFileAtomic(run_dir_ + "/metrics.prom", PrometheusText());
   WriteManifest(true, exit_status, UnixMillis());
+  metrics::SetBestEffortReads(false);
 }
 
 namespace {

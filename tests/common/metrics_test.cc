@@ -304,6 +304,45 @@ TEST_F(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
 }
 
+// Quantile edge cases: empty histogram, a single sample, the q=0/q=1
+// endpoints, out-of-range q (clamped), and NaN (both as the quantile
+// argument and as an observation — NaN observations are rejected outright
+// because they would land in the overflow bucket and poison sum()).
+TEST_F(MetricsTest, HistogramQuantileEdgeCases) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "test.quantile_edge.histogram", {10.0, 20.0});
+  h.Reset();
+
+  // Empty: every quantile is 0, including NaN/out-of-range q.
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+  EXPECT_EQ(h.Quantile(std::nan("")), 0.0);
+
+  // Single sample in the first bucket [0, 10]: q=0 pins the bucket's
+  // bottom edge, q=1 its top edge, and everything in between
+  // interpolates inside that one bucket.
+  h.Observe(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+
+  // Out-of-range q clamps to [0, 1] instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), h.Quantile(1.0));
+
+  // NaN q on a populated histogram: defined fallback, not NaN out.
+  EXPECT_EQ(h.Quantile(std::nan("")), 0.0);
+  EXPECT_FALSE(std::isnan(h.Quantile(std::nan(""))));
+
+  // NaN observations are dropped: count, sum and quantiles unchanged.
+  const double sum_before = h.sum();
+  h.Observe(std::nan(""));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), sum_before);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+}
+
 TEST_F(MetricsTest, HistogramQuantileOverflowReportsLargestFiniteBound) {
   Histogram& h = MetricsRegistry::Global().GetHistogram(
       "test.quantile_overflow.histogram", {1.0, 2.0});

@@ -1,0 +1,89 @@
+// Off-by-default invariants of the sampling profiler, in a binary that
+// NEVER calls Profiler::Start: linking the profiler must be bitwise free.
+// These assertions live in their own test executable because a single
+// Start anywhere in the process installs the (gated) SIGPROF handler for
+// good — sharing a binary with the active-profiler suite would make the
+// invariants depend on test ordering.
+
+#include "common/prof.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fairgen::prof {
+namespace {
+
+// Targets of every open fd's /proc/self/fd symlink. perf_event fds read
+// back as "anon_inode:[perf_event]".
+std::vector<std::string> OpenFdTargets() {
+  std::vector<std::string> out;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return out;  // non-procfs platform: nothing to check
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    char buf[256];
+    std::string path = std::string("/proc/self/fd/") + name;
+    ssize_t len = ::readlink(path.c_str(), buf, sizeof(buf) - 1);
+    if (len > 0) {
+      buf[len] = '\0';
+      out.emplace_back(buf);
+    }
+  }
+  ::closedir(dir);
+  return out;
+}
+
+TEST(ProfOffByDefaultTest, NoSigprofHandlerInstalled) {
+  struct sigaction current;
+  ASSERT_EQ(sigaction(SIGPROF, nullptr, &current), 0);
+  EXPECT_EQ(current.sa_handler, SIG_DFL)
+      << "a SIGPROF handler is installed without Profiler::Start";
+}
+
+TEST(ProfOffByDefaultTest, NoPerfEventFdsOpen) {
+  for (const std::string& target : OpenFdTargets()) {
+    EXPECT_EQ(target.find("perf_event"), std::string::npos)
+        << "open perf_event fd without Profiler::Start: " << target;
+  }
+}
+
+TEST(ProfOffByDefaultTest, ProfilerReportsStopped) {
+  Profiler& profiler = Profiler::Global();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.samples(), 0u);
+  EXPECT_EQ(profiler.dropped(), 0u);
+  EXPECT_EQ(profiler.hz(), 0u);
+  EXPECT_TRUE(profiler.ToFolded().empty());
+  EXPECT_TRUE(profiler.ToFoldedText().empty());
+  EXPECT_TRUE(profiler.TopSymbols(10).empty());
+}
+
+TEST(ProfOffByDefaultTest, ThreadCountersInvalidWhenStopped) {
+  HwCounters hw = ReadThreadCounters();
+  EXPECT_FALSE(hw.valid);
+}
+
+TEST(ProfOffByDefaultTest, HzFromEnvParsesAndRejects) {
+  ASSERT_EQ(::unsetenv("FAIRGEN_PROF_HZ"), 0);
+  EXPECT_EQ(HzFromEnv(), 0u);
+  ASSERT_EQ(::setenv("FAIRGEN_PROF_HZ", "97", 1), 0);
+  EXPECT_EQ(HzFromEnv(), 97u);
+  ASSERT_EQ(::setenv("FAIRGEN_PROF_HZ", "0", 1), 0);
+  EXPECT_EQ(HzFromEnv(), 0u);
+  ASSERT_EQ(::setenv("FAIRGEN_PROF_HZ", "100000", 1), 0);
+  EXPECT_EQ(HzFromEnv(), 0u);
+  ASSERT_EQ(::setenv("FAIRGEN_PROF_HZ", "notanumber", 1), 0);
+  EXPECT_EQ(HzFromEnv(), 0u);
+  ASSERT_EQ(::unsetenv("FAIRGEN_PROF_HZ"), 0);
+}
+
+}  // namespace
+}  // namespace fairgen::prof

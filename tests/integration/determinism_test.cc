@@ -11,6 +11,7 @@
 #include "common/memprobe.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/prof.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/trainer.h"
@@ -249,6 +250,47 @@ TEST(DeterminismTest, InstrumentationDoesNotPerturbOutputs) {
     EXPECT_EQ(on.degree_mmd, off.degree_mmd) << threads << " threads";
   }
   metrics::SetEnabled(metrics_before);
+  trace::Tracer::Global().SetEnabled(trace_before);
+  trace::Tracer::Global().Clear();
+}
+
+// The sampling profiler extends the observation-only contract to SIGPROF
+// interruption: with the profiler running (stack sampling at a high rate
+// plus hardware-counter reads at every span boundary), outputs must be
+// bit-identical to an unprofiled run at every thread count. The profiler
+// draws no Rng, uses SA_RESTART (no EINTR leakage into the pipeline) and
+// only its own atomics — this test pins all three.
+TEST(DeterminismTest, ProfilerDoesNotPerturbOutputs) {
+  Graph graph = TestGraph(53);
+  RandomWalker walker(graph);
+  Graph other = TestGraph(54);
+
+  auto run = [&](uint32_t threads) {
+    std::vector<std::pair<Edge, double>> out;
+    Rng acc_rng(44);
+    EdgeScoreAccumulator acc = AccumulateWalkScores(
+        graph.num_nodes(), /*target_transitions=*/4000, threads, acc_rng,
+        [&](Rng& walk_rng) {
+          return walker.UniformWalk(walker.SampleStartNode(walk_rng), 10,
+                                    walk_rng);
+        });
+    return SortedScores(acc.ScoredEdges());
+  };
+
+  // Tracing on so ScopedSpan actually exercises the hardware-counter
+  // read path while the profiler is running.
+  const bool trace_before = trace::Tracer::Global().enabled();
+  trace::Tracer::Global().SetEnabled(true);
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    prof::ProfilerOptions options;
+    options.hz = 997;
+    ASSERT_TRUE(prof::Profiler::Global().Start(options).ok());
+    auto profiled = run(threads);
+    prof::Profiler::Global().Stop();
+
+    auto unprofiled = run(threads);
+    ExpectBitIdentical(profiled, unprofiled);
+  }
   trace::Tracer::Global().SetEnabled(trace_before);
   trace::Tracer::Global().Clear();
 }

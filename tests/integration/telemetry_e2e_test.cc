@@ -122,7 +122,8 @@ TEST_F(TelemetryE2eTest, CliRunYieldsSchemaValidArtifactsAndReport) {
                         out_path + " --seed=7 --walks=60 --cycles=2" +
                         " --epochs=1 --trace-out=" + TempPath("t.json") +
                         " --telemetry-dir=" + telemetry_dir +
-                        " --telemetry-interval-ms=25 > /dev/null 2>&1";
+                        " --telemetry-interval-ms=25 --profile-hz=997" +
+                        " > /dev/null 2>&1";
   ASSERT_EQ(std::system(command.c_str()), 0) << command;
 
   std::vector<std::string> runs = RunDirs(telemetry_dir);
@@ -138,6 +139,12 @@ TEST_F(TelemetryE2eTest, CliRunYieldsSchemaValidArtifactsAndReport) {
             0);
   EXPECT_EQ(RunValidator("prometheus", run + "/metrics.prom",
                          FAIRGEN_PROM_SCHEMA_PATH),
+            0);
+  // The profiled run leaves a structurally valid collapsed-stack profile
+  // in the run dir (training burns seconds of CPU at 997 Hz, so samples
+  // are guaranteed).
+  EXPECT_EQ(RunValidator("folded", run + "/profile.folded",
+                         FAIRGEN_FOLDED_SCHEMA_PATH),
             0);
 
   // ...and the validator actually discriminates: a JSON document missing
@@ -165,7 +172,7 @@ TEST_F(TelemetryE2eTest, CliRunYieldsSchemaValidArtifactsAndReport) {
   std::string html = ReadFileOrDie(report);
   for (const char* id :
        {"id=\"runs\"", "id=\"curves\"", "id=\"stages\"", "id=\"memory\"",
-        "id=\"bench\"", "id=\"compare\""}) {
+        "id=\"profile\"", "id=\"bench\"", "id=\"compare\""}) {
     EXPECT_NE(html.find(id), std::string::npos) << "missing section " << id;
   }
   EXPECT_NE(html.find("<svg"), std::string::npos)

@@ -29,6 +29,7 @@
 #include "common/logging.h"
 #include "common/memprobe.h"
 #include "common/metrics.h"
+#include "common/prof.h"
 #include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -67,6 +68,7 @@ struct Options {
   bool resume = false;
   int32_t telemetry_port = -1;        // -1 = no HTTP endpoint
   uint32_t telemetry_interval_ms = 1000;
+  uint32_t profile_hz = 0;            // 0 = profiler off
   uint64_t seed = 7;
   uint32_t walks = 300;
   uint32_t cycles = 4;
@@ -104,6 +106,11 @@ int Usage() {
       "                             127.0.0.1:<n> (0 = ephemeral port;\n"
       "                             requires --telemetry-dir)\n"
       "       --telemetry-interval-ms=<n>  snapshot period (default 1000)\n"
+      "       --profile-hz=<n>      sampling profiler at <n> Hz: stack\n"
+      "                             samples + hw counters; profile.folded\n"
+      "                             and profile_top.json land in the\n"
+      "                             --telemetry-dir run dir (FAIRGEN_PROF_HZ\n"
+      "                             is the fallback when the flag is absent)\n"
       "       --log-level=<level>   debug|info|warning|error (default: the\n"
       "                             FAIRGEN_LOG_LEVEL env var, else "
       "warning)\n");
@@ -170,6 +177,12 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
       opts.telemetry_interval_ms = static_cast<uint32_t>(std::strtoul(
           value("--telemetry-interval-ms=").c_str(), nullptr, 10));
+    } else if (StrStartsWith(arg, "--profile-hz=")) {
+      opts.profile_hz = static_cast<uint32_t>(
+          std::strtoul(value("--profile-hz=").c_str(), nullptr, 10));
+      if (opts.profile_hz == 0 || opts.profile_hz > 10000) {
+        return Status::InvalidArgument("bad --profile-hz (want 1..10000)");
+      }
     } else if (StrStartsWith(arg, "--log-level=")) {
       opts.log_level = value("--log-level=");
       LogLevel parsed;
@@ -180,6 +193,8 @@ Result<Options> Parse(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
   }
+  // The explicit flag wins; FAIRGEN_PROF_HZ is the no-rebuild fallback.
+  if (opts.profile_hz == 0) opts.profile_hz = prof::HzFromEnv();
   return opts;
 }
 
@@ -458,6 +473,9 @@ const Options* g_signal_opts = nullptr;
 // command failed: partial telemetry is often exactly what's needed to debug
 // the failure.
 Status WriteTelemetry(const Options& opts) {
+  // Disarm the sampling timer and drain the rings first so the profile
+  // artifacts (written by the publisher's final snapshot) are complete.
+  prof::Profiler::Global().Stop();
   memprobe::Sample("exit");
   if (!opts.metrics_out_path.empty()) {
     FAIRGEN_RETURN_NOT_OK(
@@ -537,6 +555,19 @@ int Main(int argc, char** argv) {
   if (!telemetry_start.ok()) {
     std::fprintf(stderr, "error: %s\n", telemetry_start.ToString().c_str());
     return Usage();
+  }
+  if (opts->profile_hz > 0) {
+    prof::ProfilerOptions prof_options;
+    prof_options.hz = opts->profile_hz;
+    Status prof_start = prof::Profiler::Global().Start(prof_options);
+    if (!prof_start.ok()) {
+      std::fprintf(stderr, "error: profiler start failed: %s\n",
+                   prof_start.ToString().c_str());
+      return Usage();
+    }
+    std::fprintf(stderr, "profiling at %u Hz%s\n", opts->profile_hz,
+                 prof::Profiler::Global().hw_available()
+                     ? " (hw counters on)" : "");
   }
   // Crash-safe flush: a SIGTERM/SIGINT/abort mid-run still leaves a final
   // snapshot, a finalized manifest (exit status 128+sig) and the

@@ -13,11 +13,14 @@
 // air-gapped box.
 //
 // Sections (stable ids, pinned by the e2e smoke test):
-//   #runs    manifest table: id, git rev, seed, threads, duration, status
+//   #runs    manifest table: id, git rev, seed, threads, duration, status,
+//            warnings (dropped trace spans)
 //   #curves  training curves (NLL, self-paced lambda, parity regulariser,
 //            total loss) as SVG polylines, one per run
-//   #stages  per-stage wall/CPU breakdown from the span summaries
+//   #stages  per-stage wall/CPU breakdown from the span summaries, with
+//            IPC / cache-miss annotations when hardware counters ran
 //   #memory  RSS-over-time from the mem.rss_bytes series
+//   #profile sampling-profiler top symbols (profile_top.json, when present)
 //   #bench   BENCH_pipeline scenario medians side by side (when present)
 //   #compare final counter/gauge values side by side
 
@@ -44,8 +47,10 @@ struct RunData {
   json::Value manifest;
   json::Value snapshot;  // null when snapshot.json is absent
   json::Value bench;     // null when no BENCH_*.json in the run dir
+  json::Value profile;   // null when no profile_top.json (profiler off)
   bool has_snapshot = false;
   bool has_bench = false;
+  bool has_profile = false;
 };
 
 // Color-blind-safe categorical palette (Okabe–Ito).
@@ -109,6 +114,13 @@ bool LoadRun(const std::string& dir, RunData* run) {
     if (snapshot.ok()) {
       run->snapshot = *std::move(snapshot);
       run->has_snapshot = true;
+    }
+  }
+  if (FileExists(dir + "/profile_top.json")) {
+    auto profile = json::ParseFile(dir + "/profile_top.json");
+    if (profile.ok()) {
+      run->profile = *std::move(profile);
+      run->has_profile = true;
     }
   }
   for (const std::string& name : ListDir(dir)) {
@@ -280,7 +292,7 @@ std::string ManifestTable(const std::vector<RunData>& runs) {
   std::string html =
       "<table><tr><th>run</th><th>binary</th><th>git rev</th><th>seed</th>"
       "<th>threads</th><th>host</th><th>duration</th><th>snapshots</th>"
-      "<th>exit</th></tr>\n";
+      "<th>exit</th><th>warnings</th></tr>\n";
   for (const RunData& run : runs) {
     const json::Value& m = run.manifest;
     const double start = m.GetDouble("start_unix_ms", 0);
@@ -302,6 +314,16 @@ std::string ManifestTable(const std::vector<RunData>& runs) {
       exit_status = FormatG(status);
       if (status >= 128) exit_status += " (signal)";
     }
+    // Dropped trace spans silently truncate the #stages breakdown, so a
+    // run whose snapshot recorded any gets a visible badge here.
+    std::string warnings = "-";
+    if (run.has_snapshot) {
+      const double dropped = run.snapshot.GetDouble("spans_dropped", 0);
+      if (dropped > 0) {
+        warnings = "<span class=\"warnbadge\">" + FormatG(dropped) +
+                   " spans dropped</span>";
+      }
+    }
     html += "<tr><td>" + HtmlEscape(run.run_id) + "</td><td>" +
             HtmlEscape(m.GetString("binary", "?")) + "</td><td>" +
             HtmlEscape(m.GetString("git_rev", "?")) + "</td><td>" +
@@ -309,7 +331,7 @@ std::string ManifestTable(const std::vector<RunData>& runs) {
             FormatG(m.GetDouble("threads", 0)) + "</td><td>" +
             HtmlEscape(host_str) + "</td><td>" + duration + "</td><td>" +
             FormatG(m.GetDouble("snapshots", 0)) + "</td><td>" +
-            exit_status + "</td></tr>\n";
+            exit_status + "</td><td>" + warnings + "</td></tr>\n";
   }
   html += "</table>\n";
   return html;
@@ -366,13 +388,62 @@ std::string StageTable(const std::vector<RunData>& runs) {
       const double total = total_wall[run.run_id];
       const double pct =
           total > 0 ? entry->GetDouble("wall_ns", 0) / total * 100.0 : 0;
-      html += "<td>" + FormatG(wall_ms) + " / " + FormatG(cpu_ms) +
-              "<div class=\"bar\" style=\"width:" + FormatG(pct) +
+      html += "<td>" + FormatG(wall_ms) + " / " + FormatG(cpu_ms);
+      // Hardware-counter annotation: present only for runs profiled with
+      // perf_event available (the snapshot omits the fields otherwise).
+      const double cycles = entry->GetDouble("cycles", 0);
+      const double instructions = entry->GetDouble("instructions", 0);
+      if (entry->Find("hw_spans") != nullptr && cycles > 0) {
+        const double ipc = instructions / cycles;
+        const double miss_per_ki =
+            instructions > 0
+                ? entry->GetDouble("cache_misses", 0) / instructions * 1e3
+                : 0;
+        html += "<div class=\"hw\">ipc " + FormatG(ipc) + " &middot; " +
+                FormatG(miss_per_ki) + " cache miss/ki</div>";
+      }
+      html += "<div class=\"bar\" style=\"width:" + FormatG(pct) +
               "%\"></div></td>";
     }
     html += "</tr>\n";
   }
   html += "</table>\n";
+  return html;
+}
+
+// Sampling-profiler top symbols (profile_top.json), one table per
+// profiled run; runs without the profiler enabled are simply absent.
+std::string ProfileTables(const std::vector<RunData>& runs) {
+  std::string html;
+  for (const RunData& run : runs) {
+    if (!run.has_profile) continue;
+    const json::Value& p = run.profile;
+    html += "<h3>" + HtmlEscape(run.run_id) + " &mdash; " +
+            FormatG(p.GetDouble("samples", 0)) + " samples";
+    const double dropped = p.GetDouble("dropped", 0);
+    if (dropped > 0) {
+      html += ", <span class=\"warnbadge\">" + FormatG(dropped) +
+              " dropped</span>";
+    }
+    html += "</h3>\n<table><tr><th>symbol</th><th>samples</th><th>%</th>"
+            "</tr>\n";
+    const json::Value* top = p.Find("top");
+    if (top != nullptr && top->is_array()) {
+      for (const json::Value& row : top->AsArray()) {
+        const double pct = row.GetDouble("pct", 0);
+        html += "<tr><td>" + HtmlEscape(row.GetString("symbol", "?")) +
+                "</td><td>" + FormatG(row.GetDouble("samples", 0)) +
+                "</td><td>" + FormatG(pct) +
+                "<div class=\"bar\" style=\"width:" + FormatG(pct) +
+                "%\"></div></td></tr>\n";
+      }
+    }
+    html += "</table>\n";
+  }
+  if (html.empty()) {
+    return "<p class=\"missing\">no profile_top.json found (runs without "
+           "--profile-hz record no samples)</p>\n";
+  }
   return html;
 }
 
@@ -488,6 +559,9 @@ std::string RenderReport(const std::vector<RunData>& runs,
       ".xlab{font-size:10px;fill:#555}\n"
       ".legend{font-size:11px;fill:#333}\n"
       ".bar{height:4px;background:#0072B2;margin-top:2px}\n"
+      ".hw{color:#555;font-size:11px}\n"
+      ".warnbadge{background:#D55E00;color:#fff;border-radius:3px;"
+      "padding:1px 6px;font-size:11px;white-space:nowrap}\n"
       ".missing{color:#888;font-style:italic}\n"
       "footer{margin-top:40px;color:#888;font-size:12px}\n"
       "</style>\n</head>\n<body>\n";
@@ -516,6 +590,9 @@ std::string RenderReport(const std::vector<RunData>& runs,
   html += CrossRunChart(runs, "nn.bytes",
                         "nn live bytes over samples (nn.bytes)");
   html += "</section>\n";
+
+  html += "<section id=\"profile\">\n<h2>Profiler top symbols</h2>\n" +
+          ProfileTables(runs) + "</section>\n";
 
   html += "<section id=\"bench\">\n<h2>Perf-harness scenarios</h2>\n" +
           BenchTable(runs) + "</section>\n";

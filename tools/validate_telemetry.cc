@@ -1,7 +1,7 @@
 // validate_telemetry — checks telemetry artifacts against golden schemas.
 //
 // Usage:
-//   validate_telemetry --kind=manifest|snapshot|prometheus
+//   validate_telemetry --kind=manifest|snapshot|prometheus|folded
 //                      --file=<artifact> --schema=<golden>
 //
 // Schema files live in tests/golden/ and hold one requirement per line;
@@ -16,6 +16,13 @@
 //   prometheus           each line must be a prefix of at least one line of
 //                        the exposition file — used to pin `# TYPE` families
 //                        and sample names without pinning values.
+//   folded               structural check of a collapsed-stack profile
+//                        (profile.folded): every line must be
+//                        `frame[;frame...]<space><positive count>`. Each
+//                        schema line must additionally occur as a substring
+//                        of at least one stack line — used to pin the stack
+//                        separator without pinning symbol names (symbols
+//                        degrade to hex addresses on stripped builds).
 //
 // Exit status: 0 when every requirement holds, 1 on a validation failure
 // (each miss is printed), 2 on usage or I/O errors. Wired into ctest under
@@ -116,6 +123,64 @@ int ValidatePrometheus(const std::string& file,
   return missing == 0 ? 0 : 1;
 }
 
+// A collapsed-stack line: `stack<space>count`, count a positive integer.
+// The *last* space separates stack from count — demangled frames
+// legitimately contain spaces (template arguments, function signatures),
+// and flamegraph.pl/speedscope both parse greedily on the final space.
+bool IsFoldedLine(const std::string& line) {
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space == 0) return false;
+  std::string_view count(line.data() + space + 1, line.size() - space - 1);
+  if (count.empty()) return false;
+  for (char c : count) {
+    if (c < '0' || c > '9') return false;
+  }
+  return count != "0";
+}
+
+int ValidateFolded(const std::string& file,
+                   const std::vector<std::string>& schema) {
+  std::ifstream in(file);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot read %s\n", file.c_str());
+    return 2;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  size_t line_no = 0;
+  int bad = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!IsFoldedLine(line)) {
+      std::fprintf(stderr, "MALFORMED folded line %zu: %s\n", line_no,
+                   line.c_str());
+      ++bad;
+    }
+    lines.push_back(line);
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "EMPTY profile: %s has no stack lines\n",
+                 file.c_str());
+    return 1;
+  }
+  for (const std::string& want : schema) {
+    bool found = false;
+    for (const std::string& have : lines) {
+      if (have.find(want) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "MISSING folded substring: %s\n", want.c_str());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::string kind, file, schema_path;
   for (int i = 1; i < argc; ++i) {
@@ -128,8 +193,8 @@ int Main(int argc, char** argv) {
       schema_path = std::string(arg.substr(9));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: validate_telemetry --kind=manifest|snapshot|prometheus "
-          "--file=<artifact> --schema=<golden>\n");
+          "usage: validate_telemetry --kind=manifest|snapshot|prometheus|"
+          "folded --file=<artifact> --schema=<golden>\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
@@ -139,7 +204,7 @@ int Main(int argc, char** argv) {
   if (kind.empty() || file.empty() || schema_path.empty()) {
     std::fprintf(stderr,
                  "usage: validate_telemetry --kind=manifest|snapshot|"
-                 "prometheus --file=<artifact> --schema=<golden>\n");
+                 "prometheus|folded --file=<artifact> --schema=<golden>\n");
     return 2;
   }
   std::vector<std::string> schema;
@@ -157,6 +222,8 @@ int Main(int argc, char** argv) {
     rc = ValidateJson(file, schema);
   } else if (kind == "prometheus") {
     rc = ValidatePrometheus(file, schema);
+  } else if (kind == "folded") {
+    rc = ValidateFolded(file, schema);
   } else {
     std::fprintf(stderr, "bad --kind=%s\n", kind.c_str());
     return 2;
