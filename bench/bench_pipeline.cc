@@ -318,11 +318,25 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
   }
 
   if (!pipeline.compare.empty()) {
-    auto baseline = PerfHarness::LoadBaseline(pipeline.compare);
+    std::string baseline_rev;
+    auto baseline = PerfHarness::LoadBaseline(pipeline.compare,
+                                              &baseline_rev);
     if (!baseline.ok()) {
       std::fprintf(stderr, "baseline load failed: %s\n",
                    baseline.status().ToString().c_str());
       return 2;
+    }
+    // Provenance check: a stale baseline silently blesses regressions that
+    // landed between its commit and HEAD. Warn — don't fail — so compares
+    // against intentionally old baselines still run.
+    const std::string current_rev = GitRevision();
+    if (baseline_rev != current_rev) {
+      std::fprintf(stderr,
+                   "warning: baseline %s was recorded at git rev %s but the "
+                   "working tree is at %s — deltas may include unrelated "
+                   "commits; re-record with --out to refresh\n",
+                   pipeline.compare.c_str(), baseline_rev.c_str(),
+                   current_rev.c_str());
     }
     if (!pipeline.attr_out.empty()) {
       Status s = WriteFileAtomic(

@@ -13,6 +13,7 @@
 #include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 
 namespace fairgen::bench {
 
@@ -95,7 +96,17 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
           "                             profile.folded + profile_top.json\n"
           "                             into the telemetry run dir; the\n"
           "                             FAIRGEN_PROF_HZ env var is the\n"
-          "                             fallback when the flag is absent)\n",
+          "                             fallback when the flag is absent)\n"
+          "  --watchdog                 run-health rule engine on the\n"
+          "                             telemetry tick (requires\n"
+          "                             --telemetry-dir): alert events in\n"
+          "                             events.jsonl + fairgen_alerts_total;\n"
+          "                             fatal rules abort (128+SIGTERM)\n"
+          "  --rss-budget-mb=<n>        fatal watchdog rule: abort when RSS\n"
+          "                             exceeds <n> MiB (requires --watchdog)\n"
+          "  --probe-every=<n>          in-training fairness probe every <n>\n"
+          "                             self-paced cycles (FairGen fits;\n"
+          "                             outputs stay bit-identical)\n",
           description);
       std::exit(0);
     } else if (StrStartsWith(arg, "--scale=")) {
@@ -149,6 +160,18 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
         std::fprintf(stderr, "bad --profile-hz (want 1..10000)\n");
         std::exit(2);
       }
+    } else if (arg == "--watchdog") {
+      options.watchdog = true;
+    } else if (StrStartsWith(arg, "--rss-budget-mb=")) {
+      options.rss_budget_mb = std::strtoull(
+          std::string(arg.substr(16)).c_str(), nullptr, 10);
+      if (options.rss_budget_mb == 0) {
+        std::fprintf(stderr, "bad --rss-budget-mb (want >= 1)\n");
+        std::exit(2);
+      }
+    } else if (StrStartsWith(arg, "--probe-every=")) {
+      options.probe_every = static_cast<uint32_t>(
+          std::strtoul(std::string(arg.substr(14)).c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);
@@ -168,6 +191,14 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
   if (options.threads != 0) SetDefaultNumThreads(options.threads);
   if (options.telemetry_dir.empty() && options.telemetry_port >= 0) {
     std::fprintf(stderr, "--telemetry-port requires --telemetry-dir\n");
+    std::exit(2);
+  }
+  if (options.watchdog && options.telemetry_dir.empty()) {
+    std::fprintf(stderr, "--watchdog requires --telemetry-dir\n");
+    std::exit(2);
+  }
+  if (options.rss_budget_mb > 0 && !options.watchdog) {
+    std::fprintf(stderr, "--rss-budget-mb requires --watchdog\n");
     std::exit(2);
   }
   if (options.resume && options.checkpoint_dir.empty()) {
@@ -202,6 +233,15 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     // best-effort from the signal path too (and finalize the run
     // manifest with 128+sig).
     telemetry::InstallSignalFlush(&WriteTelemetryAtExit);
+  }
+  if (options.watchdog) {
+    watchdog::Options wd;
+    wd.enabled = true;
+    wd.rss_budget_mb = options.rss_budget_mb;
+    // Same arming rule as the CLI: with checkpointing on, fatal rules wait
+    // for one completed cycle so the emergency buffer holds a valid state.
+    wd.fatal_arm_cycles = options.checkpoint_dir.empty() ? 0 : 1;
+    watchdog::Watchdog::Global().Configure(wd);
   }
   if (!options.telemetry_dir.empty()) {
     telemetry::PublisherOptions pub;
@@ -287,6 +327,7 @@ ZooConfig MakeZooConfig(const BenchOptions& options) {
   cfg.fairgen.checkpoint.every_cycles = options.checkpoint_every;
   cfg.fairgen.checkpoint.retain = options.checkpoint_retain;
   cfg.fairgen.checkpoint.resume = options.resume;
+  cfg.fairgen.probe_every = options.probe_every;
   return cfg;
 }
 

@@ -47,6 +47,15 @@ struct BenchOptions {
                                      ///< profiler at <n> Hz (0 = off; the
                                      ///< FAIRGEN_PROF_HZ env var is the
                                      ///< fallback when the flag is absent)
+  bool watchdog = false;             ///< --watchdog: run-health rule engine
+                                     ///< on the telemetry tick (requires
+                                     ///< --telemetry-dir)
+  uint64_t rss_budget_mb = 0;        ///< --rss-budget-mb=<n>: fatal watchdog
+                                     ///< rule on process RSS (requires
+                                     ///< --watchdog; 0 = off)
+  uint32_t probe_every = 0;          ///< --probe-every=<n>: in-training
+                                     ///< fairness probe cadence in cycles
+                                     ///< (FairGen fits only; 0 = off)
 
   /// Effective dataset scale.
   double EffectiveScale() const { return full ? 1.0 : scale; }

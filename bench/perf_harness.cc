@@ -220,11 +220,12 @@ Status PerfHarness::WriteJson(const std::string& path) const {
 }
 
 Result<std::vector<ScenarioResult>> PerfHarness::LoadBaseline(
-    const std::string& path) {
+    const std::string& path, std::string* git_rev) {
   FAIRGEN_ASSIGN_OR_RETURN(json::Value root, json::ParseFile(path));
   if (!root.is_object()) {
     return Status::InvalidArgument(path + ": baseline is not a JSON object");
   }
+  if (git_rev != nullptr) *git_rev = root.GetString("git_rev", "unknown");
   const json::Value* scenarios = root.Find("scenarios");
   if (scenarios == nullptr || !scenarios->is_array()) {
     return Status::InvalidArgument(path + ": missing \"scenarios\" array");

@@ -79,9 +79,12 @@ class PerfHarness {
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;
 
-  /// Parses a file previously written by `WriteJson`.
+  /// Parses a file previously written by `WriteJson`. When `git_rev` is
+  /// non-null it receives the header's recorded revision ("unknown" for
+  /// pre-provenance files) so callers can warn when a baseline was
+  /// recorded at a different commit than the one under test.
   static Result<std::vector<ScenarioResult>> LoadBaseline(
-      const std::string& path);
+      const std::string& path, std::string* git_rev = nullptr);
 
   /// Tightens (or loosens) the regression threshold for one scenario;
   /// `CompareWithBaseline` uses it instead of the default threshold for

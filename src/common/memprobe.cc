@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/events.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -101,6 +102,17 @@ void Sample(std::string_view stage) {
   registry.GetSeries("mem.rss_bytes")
       .Append(step, static_cast<double>(rss_current));
   registry.GetSeries("nn.bytes").Append(step, static_cast<double>(nn_live));
+
+  // The probe call sites mark the pipeline stage boundaries
+  // (load/fit/generate/exit), which makes them the natural source of
+  // `stage` records for the run-event journal — and a progress signal
+  // for the watchdog's stall rule.
+  events::Event event;
+  event.type = events::Type::kStage;
+  event.name = std::string(stage);
+  event.fields = {{"rss_bytes", static_cast<double>(rss_current)},
+                  {"nn_bytes_live", static_cast<double>(nn_live)}};
+  events::Journal::Global().Emit(std::move(event));
 
   FAIRGEN_LOG(DEBUG) << "memprobe[" << std::string(stage)
                      << "]: rss=" << rss_current << "B peak=" << rss_peak

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "common/events.h"
 #include "common/fileio.h"
 #include "common/logging.h"
 #include "common/memprobe.h"
@@ -22,6 +23,7 @@
 #include "common/prof.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 
 namespace fairgen {
 namespace telemetry {
@@ -167,7 +169,36 @@ std::string PrometheusText() {
 
   const metrics::MetricsRegistry& registry =
       metrics::MetricsRegistry::Global();
-  for (const metrics::MetricSnapshot& snap : registry.Snapshot()) {
+  const std::vector<metrics::MetricSnapshot> snaps = registry.Snapshot();
+
+  // Watchdog alert counters as one labeled family,
+  // `fairgen_alerts_total{rule="..."}`, assembled from the
+  // `alerts.rule.<name>` registry counters (the registry itself has no
+  // label support). Absent entirely until the first alert fires, so an
+  // alert-free run's exposition is unchanged.
+  {
+    std::string family_out;
+    for (const metrics::MetricSnapshot& snap : snaps) {
+      if (!StrStartsWith(snap.name, "alerts.rule.")) continue;
+      // A zero-valued rule counter only exists after a registry reset
+      // (tests); a real alert-free run never materializes it, so keep
+      // the family's absent-until-first-alert contract either way.
+      if (snap.fields[0].second == 0.0) continue;
+      family_out += "fairgen_alerts_total{rule=\"" +
+                    JsonEscape(snap.name.substr(12)) + "\"} " +
+                    FormatValue(snap.fields[0].second) + "\n";
+    }
+    if (!family_out.empty()) {
+      out += "# TYPE fairgen_alerts_total counter\n";
+      out += family_out;
+    }
+  }
+
+  for (const metrics::MetricSnapshot& snap : snaps) {
+    // The alert counters were already emitted as the labeled family
+    // above; re-emitting them under their dotted names would double
+    // count in a sum() over the exposition.
+    if (StrStartsWith(snap.name, "alerts.")) continue;
     const std::string name = PrometheusName(snap.name);
     if (snap.type == "counter" || snap.type == "gauge") {
       out += "# TYPE " + name + " " + snap.type + "\n";
@@ -338,6 +369,17 @@ Status Publisher::Init() {
   start_unix_ms_ = UnixMillis();
   stop_.store(false, std::memory_order_relaxed);
   sequence_.store(0, std::memory_order_relaxed);
+  {
+    events::Event event;
+    event.type = events::Type::kConfig;
+    event.name = "run_start";
+    event.message = options_.binary;
+    event.fields = {
+        {"seed", static_cast<double>(options_.seed)},
+        {"threads", static_cast<double>(options_.threads)},
+        {"interval_ms", static_cast<double>(options_.interval_ms)}};
+    events::Journal::Global().Emit(std::move(event));
+  }
   FAIRGEN_RETURN_NOT_OK(WriteManifest(false, -1, 0));
   if (options_.serve) FAIRGEN_RETURN_NOT_OK(StartServer());
   running_.store(true, std::memory_order_relaxed);
@@ -393,6 +435,11 @@ Status Publisher::WriteManifest(bool finalized, int exit_status,
 }
 
 Status Publisher::WriteSnapshotFiles() {
+  // Watchdog evaluation happens on the publisher tick, before mu_ is
+  // taken: a fatal rule raises SIGTERM on this thread, and the resulting
+  // CrashFlush deliberately skips mu_ — holding it here would be
+  // harmless, but not holding it keeps the lock ordering trivial.
+  watchdog::Watchdog::Global().EvaluateTick();
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
   // The publisher tick is the profiler's ring-drain heartbeat: samples
@@ -413,7 +460,12 @@ Status Publisher::WriteSnapshotFiles() {
   FAIRGEN_RETURN_NOT_OK(WriteFileAtomic(
       run_dir_ + "/snapshot.json", SnapshotJson(run_id_, seq,
                                                 start_unix_ms_)));
-  return WriteFileAtomic(run_dir_ + "/metrics.prom", PrometheusText());
+  FAIRGEN_RETURN_NOT_OK(
+      WriteFileAtomic(run_dir_ + "/metrics.prom", PrometheusText()));
+  // Drain buffered journal records into the append-only event log. Every
+  // tick flushes, so events.jsonl trails the live run by at most one
+  // interval.
+  return events::Journal::Global().FlushTo(run_dir_ + "/events.jsonl");
 }
 
 Status Publisher::SnapshotNow() {
@@ -541,6 +593,13 @@ void Publisher::Stop(int exit_status) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  {
+    events::Event event;
+    event.type = events::Type::kConfig;
+    event.name = "run_end";
+    event.fields = {{"exit_status", static_cast<double>(exit_status)}};
+    events::Journal::Global().Emit(std::move(event));
+  }
   Status s = WriteSnapshotFiles();
   if (s.ok()) s = WriteManifest(true, exit_status, UnixMillis());
   if (!s.ok()) {
@@ -563,6 +622,19 @@ void Publisher::CrashFlush(int exit_status) {
   WriteFileAtomic(run_dir_ + "/snapshot.json",
                   SnapshotJson(run_id_, seq, start_unix_ms_));
   WriteFileAtomic(run_dir_ + "/metrics.prom", PrometheusText());
+  // The event journal flushes *before* the manifest is finalized, so a
+  // consumer that observes `finalized: true` can rely on events.jsonl
+  // holding everything buffered up to the crash — including this crash
+  // record. Both calls degrade (skip) if the interrupted thread holds
+  // the journal lock.
+  {
+    events::Event event;
+    event.type = events::Type::kCrash;
+    event.name = "signal_flush";
+    event.fields = {{"exit_status", static_cast<double>(exit_status)}};
+    events::Journal::Global().Emit(std::move(event));
+    events::Journal::Global().FlushTo(run_dir_ + "/events.jsonl");
+  }
   WriteManifest(true, exit_status, UnixMillis());
   metrics::SetBestEffortReads(false);
 }

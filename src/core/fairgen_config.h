@@ -98,6 +98,16 @@ struct FairGenConfig {
   /// `--resume` on the CLI and benches).
   CheckpointOptions checkpoint;
 
+  // --- Observability --------------------------------------------------------
+  /// Run the in-training fairness probe every N self-paced cycles
+  /// (0 = off; wired to `--probe-every`). The probe samples held-out
+  /// walks and a small generation pass from a *probe-local* RNG stream,
+  /// publishes `probe.*` metric series and a `probe` journal event, and
+  /// never touches the training `Rng` — like `num_threads` and
+  /// `checkpoint`, it is excluded from the trajectory fingerprint because
+  /// outputs are bit-identical with the probe on or off.
+  uint32_t probe_every = 0;
+
   // --- Variant -------------------------------------------------------------
   FairGenVariant variant = FairGenVariant::kFull;
 

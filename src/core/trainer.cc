@@ -2,22 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
 
+#include "common/events.h"
 #include "common/fileio.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/checkpoint.h"
+#include "generators/walk_lm.h"
 #include "nn/serialize.h"
 #include "graph/subgraph.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "stats/discrepancy.h"
 #include "walk/node2vec_walk.h"
+#include "walk/random_walk.h"
 
 namespace fairgen {
+
+namespace {
+
+// Guard for the per-cycle loss means: one NaN/Inf batch would otherwise
+// poison the recorded loss history — and through it the training curves,
+// self-paced diagnostics, and every checkpoint — silently. A non-finite
+// batch value is skipped from the mean, counted in
+// `trainer.nonfinite_batches` (which the watchdog's `loss_non_finite`
+// rule watches), and logged on first occurrence. Returns whether `value`
+// was accumulated.
+bool GuardFiniteLoss(double value, const char* component, double* sum) {
+  if (std::isfinite(value)) {
+    *sum += value;
+    return true;
+  }
+  metrics::Counter& counter =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "trainer.nonfinite_batches");
+  if (counter.value() == 0) {
+    FAIRGEN_LOG(WARNING) << "non-finite " << component
+                         << " loss batch skipped (value " << value << ")";
+  }
+  counter.Increment();
+  return false;
+}
+
+}  // namespace
 
 FairGenTrainer::FairGenTrainer(FairGenConfig config)
     : config_(std::move(config)) {}
@@ -93,8 +126,16 @@ double FairGenTrainer::TrainGenerator(Rng& rng) {
                                        targets, floor_logprob);
       }
       nn::Backward(loss);
-      loss_sum += loss->value.ScalarValue();
-      ++loss_count;
+      double value = loss->value.ScalarValue();
+      if (inject_nan_batches_ > 0) {
+        // Fault injection (FAIRGEN_INJECT_NAN_LOSS): poison the *recorded*
+        // batch value only — gradients are untouched, so the training
+        // trajectory stays deterministic while the guard path below is
+        // exercised end to end.
+        value = std::numeric_limits<double>::quiet_NaN();
+        --inject_nan_batches_;
+      }
+      if (GuardFiniteLoss(value, "generator", &loss_sum)) ++loss_count;
       if (++in_batch == config_.generator_batch) {
         for (const nn::Var& p : optim.params()) {
           p->grad.Scale(1.0f / static_cast<float>(in_batch));
@@ -172,7 +213,7 @@ void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
       gt_labels[i] = static_cast<uint32_t>(ground_truth_[gt_batch[i]]);
     }
     nn::Var loss = fair.PredictionLoss(gt_batch, gt_labels, config_.alpha);
-    jp_sum += loss->value.ScalarValue();
+    GuardFiniteLoss(loss->value.ScalarValue(), "prediction", &jp_sum);
 
     if (!pseudo_nodes.empty() &&
         config_.variant != FairGenVariant::kNoSelfPaced) {
@@ -183,7 +224,7 @@ void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
         ps_labels[i] = static_cast<uint32_t>(labels_[ps_batch[i]]);
       }
       nn::Var jl = fair.PropagationLoss(ps_batch, ps_labels, config_.beta);
-      jl_sum += jl->value.ScalarValue();
+      GuardFiniteLoss(jl->value.ScalarValue(), "propagation", &jl_sum);
       loss = nn::Add(loss, jl);
     }
 
@@ -198,7 +239,7 @@ void FairGenTrainer::TrainDiscriminator(FairGenLosses& losses, Rng& rng) {
           sample == 0 ? static_cast<uint32_t>(unprotected.size()) : sample);
       if (!prot.empty() && !unprot.empty()) {
         nn::Var jf = fair.ParityLoss(prot, unprot, config_.gamma);
-        jf_sum += jf->value.ScalarValue();
+        GuardFiniteLoss(jf->value.ScalarValue(), "parity", &jf_sum);
         loss = nn::Add(loss, jf);
       }
     }
@@ -315,10 +356,25 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
   metrics::Counter& refresh_counter =
       registry.GetCounter("trainer.negative_refreshes");
 
+  // Fault injection for the watchdog test suites:
+  // FAIRGEN_INJECT_NAN_LOSS=<c> makes the first generator batch of cycle
+  // c record a NaN loss value (gradients untouched — see TrainGenerator),
+  // exercising the finiteness guard and the `loss_non_finite` alert end
+  // to end without perturbing the trajectory. Read per Fit, not cached,
+  // so tests in one process can toggle it.
+  int64_t inject_nan_cycle = -1;
+  if (const char* env = std::getenv("FAIRGEN_INJECT_NAN_LOSS")) {
+    inject_nan_cycle = std::atoll(env);
+  }
+
   // Steps 3–12: the self-paced cycles (resume skips the completed ones).
   for (uint32_t cycle = start_cycle; cycle < config_.self_paced_cycles;
        ++cycle) {
     trace::ScopedSpan cycle_span("trainer.cycle", trace::Category::kTrain);
+    if (inject_nan_cycle >= 0 &&
+        cycle == static_cast<uint64_t>(inject_nan_cycle)) {
+      inject_nan_batches_ = 1;
+    }
     FairGenLosses losses;
 
     // Step 4: update g_θ from N+ and N−.
@@ -373,6 +429,14 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
         FAIRGEN_RETURN_NOT_OK(WritePendingCheckpoint());
       }
     }
+
+    // Periodic in-training fairness probe (--probe-every). Observation
+    // only: the probe draws from its own cycle-keyed RNG stream and never
+    // touches `rng`, so probed and unprobed runs stay bit-identical.
+    if (config_.probe_every > 0 &&
+        (cycle + 1) % config_.probe_every == 0) {
+      RunFairnessProbe(cycle);
+    }
   }
   registry.GetGauge("trainer.pseudo_labeled")
       .Set(static_cast<double>(num_pseudo_labeled_));
@@ -420,6 +484,80 @@ EdgeScoreAccumulator FairGenTrainer::AccumulateWalks(Rng& rng) const {
         return model_->generator().SampleWalk(
             start, config_.walk_length, worker_rng, config_.temperature);
       });
+}
+
+void FairGenTrainer::RunFairnessProbe(uint32_t cycle) {
+  trace::ScopedSpan span("trainer.fairness_probe", trace::Category::kEval);
+  // Probe-local RNG keyed by the cycle: deterministic for a given cycle,
+  // and strictly separate from the training stream (observation-only
+  // contract — enabling the probe must not move a single training draw).
+  Rng probe_rng(0x9E3779B97F4A7C15ULL ^ (static_cast<uint64_t>(cycle) + 1));
+
+  // Disparity: the empirical R(θ) vs R_{S+}(θ) estimator of
+  // eval/disparity_probe (Eqs. 1–2), applied to the *live* generator —
+  // mean NLL over held-out uniform walks from anywhere vs walks started
+  // inside the protected set.
+  constexpr size_t kProbeWalks = 24;
+  RandomWalker walker(fitted_graph_);
+  const std::vector<Walk> overall = walker.SampleUniformWalks(
+      kProbeWalks, config_.walk_length, probe_rng, /*num_threads=*/1);
+  const double overall_nll = MeanWalkNll(model_->generator(), overall);
+  double protected_nll = overall_nll;
+  if (!protected_set_.empty()) {
+    std::vector<Walk> prot;
+    prot.reserve(kProbeWalks);
+    for (size_t i = 0; i < kProbeWalks; ++i) {
+      const NodeId start = protected_set_[probe_rng.UniformU32(
+          static_cast<uint32_t>(protected_set_.size()))];
+      prot.push_back(
+          walker.UniformWalk(start, config_.walk_length, probe_rng));
+    }
+    protected_nll = MeanWalkNll(model_->generator(), prot);
+  }
+  const double gap = protected_nll - overall_nll;
+
+  // Discrepancy: a small generation pass (1x the original edge count,
+  // a fraction of the final generation budget) assembled under the
+  // standard criteria, scored with the stats/discrepancy metric vector.
+  double discrepancy_mean = 0.0;
+  EdgeScoreAccumulator acc = AccumulateWalkScores(
+      fitted_graph_.num_nodes(), fitted_graph_.num_edges(),
+      config_.num_threads, probe_rng, [this](Rng& worker_rng) {
+        return model_->generator().SampleWalk(
+            start_table_->Sample(worker_rng), config_.walk_length,
+            worker_rng, config_.temperature);
+      });
+  AssemblerCriteria criteria;
+  criteria.preserve_protected_volume = !protected_set_.empty();
+  criteria.ensure_min_degree = true;
+  Result<Graph> generated = AssembleFairGraph(
+      acc, fitted_graph_, protected_set_, criteria, probe_rng, nullptr);
+  if (generated.ok()) {
+    auto overall_disc = OverallDiscrepancy(fitted_graph_, *generated);
+    if (overall_disc.ok()) {
+      discrepancy_mean = MeanDiscrepancy(*overall_disc);
+    }
+  } else {
+    FAIRGEN_LOG(WARNING) << "fairness probe assembly failed: "
+                         << generated.status().ToString();
+  }
+
+  const double step = static_cast<double>(cycle);
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  registry.GetSeries("probe.overall_nll").Append(step, overall_nll);
+  registry.GetSeries("probe.protected_nll").Append(step, protected_nll);
+  registry.GetSeries("probe.disparity_gap").Append(step, gap);
+  registry.GetSeries("probe.discrepancy_mean").Append(step, discrepancy_mean);
+
+  events::Event event;
+  event.type = events::Type::kProbe;
+  event.name = "fairness";
+  event.epoch = step;
+  event.fields = {{"overall_nll", overall_nll},
+                  {"protected_nll", protected_nll},
+                  {"disparity_gap", gap},
+                  {"discrepancy_mean", discrepancy_mean}};
+  events::Journal::Global().Emit(std::move(event));
 }
 
 namespace {
@@ -923,6 +1061,13 @@ Status FairGenTrainer::WritePendingCheckpoint() {
   registry.GetCounter("checkpoint.bytes").Increment(pending.blob.size());
   registry.GetGauge("checkpoint.last_epoch")
       .Set(static_cast<double>(pending.cycle));
+  events::Event event;
+  event.type = events::Type::kCheckpoint;
+  event.name = "write";
+  event.message = pending.path;
+  event.epoch = static_cast<double>(pending.cycle);
+  event.fields = {{"bytes", static_cast<double>(pending.blob.size())}};
+  events::Journal::Global().Emit(std::move(event));
   return Status::OK();
 }
 

@@ -176,8 +176,17 @@ class FairGenTrainer : public GraphGenerator {
   Status WritePendingCheckpoint();
 
   /// One generator-training pass over the current N+/N− pools; returns the
-  /// mean generator loss.
+  /// mean generator loss. Non-finite batch values are skipped from the
+  /// mean and counted in `trainer.nonfinite_batches`.
   double TrainGenerator(Rng& rng);
+
+  /// In-training fairness probe (`--probe-every`): held-out-walk
+  /// disparity (R(θ) vs R_{S+}(θ)) and a small-generation discrepancy
+  /// estimate on the live model, published as `probe.*` metric series and
+  /// a `probe` journal event. Draws only from a probe-local cycle-keyed
+  /// RNG — never the training stream — so probed and unprobed runs
+  /// produce bit-identical outputs.
+  void RunFairnessProbe(uint32_t cycle);
 
   /// T1 discriminator steps on N1-node minibatches; accumulates J_P/J_F/J_L
   /// means into `losses`.
@@ -208,6 +217,11 @@ class FairGenTrainer : public GraphGenerator {
   uint32_t num_pseudo_labeled_ = 0;
   std::vector<FairGenLosses> loss_history_;
   AssemblyReport assembly_report_;
+
+  // Armed by Fit from FAIRGEN_INJECT_NAN_LOSS: the next this-many
+  // generator batches record a NaN loss value (fault injection for the
+  // watchdog suites; gradients are untouched).
+  uint32_t inject_nan_batches_ = 0;
 
   // Persistent optimizers (created in Prepare): the Adam moments live
   // across self-paced cycles so they can be checkpointed and resumed

@@ -12,9 +12,11 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/events.h"
 #include "common/json.h"
 #include "common/metrics.h"
 
@@ -328,6 +330,123 @@ TEST_F(PublisherTest, ExplicitRunIdIsHonored) {
   EXPECT_EQ(publisher.run_id(), "my-run");
   EXPECT_TRUE(FileExists(options.dir + "/my-run/run.json"));
   publisher.Stop(0);
+}
+
+// Restarting into a parent directory that already holds a run with the
+// same id must append a new suffixed run dir, never overwrite: the first
+// run's finalized manifest is the crash-forensics record and a restart
+// that clobbered it would erase the evidence.
+TEST_F(PublisherTest, RunIdCollisionAppendsNewDirAndPreservesOldManifest) {
+  PublisherOptions options;
+  options.dir = MakeParentDir("collide");
+  options.interval_ms = 0;
+  options.run_id = "my-run";
+  Publisher first(options);
+  ASSERT_TRUE(first.Init().ok());
+  first.Stop(3);
+
+  Publisher second(options);
+  ASSERT_TRUE(second.Init().ok());
+  EXPECT_EQ(second.run_id(), "my-run-1");
+  EXPECT_EQ(second.run_dir(), options.dir + "/my-run-1");
+  second.Stop(0);
+
+  // Both manifests exist, each with its own verdict and run id.
+  auto old_manifest = json::ParseFile(options.dir + "/my-run/run.json");
+  ASSERT_TRUE(old_manifest.ok());
+  EXPECT_EQ(old_manifest->GetString("run_id", ""), "my-run");
+  EXPECT_EQ(old_manifest->GetDouble("exit_status", -1), 3.0);
+  EXPECT_TRUE(old_manifest->Find("finalized")->AsBool());
+  auto new_manifest = json::ParseFile(options.dir + "/my-run-1/run.json");
+  ASSERT_TRUE(new_manifest.ok());
+  EXPECT_EQ(new_manifest->GetString("run_id", ""), "my-run-1");
+  EXPECT_EQ(new_manifest->GetDouble("exit_status", -1), 0.0);
+}
+
+// A crash flush with records still buffered in the event journal must
+// drain them into events.jsonl *before* the manifest finalizes, with the
+// crash record last — `finalized: true` promises a complete journal.
+TEST_F(PublisherTest, CrashFlushDrainsEventBufferBeforeFinalizing) {
+  events::Journal::Global().ResetForTest();
+  PublisherOptions options;
+  options.dir = MakeParentDir("crash_events");
+  options.interval_ms = 0;
+  Publisher publisher(options);
+  ASSERT_TRUE(publisher.Init().ok());
+
+  events::Journal::Global().ResetForTest();
+  events::Event event;
+  event.type = events::Type::kStage;
+  event.name = "fit";
+  events::Journal::Global().Emit(event);
+  event.name = "generate";
+  events::Journal::Global().Emit(event);
+
+  publisher.CrashFlush(137);
+  EXPECT_EQ(events::Journal::Global().pending(), 0u);
+
+  // Init journaled its own config/run_start record (already flushed with
+  // snapshot 0); the crash flush appends the buffered pair plus the
+  // crash record, in emission order.
+  std::ifstream in(publisher.run_dir() + "/events.jsonl");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  auto start = json::Parse(lines[0]);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start->GetString("name"), "run_start");
+  auto fit = json::Parse(lines[1]);
+  auto generate = json::Parse(lines[2]);
+  auto crash = json::Parse(lines[3]);
+  ASSERT_TRUE(fit.ok() && generate.ok() && crash.ok());
+  EXPECT_EQ(fit->GetString("name"), "fit");
+  EXPECT_EQ(generate->GetString("name"), "generate");
+  EXPECT_EQ(crash->GetString("type"), "crash");
+  EXPECT_EQ(crash->GetString("name"), "signal_flush");
+  EXPECT_EQ(crash->Find("fields")->GetDouble("exit_status", -1), 137.0);
+
+  auto manifest = json::ParseFile(publisher.run_dir() + "/run.json");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_TRUE(manifest->Find("finalized")->AsBool());
+  events::Journal::Global().ResetForTest();
+}
+
+// Every snapshot tick drains the journal; a tick with nothing new must
+// not duplicate previously flushed records in the append-only log.
+TEST_F(PublisherTest, SnapshotTicksAppendEventsExactlyOnce) {
+  events::Journal::Global().ResetForTest();
+  PublisherOptions options;
+  options.dir = MakeParentDir("tick_events");
+  options.interval_ms = 0;
+  Publisher publisher(options);
+  ASSERT_TRUE(publisher.Init().ok());
+
+  auto count_lines = [&] {
+    std::ifstream in(publisher.run_dir() + "/events.jsonl");
+    std::string line;
+    size_t n = 0;
+    while (std::getline(in, line)) ++n;
+    return n;
+  };
+
+  // Init already flushed its config/run_start record; count deltas from
+  // there.
+  const size_t base = count_lines();
+  events::Journal::Global().ResetForTest();
+  events::Event event;
+  event.type = events::Type::kProbe;
+  event.name = "fairness";
+  events::Journal::Global().Emit(event);
+  ASSERT_TRUE(publisher.SnapshotNow().ok());
+  EXPECT_EQ(count_lines(), base + 1);
+  ASSERT_TRUE(publisher.SnapshotNow().ok());  // nothing new buffered
+  EXPECT_EQ(count_lines(), base + 1);
+  events::Journal::Global().Emit(event);
+  ASSERT_TRUE(publisher.SnapshotNow().ok());
+  EXPECT_EQ(count_lines(), base + 2);
+  publisher.Stop(0);
+  events::Journal::Global().ResetForTest();
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+#include "common/watchdog.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/events.h"
+#include "common/metrics.h"
+#include "common/telemetry.h"
+
+namespace fairgen::watchdog {
+namespace {
+
+// Set by the injected fatal handler; the real default raises SIGTERM.
+int g_fatal_calls = 0;
+void CountingFatalHandler() { ++g_fatal_calls; }
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::MetricsRegistry::Global().ResetValues();
+    events::Journal::Global().ResetForTest();
+    Watchdog::Global().ResetForTest();
+    Watchdog::Global().SetFatalHandler(&CountingFatalHandler);
+    g_fatal_calls = 0;
+    Options options;
+    options.enabled = true;
+    Configure(options);
+  }
+
+  void TearDown() override {
+    Watchdog::Global().SetFatalHandler(nullptr);
+    Configure(Options{});  // disabled
+    metrics::MetricsRegistry::Global().ResetValues();
+    events::Journal::Global().ResetForTest();
+  }
+
+  void Configure(const Options& options) {
+    Watchdog::Global().Configure(options);
+  }
+
+  std::vector<Alert> Tick() { return Watchdog::Global().EvaluateTick(); }
+
+  metrics::MetricsRegistry& registry() {
+    return metrics::MetricsRegistry::Global();
+  }
+};
+
+TEST_F(WatchdogTest, DisabledEngineNeverFires) {
+  Configure(Options{});  // enabled = false
+  registry().GetCounter("trainer.nonfinite_batches").Increment();
+  EXPECT_TRUE(Tick().empty());
+  EXPECT_EQ(Watchdog::Global().alerts_fired(), 0u);
+  // No alert counters materialize from a disabled engine.
+  EXPECT_EQ(registry().GetCounter("alerts.total").value(), 0u);
+}
+
+TEST_F(WatchdogTest, NonFiniteLossFiresPerIncrease) {
+  registry().GetCounter("trainer.nonfinite_batches").Increment();
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "loss_non_finite");
+  EXPECT_EQ(fired[0].severity, Severity::kWarn);
+
+  // Same count -> quiet; another increase -> fires again.
+  EXPECT_TRUE(Tick().empty());
+  registry().GetCounter("trainer.nonfinite_batches").Increment(2);
+  fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].value, 3.0);
+}
+
+TEST_F(WatchdogTest, AlertsFeedCountersAndJournal) {
+  registry().GetCounter("trainer.nonfinite_batches").Increment();
+  ASSERT_EQ(Tick().size(), 1u);
+  EXPECT_EQ(registry().GetCounter("alerts.total").value(), 1u);
+  EXPECT_EQ(
+      registry().GetCounter("alerts.rule.loss_non_finite").value(), 1u);
+  EXPECT_EQ(events::Journal::Global().TypeCount(events::Type::kAlert), 1u);
+  EXPECT_EQ(Watchdog::Global().alerts_fired(), 1u);
+}
+
+TEST_F(WatchdogTest, AlertCountersExposeAsLabeledPrometheusFamily) {
+  // Absent before any alert — alert-free runs keep a label-free exposition.
+  EXPECT_EQ(telemetry::PrometheusText().find("fairgen_alerts_total"),
+            std::string::npos);
+  registry().GetCounter("trainer.nonfinite_batches").Increment();
+  ASSERT_EQ(Tick().size(), 1u);
+  const std::string text = telemetry::PrometheusText();
+  EXPECT_NE(text.find("# TYPE fairgen_alerts_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("fairgen_alerts_total{rule=\"loss_non_finite\"} 1"),
+            std::string::npos);
+  // The dotted backing counters must not leak as separate families.
+  EXPECT_EQ(text.find("fairgen_alerts_rule_"), std::string::npos);
+}
+
+TEST_F(WatchdogTest, ExplodingLossLatchesPerEpisodeAndRearms) {
+  Options options;
+  options.enabled = true;
+  options.explode_factor = 100.0;
+  Configure(options);
+  auto& series = registry().GetSeries("trainer.total_loss");
+  series.Append(0, 2.0);
+  series.Append(1, 500.0);  // > 100 x max(|2.0|, 1)
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "loss_exploding");
+  EXPECT_TRUE(Tick().empty());  // latched within the episode
+
+  series.Append(2, 2.5);  // recovery re-arms
+  EXPECT_TRUE(Tick().empty());
+  series.Append(3, 900.0);  // second episode
+  fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "loss_exploding");
+}
+
+TEST_F(WatchdogTest, PlateauFiresWhenWindowHasNoNewMinimum) {
+  Options options;
+  options.enabled = true;
+  options.plateau_cycles = 3;
+  Configure(options);
+  auto& series = registry().GetSeries("trainer.total_loss");
+  series.Append(0, 5.0);
+  series.Append(1, 3.0);  // minimum, before the trailing window
+  series.Append(2, 4.0);
+  series.Append(3, 4.0);
+  EXPECT_TRUE(Tick().empty());  // window [1..3] still contains the min
+  series.Append(4, 4.0);        // window [2..4]: no improvement on 3.0
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "loss_plateau");
+  EXPECT_TRUE(Tick().empty());  // latched
+
+  series.Append(5, 1.0);  // new minimum re-arms
+  EXPECT_TRUE(Tick().empty());
+}
+
+TEST_F(WatchdogTest, StallFiresAfterQuietTicksAndResetsOnProgress) {
+  Options options;
+  options.enabled = true;
+  options.stall_ticks = 3;
+  Configure(options);
+  // No progress at all: never armed, never fires.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(Tick().empty());
+
+  events::Event stage;
+  stage.type = events::Type::kStage;
+  stage.name = "fit";
+  events::Journal::Global().Emit(stage);
+  EXPECT_TRUE(Tick().empty());  // progress observed, streak resets
+  EXPECT_TRUE(Tick().empty());  // streak 1
+  EXPECT_TRUE(Tick().empty());  // streak 2
+  std::vector<Alert> fired = Tick();  // streak 3 -> fire
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "stage_stall");
+  EXPECT_TRUE(Tick().empty());  // latched
+
+  // New progress clears the latch; the next quiet stretch fires again.
+  stage.name = "generate";
+  events::Journal::Global().Emit(stage);
+  EXPECT_TRUE(Tick().empty());
+  EXPECT_TRUE(Tick().empty());
+  EXPECT_TRUE(Tick().empty());
+  EXPECT_EQ(Tick().size(), 1u);
+}
+
+TEST_F(WatchdogTest, RssBudgetIsFatalDebouncedAndArmGated) {
+  Options options;
+  options.enabled = true;
+  options.rss_budget_mb = 1;  // any real process exceeds 1 MiB
+  options.rss_debounce_ticks = 2;
+  options.fatal_arm_cycles = 1;
+  Configure(options);
+
+  // trainer.cycles == 0 < fatal_arm_cycles: breaches don't arm the rule.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(Tick().empty());
+  EXPECT_EQ(g_fatal_calls, 0);
+
+  registry().GetCounter("trainer.cycles").Increment();
+  EXPECT_TRUE(Tick().empty());  // armed, streak 1 of 2
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "rss_budget");
+  EXPECT_EQ(fired[0].severity, Severity::kFatal);
+  EXPECT_EQ(g_fatal_calls, 1);
+
+  // The fatal action runs at most once per process even if the rule set
+  // keeps breaching.
+  EXPECT_TRUE(Tick().empty());
+  EXPECT_EQ(g_fatal_calls, 1);
+}
+
+TEST_F(WatchdogTest, DroppedRecordsFirePerIncrease) {
+  registry().GetCounter("prof.samples_dropped").Increment(4);
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "spans_dropped");
+  EXPECT_TRUE(Tick().empty());
+  registry().GetCounter("prof.samples_dropped").Increment();
+  EXPECT_EQ(Tick().size(), 1u);
+}
+
+TEST_F(WatchdogTest, FairnessDriftComparesLastGapToFirst) {
+  auto& series = registry().GetSeries("probe.disparity_gap");
+  series.Append(0, 0.01);
+  EXPECT_TRUE(Tick().empty());  // one point: no trend yet
+  series.Append(1, 0.04);
+  EXPECT_TRUE(Tick().empty());  // growth 0.03 below the 0.05 floor
+  series.Append(2, 0.2);
+  std::vector<Alert> fired = Tick();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "fairness_drift");
+  EXPECT_TRUE(Tick().empty());  // latched while drifted
+
+  series.Append(3, 0.02);  // back near the first gap: re-arms
+  EXPECT_TRUE(Tick().empty());
+  series.Append(4, 0.3);
+  EXPECT_EQ(Tick().size(), 1u);
+}
+
+TEST_F(WatchdogTest, ConfigureResetsRuleState) {
+  registry().GetCounter("trainer.nonfinite_batches").Increment();
+  ASSERT_EQ(Tick().size(), 1u);
+  // Reconfiguring drops the marker, so the same counter value fires anew.
+  Options options;
+  options.enabled = true;
+  Configure(options);
+  EXPECT_EQ(Tick().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fairgen::watchdog

@@ -1,0 +1,149 @@
+// Regression tests for the trainer's loss-finiteness guard and the
+// in-training fairness probe, both of which must be strictly
+// observation-only: a poisoned (NaN) recorded loss batch is skipped from
+// the cycle mean and counted in `trainer.nonfinite_batches` without
+// moving a single training draw, and enabling `probe_every` publishes
+// `probe.*` series and journal events while leaving the generated graph
+// bit-identical.
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/events.h"
+#include "common/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+
+namespace fairgen {
+namespace {
+
+FairGenConfig QuickConfig() {
+  FairGenConfig cfg;
+  cfg.num_walks = 60;
+  cfg.self_paced_cycles = 2;
+  cfg.generator_epochs = 1;
+  cfg.generator_batch = 8;
+  cfg.batch_size = 32;
+  cfg.embedding_dim = 16;
+  cfg.ffn_dim = 24;
+  cfg.gen_transition_multiplier = 3.0;
+  return cfg;
+}
+
+LabeledGraph MakeData(uint64_t seed) {
+  SyntheticGraphConfig cfg;
+  cfg.num_nodes = 90;
+  cfg.num_edges = 500;
+  cfg.num_classes = 3;
+  cfg.protected_size = 15;
+  Rng rng(seed);
+  auto data = GenerateSynthetic(cfg, rng);
+  EXPECT_TRUE(data.ok());
+  return data.MoveValueUnsafe();
+}
+
+// Stable textual fingerprint of a graph's full edge multiset.
+std::string EdgeFingerprint(const Graph& graph) {
+  std::ostringstream out;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << v << ':';
+    for (NodeId u : graph.Neighbors(v)) out << ' ' << u;
+    out << '\n';
+  }
+  return out.str();
+}
+
+// Fits on `data` with the given config and returns the generated graph's
+// fingerprint.
+std::string TrainAndGenerate(const LabeledGraph& data,
+                             const FairGenConfig& cfg, uint64_t seed) {
+  FairGenTrainer trainer(cfg);
+  Rng few_rng(seed);
+  EXPECT_TRUE(trainer
+                  .SetSupervision(FewShotLabels(data, 4, few_rng),
+                                  data.protected_set, data.num_classes)
+                  .ok());
+  Rng rng(seed);
+  EXPECT_TRUE(trainer.Fit(data.graph, rng).ok());
+  for (const FairGenLosses& l : trainer.loss_history()) {
+    // The guard keeps every *recorded* cycle mean finite even when a
+    // batch value was poisoned.
+    EXPECT_TRUE(std::isfinite(l.total()));
+  }
+  auto generated = trainer.Generate(rng);
+  EXPECT_TRUE(generated.ok());
+  return EdgeFingerprint(*generated);
+}
+
+class LossGuardTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("FAIRGEN_INJECT_NAN_LOSS");
+    events::Journal::Global().ResetForTest();
+  }
+
+  uint64_t NonFiniteBatches() {
+    return metrics::MetricsRegistry::Global()
+        .GetCounter("trainer.nonfinite_batches")
+        .value();
+  }
+};
+
+TEST_F(LossGuardTest, NanBatchIsCountedAndSkippedWithoutPerturbingRun) {
+  LabeledGraph data = MakeData(4);
+
+  ::unsetenv("FAIRGEN_INJECT_NAN_LOSS");
+  const uint64_t before_clean = NonFiniteBatches();
+  const std::string clean = TrainAndGenerate(data, QuickConfig(), 4);
+  EXPECT_EQ(NonFiniteBatches(), before_clean);  // clean run: no guard hits
+
+  // Poison the first recorded generator batch of cycle 1.
+  ASSERT_EQ(::setenv("FAIRGEN_INJECT_NAN_LOSS", "1", 1), 0);
+  const uint64_t before_injected = NonFiniteBatches();
+  const std::string injected = TrainAndGenerate(data, QuickConfig(), 4);
+  EXPECT_EQ(NonFiniteBatches(), before_injected + 1);
+
+  // Observation-only: the guard touched the recorded scalar, never the
+  // gradients, so the generated graph is unchanged.
+  EXPECT_EQ(clean, injected);
+}
+
+TEST_F(LossGuardTest, InjectionIsReadPerFitNotCachedPerProcess) {
+  LabeledGraph data = MakeData(4);
+  ASSERT_EQ(::setenv("FAIRGEN_INJECT_NAN_LOSS", "0", 1), 0);
+  const uint64_t before = NonFiniteBatches();
+  TrainAndGenerate(data, QuickConfig(), 4);
+  EXPECT_EQ(NonFiniteBatches(), before + 1);
+
+  // Clearing the variable disarms the next Fit in the same process.
+  ::unsetenv("FAIRGEN_INJECT_NAN_LOSS");
+  TrainAndGenerate(data, QuickConfig(), 4);
+  EXPECT_EQ(NonFiniteBatches(), before + 1);
+}
+
+TEST_F(LossGuardTest, FairnessProbeIsObservationOnly) {
+  LabeledGraph data = MakeData(9);
+  const std::string unprobed = TrainAndGenerate(data, QuickConfig(), 9);
+
+  events::Journal::Global().ResetForTest();
+  FairGenConfig probed_cfg = QuickConfig();
+  probed_cfg.probe_every = 1;
+  const std::string probed = TrainAndGenerate(data, probed_cfg, 9);
+
+  // Identical outputs, but the probed run published its fairness series
+  // and journaled one probe event per cycle.
+  EXPECT_EQ(unprobed, probed);
+  EXPECT_GE(metrics::MetricsRegistry::Global()
+                .GetSeries("probe.disparity_gap")
+                .points()
+                .size(),
+            2u);
+  EXPECT_EQ(events::Journal::Global().TypeCount(events::Type::kProbe), 2u);
+}
+
+}  // namespace
+}  // namespace fairgen

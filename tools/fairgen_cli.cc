@@ -33,6 +33,7 @@
 #include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 #include "core/trainer.h"
 #include "generators/ba.h"
 #include "generators/er.h"
@@ -69,6 +70,9 @@ struct Options {
   int32_t telemetry_port = -1;        // -1 = no HTTP endpoint
   uint32_t telemetry_interval_ms = 1000;
   uint32_t profile_hz = 0;            // 0 = profiler off
+  bool watchdog = false;
+  uint64_t rss_budget_mb = 0;         // 0 = no RSS budget rule
+  uint32_t probe_every = 0;           // 0 = fairness probe off
   uint64_t seed = 7;
   uint32_t walks = 300;
   uint32_t cycles = 4;
@@ -111,6 +115,19 @@ int Usage() {
       "                             and profile_top.json land in the\n"
       "                             --telemetry-dir run dir (FAIRGEN_PROF_HZ\n"
       "                             is the fallback when the flag is absent)\n"
+      "       --watchdog            run-health rule engine on the telemetry\n"
+      "                             tick (requires --telemetry-dir): alert\n"
+      "                             events in events.jsonl + the\n"
+      "                             fairgen_alerts_total{rule=...} counter;\n"
+      "                             fatal rules write an emergency\n"
+      "                             checkpoint and abort (128+SIGTERM)\n"
+      "       --rss-budget-mb=<n>   fatal watchdog rule: abort when process\n"
+      "                             RSS exceeds <n> MiB (requires\n"
+      "                             --watchdog)\n"
+      "       --probe-every=<n>     in-training fairness probe every <n>\n"
+      "                             self-paced cycles: probe.* series +\n"
+      "                             probe events (fairgen models; outputs\n"
+      "                             stay bit-identical)\n"
       "       --log-level=<level>   debug|info|warning|error (default: the\n"
       "                             FAIRGEN_LOG_LEVEL env var, else "
       "warning)\n");
@@ -183,6 +200,17 @@ Result<Options> Parse(int argc, char** argv) {
       if (opts.profile_hz == 0 || opts.profile_hz > 10000) {
         return Status::InvalidArgument("bad --profile-hz (want 1..10000)");
       }
+    } else if (arg == "--watchdog") {
+      opts.watchdog = true;
+    } else if (StrStartsWith(arg, "--rss-budget-mb=")) {
+      opts.rss_budget_mb =
+          std::strtoull(value("--rss-budget-mb=").c_str(), nullptr, 10);
+      if (opts.rss_budget_mb == 0) {
+        return Status::InvalidArgument("bad --rss-budget-mb (want >= 1)");
+      }
+    } else if (StrStartsWith(arg, "--probe-every=")) {
+      opts.probe_every = static_cast<uint32_t>(
+          std::strtoul(value("--probe-every=").c_str(), nullptr, 10));
     } else if (StrStartsWith(arg, "--log-level=")) {
       opts.log_level = value("--log-level=");
       LogLevel parsed;
@@ -296,6 +324,7 @@ Result<std::unique_ptr<GraphGenerator>> BuildModel(const Options& opts,
   cfg.checkpoint.every_cycles = opts.checkpoint_every;
   cfg.checkpoint.retain = opts.checkpoint_retain;
   cfg.checkpoint.resume = opts.resume;
+  cfg.probe_every = opts.probe_every;
   if (m == "fairgen") {
     cfg.variant = FairGenVariant::kFull;
   } else if (m == "fairgen-r") {
@@ -512,7 +541,26 @@ Status StartTelemetry(const Options& opts, int argc, char** argv) {
       return Status::InvalidArgument(
           "--telemetry-port requires --telemetry-dir");
     }
+    if (opts.watchdog) {
+      return Status::InvalidArgument("--watchdog requires --telemetry-dir");
+    }
+    if (opts.rss_budget_mb > 0) {
+      return Status::InvalidArgument("--rss-budget-mb requires --watchdog");
+    }
     return Status::OK();
+  }
+  if (opts.rss_budget_mb > 0 && !opts.watchdog) {
+    return Status::InvalidArgument("--rss-budget-mb requires --watchdog");
+  }
+  if (opts.watchdog) {
+    watchdog::Options wd;
+    wd.enabled = true;
+    wd.rss_budget_mb = opts.rss_budget_mb;
+    // With checkpointing on, hold fatal rules until at least one cycle
+    // has completed so the emergency double-buffer is primed and the
+    // SIGTERM path leaves a valid FGCKPT2 file behind.
+    wd.fatal_arm_cycles = opts.checkpoint_dir.empty() ? 0 : 1;
+    watchdog::Watchdog::Global().Configure(wd);
   }
   telemetry::PublisherOptions pub;
   pub.dir = opts.telemetry_dir;

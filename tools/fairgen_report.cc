@@ -20,6 +20,9 @@
 //   #stages  per-stage wall/CPU breakdown from the span summaries, with
 //            IPC / cache-miss annotations when hardware counters ran
 //   #memory  RSS-over-time from the mem.rss_bytes series
+//   #alerts  watchdog alerts from events.jsonl plus the fairness trend
+//            of the in-training probes (probe.disparity_gap /
+//            probe.discrepancy_mean series)
 //   #profile sampling-profiler top symbols (profile_top.json, when present)
 //   #bench   BENCH_pipeline scenario medians side by side (when present)
 //   #compare final counter/gauge values side by side
@@ -30,6 +33,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
@@ -41,6 +45,13 @@
 namespace fairgen::report {
 namespace {
 
+struct AlertRow {
+  std::string rule;
+  std::string severity;
+  double epoch = -1.0;
+  std::string message;
+};
+
 struct RunData {
   std::string dir;
   std::string run_id;
@@ -48,6 +59,7 @@ struct RunData {
   json::Value snapshot;  // null when snapshot.json is absent
   json::Value bench;     // null when no BENCH_*.json in the run dir
   json::Value profile;   // null when no profile_top.json (profiler off)
+  std::vector<AlertRow> alerts;  // watchdog alerts from events.jsonl
   bool has_snapshot = false;
   bool has_bench = false;
   bool has_profile = false;
@@ -121,6 +133,24 @@ bool LoadRun(const std::string& dir, RunData* run) {
     if (profile.ok()) {
       run->profile = *std::move(profile);
       run->has_profile = true;
+    }
+  }
+  if (FileExists(dir + "/events.jsonl")) {
+    std::ifstream events(dir + "/events.jsonl");
+    std::string line;
+    while (std::getline(events, line)) {
+      if (line.empty()) continue;
+      auto record = json::Parse(line);
+      if (!record.ok() || !record->is_object() ||
+          record->GetString("type") != "alert") {
+        continue;
+      }
+      AlertRow row;
+      row.rule = record->GetString("name", "?");
+      row.severity = record->GetString("severity", "warn");
+      row.epoch = record->GetDouble("epoch", -1.0);
+      row.message = record->GetString("message");
+      run->alerts.push_back(std::move(row));
     }
   }
   for (const std::string& name : ListDir(dir)) {
@@ -411,6 +441,37 @@ std::string StageTable(const std::vector<RunData>& runs) {
   return html;
 }
 
+// Watchdog alerts across runs (events.jsonl `alert` records): one row per
+// alert with rule, severity, firing epoch, and message. Fatal alerts get
+// the warning badge — they are the reason a run died with 128+SIGTERM.
+std::string AlertTable(const std::vector<RunData>& runs) {
+  std::string html;
+  bool any = false;
+  for (const RunData& run : runs) {
+    if (!run.alerts.empty()) any = true;
+  }
+  if (!any) {
+    return "<p class=\"missing\">no watchdog alerts recorded (clean runs, "
+           "or runs without --watchdog)</p>\n";
+  }
+  html = "<table><tr><th>run</th><th>rule</th><th>severity</th>"
+         "<th>epoch</th><th>message</th></tr>\n";
+  for (const RunData& run : runs) {
+    for (const AlertRow& alert : run.alerts) {
+      std::string severity = HtmlEscape(alert.severity);
+      if (alert.severity == "fatal") {
+        severity = "<span class=\"warnbadge\">fatal</span>";
+      }
+      html += "<tr><td>" + HtmlEscape(run.run_id) + "</td><td>" +
+              HtmlEscape(alert.rule) + "</td><td>" + severity + "</td><td>" +
+              (alert.epoch < 0 ? std::string("-") : FormatG(alert.epoch)) +
+              "</td><td>" + HtmlEscape(alert.message) + "</td></tr>\n";
+    }
+  }
+  html += "</table>\n";
+  return html;
+}
+
 // Sampling-profiler top symbols (profile_top.json), one table per
 // profiled run; runs without the profiler enabled are simply absent.
 std::string ProfileTables(const std::vector<RunData>& runs) {
@@ -589,6 +650,15 @@ std::string RenderReport(const std::vector<RunData>& runs,
                         "RSS over samples (mem.rss_bytes)");
   html += CrossRunChart(runs, "nn.bytes",
                         "nn live bytes over samples (nn.bytes)");
+  html += "</section>\n";
+
+  html += "<section id=\"alerts\">\n<h2>Run health &amp; fairness trend</h2>\n" +
+          AlertTable(runs);
+  html += CrossRunChart(runs, "probe.disparity_gap",
+                        "probe disparity gap R_S+ - R (probe.disparity_gap)");
+  html += CrossRunChart(runs, "probe.discrepancy_mean",
+                        "probe generation discrepancy "
+                        "(probe.discrepancy_mean)");
   html += "</section>\n";
 
   html += "<section id=\"profile\">\n<h2>Profiler top symbols</h2>\n" +

@@ -1,7 +1,7 @@
 // validate_telemetry — checks telemetry artifacts against golden schemas.
 //
 // Usage:
-//   validate_telemetry --kind=manifest|snapshot|prometheus|folded
+//   validate_telemetry --kind=manifest|snapshot|prometheus|folded|events
 //                      --file=<artifact> --schema=<golden>
 //
 // Schema files live in tests/golden/ and hold one requirement per line;
@@ -16,6 +16,13 @@
 //   prometheus           each line must be a prefix of at least one line of
 //                        the exposition file — used to pin `# TYPE` families
 //                        and sample names without pinning values.
+//   events               structural check of a structured event journal
+//                        (events.jsonl): every line must parse as a JSON
+//                        object and `seq` must be strictly increasing in
+//                        file order. Plain schema lines are dotted key
+//                        paths required in EVERY record (`seq`, `fields`);
+//                        `type=<name>` lines require at least one record
+//                        of that type anywhere in the journal.
 //   folded               structural check of a collapsed-stack profile
 //                        (profile.folded): every line must be
 //                        `frame[;frame...]<space><positive count>`. Each
@@ -181,6 +188,72 @@ int ValidateFolded(const std::string& file,
   return bad == 0 ? 0 : 1;
 }
 
+int ValidateEvents(const std::string& file,
+                   const std::vector<std::string>& schema) {
+  std::ifstream in(file);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot read %s\n", file.c_str());
+    return 2;
+  }
+  std::vector<json::Value> records;
+  std::string line;
+  size_t line_no = 0;
+  int bad = 0;
+  double last_seq = 0.0;  // seq starts at 1; 0 never appears in a file
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto doc = json::Parse(line);
+    if (!doc.ok() || !doc->is_object()) {
+      std::fprintf(stderr, "MALFORMED event line %zu: %s\n", line_no,
+                   doc.ok() ? "not a JSON object"
+                            : doc.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    double seq = doc->GetDouble("seq", 0.0);
+    if (seq <= last_seq) {
+      std::fprintf(stderr,
+                   "NON-INCREASING seq at line %zu: %.17g after %.17g\n",
+                   line_no, seq, last_seq);
+      ++bad;
+    }
+    last_seq = seq;
+    records.push_back(std::move(*doc));
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "EMPTY journal: %s has no event lines\n",
+                 file.c_str());
+    return 1;
+  }
+  for (const std::string& want : schema) {
+    if (StrStartsWith(want, "type=")) {
+      const std::string type = want.substr(5);
+      bool found = false;
+      for (const json::Value& record : records) {
+        if (record.GetString("type") == type) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "MISSING event type: %s\n", type.c_str());
+        ++bad;
+      }
+      continue;
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (!ResolvePath(records[i], want)) {
+        std::fprintf(stderr, "MISSING key path %s in event %zu\n",
+                     want.c_str(), i + 1);
+        ++bad;
+      }
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::string kind, file, schema_path;
   for (int i = 1; i < argc; ++i) {
@@ -194,7 +267,7 @@ int Main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: validate_telemetry --kind=manifest|snapshot|prometheus|"
-          "folded --file=<artifact> --schema=<golden>\n");
+          "folded|events --file=<artifact> --schema=<golden>\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
@@ -204,7 +277,8 @@ int Main(int argc, char** argv) {
   if (kind.empty() || file.empty() || schema_path.empty()) {
     std::fprintf(stderr,
                  "usage: validate_telemetry --kind=manifest|snapshot|"
-                 "prometheus|folded --file=<artifact> --schema=<golden>\n");
+                 "prometheus|folded|events --file=<artifact> "
+                 "--schema=<golden>\n");
     return 2;
   }
   std::vector<std::string> schema;
@@ -224,6 +298,8 @@ int Main(int argc, char** argv) {
     rc = ValidatePrometheus(file, schema);
   } else if (kind == "folded") {
     rc = ValidateFolded(file, schema);
+  } else if (kind == "events") {
+    rc = ValidateEvents(file, schema);
   } else {
     std::fprintf(stderr, "bad --kind=%s\n", kind.c_str());
     return 2;
