@@ -12,6 +12,7 @@
 // threshold (CI gates on this).
 
 #include <algorithm>
+#include <any>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,10 +22,14 @@
 #include "common/fileio.h"
 #include "common/memprobe.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/assembler.h"
+#include "core/pipeline/pipeline.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "embed/node2vec.h"
+#include "generators/taggen.h"
+#include "generators/walk_lm.h"
 #include "graph/transition.h"
 #include "nn/kernels/kernels.h"
 #include "perf_harness.h"
@@ -101,7 +106,7 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
       "walk_sampling", "node2vec_walks", "node2vec_train",
       "trainer_cycle", "generation",     "assembly",
       "end_to_end",    "micro_substrates_matmul",
-      "micro_substrates_alias"};
+      "micro_substrates_alias", "pipeline_overlap"};
   // The substrate microbenchmarks are tight, low-variance loops, so they
   // gate at 10% where the end-to-end stages keep the default threshold.
   harness.SetScenarioThreshold("micro_substrates_matmul", 0.10);
@@ -274,6 +279,75 @@ int Run(const PipelineOptions& pipeline, const BenchOptions& options) {
     });
   }
 
+  if (enabled("pipeline_overlap")) {
+    // The DAG executor's streaming walk/score overlap in isolation: a
+    // source stage samples uniform-walk batches while a consumer scores
+    // the previous batch against a small fitted walk LM, hand-off through
+    // a bounded queue. Times the scheduler + queue machinery on top of
+    // real stage work; the LM fit itself is untimed setup.
+    TagGenConfig lm_cfg;
+    lm_cfg.train.walk_length = walk_length;
+    lm_cfg.train.num_walks = 120;
+    lm_cfg.train.epochs = 1;
+    lm_cfg.train.num_threads = options.threads;
+    TagGenGenerator lm(lm_cfg);
+    Rng lm_rng(options.seed + 4);
+    Status lm_status = lm.Fit(graph, lm_rng);
+    if (!lm_status.ok()) {
+      std::fprintf(stderr, "pipeline_overlap LM fit failed: %s\n",
+                   lm_status.ToString().c_str());
+      return 2;
+    }
+    harness.RunScenario("pipeline_overlap", [&] {
+      constexpr uint32_t kBatches = 6;
+      const uint32_t batch_walks = std::max<uint32_t>(32, walk_count / 4);
+      uint32_t produced = 0;
+      double nll_sum = 0.0;
+      pipeline::Pipeline dag("bench_overlap");
+      Status s = dag.AddStage(
+          {"sample_walks",
+           trace::Category::kWalk,
+           {},
+           {"batches"},
+           [&](pipeline::StageContext& ctx)
+               -> Result<pipeline::StepResult> {
+             RandomWalker walker(graph);
+             ctx.Push(0, walker.SampleUniformWalks(batch_walks, walk_length,
+                                                   ctx.rng(), 1));
+             return ++produced < kBatches ? pipeline::StepResult::kYield
+                                          : pipeline::StepResult::kDone;
+           }});
+      if (s.ok()) {
+        s = dag.AddStage(
+            {"score_walks",
+             trace::Category::kTrain,
+             {"batches"},
+             {},
+             [&](pipeline::StageContext& ctx)
+                 -> Result<pipeline::StepResult> {
+               if (!ctx.Has(0)) return pipeline::StepResult::kDone;
+               auto batch = std::any_cast<std::vector<Walk>>(ctx.Pop(0));
+               nll_sum += MeanWalkNll(*lm.model(), batch);
+               return pipeline::StepResult::kYield;
+             }});
+      }
+      pipeline::RunOptions run;
+      run.num_threads = options.threads;
+      Rng dag_rng(options.seed + 5);
+      run.rng = &dag_rng;
+      if (s.ok()) s = dag.Run(run);
+      if (!s.ok()) {
+        std::fprintf(stderr, "pipeline_overlap failed: %s\n",
+                     s.ToString().c_str());
+        std::exit(2);
+      }
+      // nll_sum is finite for any sane model; the checksum term keeps the
+      // scoring from being optimized away.
+      return static_cast<uint64_t>(kBatches) * batch_walks +
+             static_cast<uint64_t>(nll_sum != nll_sum);
+    });
+  }
+
   if (enabled("end_to_end")) {
     harness.RunScenario("end_to_end", [&] {
       Rng rng(options.seed);
@@ -376,15 +450,24 @@ int Main(int argc, char** argv) {
     } else if (StrStartsWith(arg, "--attr-out=")) {
       pipeline.attr_out = std::string(arg.substr(11));
     } else if (StrStartsWith(arg, "--warmup=")) {
-      pipeline.warmup = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(9)).c_str(), nullptr, 10));
-    } else if (StrStartsWith(arg, "--repetitions=")) {
-      pipeline.repetitions = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(14)).c_str(), nullptr, 10));
-      if (pipeline.repetitions == 0) {
-        std::fprintf(stderr, "bad --repetitions\n");
+      // Strict parse (common/strings): '--warmup=abc' is an error, not a
+      // silent 0 as with the old null-endptr strtoul.
+      Result<uint64_t> warmup = ParseUint(arg.substr(9), UINT32_MAX);
+      if (!warmup.ok()) {
+        std::fprintf(stderr, "bad --warmup: %s\n",
+                     std::string(warmup.status().message()).c_str());
         return 2;
       }
+      pipeline.warmup = static_cast<uint32_t>(*warmup);
+    } else if (StrStartsWith(arg, "--repetitions=")) {
+      Result<uint64_t> reps = ParseUint(arg.substr(14), UINT32_MAX);
+      if (!reps.ok() || *reps == 0) {
+        std::fprintf(stderr, "bad --repetitions: %s\n",
+                     reps.ok() ? "want >= 1"
+                               : std::string(reps.status().message()).c_str());
+        return 2;
+      }
+      pipeline.repetitions = static_cast<uint32_t>(*reps);
     } else if (StrStartsWith(arg, "--regress-threshold=")) {
       pipeline.regress_threshold =
           std::atof(std::string(arg.substr(20)).c_str());

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/memprobe.h"
@@ -49,6 +50,23 @@ void WriteTelemetryAtExit() {
       std::printf("(trace written to %s)\n", g_trace_out.c_str());
     }
   }
+}
+
+// Strict numeric-flag parsing (common/strings ParseUint): the whole value
+// must be a base-10 integer in range, else the flag is an exit-2 error —
+// never the silent 0 / wrapped huge value the old null-endptr strtoul
+// calls produced.
+template <typename T>
+T ParseUintFlagOrDie(const char* flag, std::string_view text,
+                     uint64_t max_value = std::numeric_limits<T>::max()) {
+  Result<uint64_t> parsed = ParseUint(text, max_value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad %s='%s': %s\n", flag,
+                 std::string(text).c_str(),
+                 std::string(parsed.status().message()).c_str());
+    std::exit(2);
+  }
+  return static_cast<T>(*parsed);
 }
 
 }  // namespace
@@ -116,11 +134,10 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
         std::exit(2);
       }
     } else if (StrStartsWith(arg, "--seed=")) {
-      options.seed =
-          std::strtoull(std::string(arg.substr(7)).c_str(), nullptr, 10);
+      options.seed = ParseUintFlagOrDie<uint64_t>("--seed", arg.substr(7));
     } else if (StrStartsWith(arg, "--threads=")) {
-      options.threads = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(10)).c_str(), nullptr, 10));
+      options.threads =
+          ParseUintFlagOrDie<uint32_t>("--threads", arg.substr(10));
     } else if (StrStartsWith(arg, "--datasets=")) {
       options.datasets = std::string(arg.substr(11));
     } else if (StrStartsWith(arg, "--csv=")) {
@@ -135,27 +152,24 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
       options.telemetry_dir = std::string(arg.substr(16));
     } else if (StrStartsWith(arg, "--telemetry-port=")) {
       options.telemetry_port = static_cast<int32_t>(
-          std::strtol(std::string(arg.substr(17)).c_str(), nullptr, 10));
-      if (options.telemetry_port < 0 || options.telemetry_port > 65535) {
-        std::fprintf(stderr, "bad --telemetry-port\n");
-        std::exit(2);
-      }
+          ParseUintFlagOrDie<uint32_t>("--telemetry-port", arg.substr(17),
+                                       /*max_value=*/65535));
     } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
-      options.telemetry_interval_ms = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(24)).c_str(), nullptr, 10));
+      options.telemetry_interval_ms = ParseUintFlagOrDie<uint32_t>(
+          "--telemetry-interval-ms", arg.substr(24));
     } else if (StrStartsWith(arg, "--checkpoint-dir=")) {
       options.checkpoint_dir = std::string(arg.substr(17));
     } else if (StrStartsWith(arg, "--checkpoint-every=")) {
-      options.checkpoint_every = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(19)).c_str(), nullptr, 10));
+      options.checkpoint_every =
+          ParseUintFlagOrDie<uint32_t>("--checkpoint-every", arg.substr(19));
     } else if (StrStartsWith(arg, "--checkpoint-retain=")) {
-      options.checkpoint_retain = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(20)).c_str(), nullptr, 10));
+      options.checkpoint_retain =
+          ParseUintFlagOrDie<uint32_t>("--checkpoint-retain", arg.substr(20));
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (StrStartsWith(arg, "--profile-hz=")) {
-      options.profile_hz = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(13)).c_str(), nullptr, 10));
+      options.profile_hz =
+          ParseUintFlagOrDie<uint32_t>("--profile-hz", arg.substr(13));
       if (options.profile_hz == 0 || options.profile_hz > 10000) {
         std::fprintf(stderr, "bad --profile-hz (want 1..10000)\n");
         std::exit(2);
@@ -163,15 +177,15 @@ BenchOptions ParseOptions(int argc, char** argv, const char* description) {
     } else if (arg == "--watchdog") {
       options.watchdog = true;
     } else if (StrStartsWith(arg, "--rss-budget-mb=")) {
-      options.rss_budget_mb = std::strtoull(
-          std::string(arg.substr(16)).c_str(), nullptr, 10);
+      options.rss_budget_mb =
+          ParseUintFlagOrDie<uint64_t>("--rss-budget-mb", arg.substr(16));
       if (options.rss_budget_mb == 0) {
         std::fprintf(stderr, "bad --rss-budget-mb (want >= 1)\n");
         std::exit(2);
       }
     } else if (StrStartsWith(arg, "--probe-every=")) {
-      options.probe_every = static_cast<uint32_t>(
-          std::strtoul(std::string(arg.substr(14)).c_str(), nullptr, 10));
+      options.probe_every =
+          ParseUintFlagOrDie<uint32_t>("--probe-every", arg.substr(14));
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", argv[i]);
       std::exit(2);

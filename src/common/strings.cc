@@ -1,9 +1,68 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace fairgen {
+
+namespace {
+
+// Shared tail of ParseInt/ParseUint: maps a completed std::from_chars call
+// on `text` to the strict full-consumption contract.
+template <typename T>
+Result<T> FinishParse(std::string_view text, T value, std::from_chars_result
+                          parsed) {
+  if (parsed.ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("integer out of range: '" +
+                                   std::string(text) + "'");
+  }
+  if (parsed.ec != std::errc() || parsed.ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not a base-10 integer: '" +
+                                   std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt(std::string_view text, int64_t min_value,
+                         int64_t max_value) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty string where integer expected");
+  }
+  int64_t value = 0;
+  auto parsed = std::from_chars(text.data(), text.data() + text.size(), value);
+  FAIRGEN_ASSIGN_OR_RETURN(value, FinishParse(text, value, parsed));
+  if (value < min_value || value > max_value) {
+    return Status::InvalidArgument(
+        "integer " + std::to_string(value) + " outside [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(std::string_view text, uint64_t max_value) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty string where integer expected");
+  }
+  // from_chars on an unsigned type parses "-1" as ULLONG_MAX on some
+  // implementations' strtoul heritage; it actually rejects '-', but be
+  // explicit so the negative-to-unsigned wrap can never come back.
+  if (text.front() == '-') {
+    return Status::InvalidArgument("negative value where unsigned expected: '" +
+                                   std::string(text) + "'");
+  }
+  uint64_t value = 0;
+  auto parsed = std::from_chars(text.data(), text.data() + text.size(), value);
+  FAIRGEN_ASSIGN_OR_RETURN(value, FinishParse(text, value, parsed));
+  if (value > max_value) {
+    return Status::InvalidArgument("integer " + std::to_string(value) +
+                                   " exceeds maximum " +
+                                   std::to_string(max_value));
+  }
+  return value;
+}
 
 std::vector<std::string> StrSplit(std::string_view text, char sep) {
   std::vector<std::string> out;

@@ -1,0 +1,478 @@
+#include "core/pipeline/pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/events.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace fairgen {
+namespace pipeline {
+
+bool StageContext::Has(size_t i) const {
+  FAIRGEN_CHECK(i < inputs_.size()) << "input index " << i << " out of range";
+  return inputs_[i].has_value();
+}
+
+std::any StageContext::Pop(size_t i) {
+  FAIRGEN_CHECK(i < inputs_.size()) << "input index " << i << " out of range";
+  FAIRGEN_CHECK(inputs_[i].has_value())
+      << "Pop(" << i << ") on an input with no item (check Has first)";
+  std::any value = std::move(*inputs_[i]);
+  inputs_[i].reset();
+  return value;
+}
+
+void StageContext::Push(size_t i, std::any value) {
+  FAIRGEN_CHECK(i < outputs_.size())
+      << "output index " << i << " out of range";
+  FAIRGEN_CHECK(!outputs_[i].has_value())
+      << "second Push(" << i << ") in one invocation";
+  outputs_[i] = std::move(value);
+}
+
+Rng& StageContext::rng() {
+  FAIRGEN_CHECK(rng_ != nullptr)
+      << "StageContext::rng() requires RunOptions::rng";
+  return *rng_;
+}
+
+Pipeline::Pipeline(std::string name) : name_(std::move(name)) {}
+
+size_t Pipeline::InternPort(const std::string& name) {
+  auto it = port_index_.find(name);
+  if (it != port_index_.end()) return it->second;
+  size_t index = ports_.size();
+  ports_.emplace_back();
+  ports_.back().name = name;
+  port_index_.emplace(name, index);
+  return index;
+}
+
+Status Pipeline::AddStage(StageSpec spec) {
+  if (prepared_) {
+    return Status::FailedPrecondition("AddStage after Prepare/Run");
+  }
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("stage name must be non-empty");
+  }
+  if (!spec.fn) {
+    return Status::InvalidArgument("stage '" + spec.name + "' has no body");
+  }
+  if (stage_index_.count(spec.name) != 0) {
+    return Status::InvalidArgument("duplicate stage name '" + spec.name +
+                                   "'");
+  }
+  {
+    std::vector<std::string> seen;
+    for (const std::string& port : spec.inputs) {
+      if (std::find(seen.begin(), seen.end(), port) != seen.end()) {
+        return Status::InvalidArgument("stage '" + spec.name +
+                                       "' lists port '" + port + "' twice");
+      }
+      seen.push_back(port);
+    }
+    for (const std::string& port : spec.outputs) {
+      if (std::find(seen.begin(), seen.end(), port) != seen.end()) {
+        return Status::InvalidArgument("stage '" + spec.name +
+                                       "' lists port '" + port + "' twice");
+      }
+      seen.push_back(port);
+    }
+  }
+  size_t stage_idx = stages_.size();
+  Stage stage;
+  stage.label = name_ + "." + spec.name;
+  for (const std::string& port_name : spec.inputs) {
+    size_t p = InternPort(port_name);
+    stage.input_ports.push_back(p);
+    stage.input_slots.push_back(ports_[p].consumers.size());
+    ports_[p].consumers.push_back(stage_idx);
+  }
+  for (const std::string& port_name : spec.outputs) {
+    size_t p = InternPort(port_name);
+    if (ports_[p].producer >= 0) {
+      return Status::InvalidArgument(
+          "port '" + port_name + "' already produced by stage '" +
+          stages_[ports_[p].producer].spec.name + "'");
+    }
+    ports_[p].producer = static_cast<int>(stage_idx);
+    stage.output_ports.push_back(p);
+  }
+  stage.spec = std::move(spec);
+  stage_index_.emplace(stage.spec.name, stage_idx);
+  stages_.push_back(std::move(stage));
+  return Status::OK();
+}
+
+Status Pipeline::SetPortCapacity(const std::string& port, size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument("port capacity must be >= 1");
+  }
+  size_t p = InternPort(port);
+  ports_[p].capacity = capacity;
+  ports_[p].capacity_set = true;
+  return Status::OK();
+}
+
+Status Pipeline::Feed(const std::string& port, std::any value) {
+  if (ran_) return Status::FailedPrecondition("Feed after Run");
+  size_t p = InternPort(port);
+  if (ports_[p].producer >= 0) {
+    return Status::InvalidArgument(
+        "cannot Feed port '" + port + "': produced by stage '" +
+        stages_[ports_[p].producer].spec.name + "'");
+  }
+  // Staged in the first queue; distributed to every consumer at Run.
+  if (ports_[p].queues.empty()) ports_[p].queues.emplace_back();
+  ports_[p].queues[0].items.push_back(std::move(value));
+  ports_[p].fed = true;
+  return Status::OK();
+}
+
+Status Pipeline::Prepare() {
+  if (prepared_) return Status::OK();
+  for (const Port& port : ports_) {
+    if (port.producer < 0 && !port.fed && !port.consumers.empty()) {
+      return Status::InvalidArgument(
+          "port '" + port.name +
+          "' is consumed but has no producer stage and no Feed values");
+    }
+    if (port.producer >= 0 && port.fed) {
+      return Status::InvalidArgument("port '" + port.name +
+                                     "' is both produced and fed");
+    }
+  }
+  // Kahn's algorithm over the stage dependency map induced by the ports.
+  std::vector<size_t> indegree(stages_.size(), 0);
+  std::vector<std::vector<size_t>> successors(stages_.size());
+  for (const Port& port : ports_) {
+    if (port.producer < 0) continue;
+    for (size_t consumer : port.consumers) {
+      successors[static_cast<size_t>(port.producer)].push_back(consumer);
+      ++indegree[consumer];
+    }
+  }
+  std::deque<size_t> ready;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    if (indegree[s] == 0) ready.push_back(s);
+  }
+  topo_order_.clear();
+  while (!ready.empty()) {
+    size_t s = ready.front();
+    ready.pop_front();
+    topo_order_.push_back(s);
+    for (size_t succ : successors[s]) {
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (topo_order_.size() != stages_.size()) {
+    std::string cyclic;
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      if (indegree[s] > 0) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += "'" + stages_[s].spec.name + "'";
+      }
+    }
+    return Status::InvalidArgument("dependency cycle among stages: " +
+                                   cyclic);
+  }
+  execution_order_.clear();
+  for (size_t s : topo_order_) {
+    execution_order_.push_back(stages_[s].spec.name);
+  }
+  for (Port& port : ports_) {
+    size_t queues = std::max<size_t>(size_t{1}, port.consumers.size());
+    // Feed staged everything in queues[0]; broadcast to the rest now.
+    if (port.fed && port.consumers.size() > 1) {
+      if (port.queues.empty()) port.queues.emplace_back();
+      port.queues.resize(queues);
+      for (size_t q = 1; q < queues; ++q) {
+        port.queues[q].items = port.queues[0].items;
+      }
+    } else {
+      port.queues.resize(queues);
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+bool Pipeline::InputExhausted(const Stage& stage, size_t i) const {
+  const Port& port = ports_[stage.input_ports[i]];
+  const Queue& queue = port.queues[stage.input_slots[i]];
+  if (!queue.items.empty()) return false;
+  // Fed (external) ports count as finished producers once drained.
+  return port.producer < 0 ||
+         stages_[static_cast<size_t>(port.producer)].done;
+}
+
+std::string Pipeline::BlockedReason(const Stage& stage) const {
+  for (size_t j = 0; j < stage.output_ports.size(); ++j) {
+    const Port& port = ports_[stage.output_ports[j]];
+    if (port.consumers.empty()) continue;
+    for (size_t q = 0; q < port.queues.size(); ++q) {
+      if (port.queues[q].items.size() >= port.capacity) {
+        return "output '" + port.name + "' full (consumer '" +
+               stages_[port.consumers[q]].spec.name + "' not draining)";
+      }
+    }
+  }
+  for (size_t i = 0; i < stage.input_ports.size(); ++i) {
+    const Port& port = ports_[stage.input_ports[i]];
+    const Queue& queue = port.queues[stage.input_slots[i]];
+    if (queue.items.empty() && !InputExhausted(stage, i)) {
+      return "input '" + port.name + "' empty (producer '" +
+             stages_[static_cast<size_t>(port.producer)].spec.name +
+             "' not finished)";
+    }
+  }
+  if (stage.finalized) {
+    return "already finalized but not done";
+  }
+  return "";
+}
+
+void Pipeline::EmitStageEvent(
+    const Stage& stage, std::string_view what,
+    std::vector<std::pair<std::string, double>> fields) {
+  events::Event event;
+  event.type = events::Type::kStage;
+  event.name = stage.label;
+  event.message = std::string(what);
+  event.fields = std::move(fields);
+  events::Journal::Global().Emit(std::move(event));
+}
+
+Status Pipeline::Run(const RunOptions& options) {
+  if (ran_) {
+    return Status::FailedPrecondition("pipeline '" + name_ +
+                                      "' already ran");
+  }
+  FAIRGEN_RETURN_NOT_OK(Prepare());
+  ran_ = true;
+
+  // One independent stream per stage, in stage-insertion order, so a
+  // stage's draws do not depend on which wave or thread ran it.
+  std::vector<Rng> streams;
+  if (options.rng != nullptr) {
+    streams = SplitRngs(*options.rng, stages_.size());
+  }
+  const uint32_t threads =
+      parallel_internal::ResolveNumThreads(options.num_threads);
+
+  struct Invocation {
+    size_t stage = 0;
+    StageContext ctx;
+    std::optional<Result<StepResult>> result;
+  };
+
+  uint64_t wave = 0;
+  while (true) {
+    // --- Capture phase (single-threaded): pick the wave's runnable
+    // stages in topological order and pop their inputs.
+    std::vector<Invocation> invocations;
+    size_t done_count = 0;
+    uint64_t pops = 0;
+    for (size_t s : topo_order_) {
+      Stage& stage = stages_[s];
+      if (stage.done) {
+        ++done_count;
+        continue;
+      }
+      // Backpressure: every output queue needs one free slot.
+      bool blocked = false;
+      for (size_t p : stage.output_ports) {
+        const Port& port = ports_[p];
+        if (port.consumers.empty()) continue;  // sink: unbounded
+        for (const Queue& queue : port.queues) {
+          if (queue.items.size() >= port.capacity) {
+            blocked = true;
+            break;
+          }
+        }
+        if (blocked) break;
+      }
+      if (blocked) continue;
+      bool finalizing = false;
+      if (!stage.input_ports.empty()) {
+        bool all_ready = true;
+        bool any_item = false;
+        bool all_exhausted = true;
+        for (size_t i = 0; i < stage.input_ports.size(); ++i) {
+          const Port& port = ports_[stage.input_ports[i]];
+          const bool has_item =
+              !port.queues[stage.input_slots[i]].items.empty();
+          if (has_item) {
+            any_item = true;
+            all_exhausted = false;
+          } else if (!InputExhausted(stage, i)) {
+            all_ready = false;
+            all_exhausted = false;
+          }
+        }
+        if (!all_ready) continue;
+        finalizing = !any_item && all_exhausted;
+        if (finalizing && stage.finalized) continue;
+      }
+      Invocation inv;
+      inv.stage = s;
+      inv.ctx.inputs_.resize(stage.input_ports.size());
+      inv.ctx.outputs_.resize(stage.output_ports.size());
+      for (size_t i = 0; i < stage.input_ports.size(); ++i) {
+        Port& port = ports_[stage.input_ports[i]];
+        Queue& queue = port.queues[stage.input_slots[i]];
+        if (queue.items.empty()) continue;
+        inv.ctx.inputs_[i] = std::move(queue.items.front());
+        queue.items.pop_front();
+        ++port.popped;
+        ++stage.stats.items_in;
+        ++pops;
+      }
+      inv.ctx.rng_ = streams.empty() ? nullptr : &streams[s];
+      inv.ctx.wave_ = wave;
+      inv.ctx.invocation_ = stage.stats.invocations;
+      inv.ctx.finalizing_ = finalizing;
+      if (finalizing) stage.finalized = true;
+      ++stage.stats.invocations;
+      if (stage.stats.first_wave < 0) {
+        stage.stats.first_wave = static_cast<int64_t>(wave);
+      }
+      stage.stats.last_wave = static_cast<int64_t>(wave);
+      if (!stage.started) {
+        stage.started = true;
+        EmitStageEvent(stage, "start",
+                       {{"wave", static_cast<double>(wave)}});
+      }
+      invocations.push_back(std::move(inv));
+    }
+
+    if (invocations.empty()) {
+      if (done_count == stages_.size()) break;
+      std::string detail;
+      for (size_t s : topo_order_) {
+        const Stage& stage = stages_[s];
+        if (stage.done) continue;
+        if (!detail.empty()) detail += "; ";
+        detail += "'" + stage.spec.name + "': " + BlockedReason(stage);
+      }
+      return Status::Internal("pipeline '" + name_ + "' stalled — " +
+                              detail);
+    }
+
+    // --- Execution phase: the whole wave runs concurrently on the pool.
+    // Each task touches only its own invocation, its stage's private RNG
+    // stream, and whatever user state the DAG edges serialize.
+    ThreadPool::Global().Run(
+        invocations.size(), threads, [&](size_t i) {
+          Invocation& inv = invocations[i];
+          const Stage& stage = stages_[inv.stage];
+          trace::ScopedSpan span(stage.label, stage.spec.category);
+          inv.result.emplace(stage.spec.fn(inv.ctx));
+        });
+
+    // --- Commit phase (single-threaded): apply outputs and completion
+    // in topological order, so the queue state after each wave is a pure
+    // function of the wave number.
+    uint64_t pushes = 0;
+    uint64_t finished = 0;
+    for (Invocation& inv : invocations) {
+      Stage& stage = stages_[inv.stage];
+      if (!inv.result->ok()) {
+        const Status& st = inv.result->status();
+        return Status(st.code(), "stage '" + stage.label +
+                                     "': " + std::string(st.message()));
+      }
+      for (size_t j = 0; j < stage.output_ports.size(); ++j) {
+        if (!inv.ctx.outputs_[j].has_value()) continue;
+        Port& port = ports_[stage.output_ports[j]];
+        std::any value = std::move(*inv.ctx.outputs_[j]);
+        for (size_t q = 0; q + 1 < port.queues.size(); ++q) {
+          port.queues[q].items.push_back(value);  // broadcast copy
+          ++port.pushed;
+          port.queues[q].max_queued = std::max(
+              port.queues[q].max_queued, port.queues[q].items.size());
+        }
+        Queue& last = port.queues.back();
+        last.items.push_back(std::move(value));
+        ++port.pushed;
+        last.max_queued = std::max(last.max_queued, last.items.size());
+        ++stage.stats.items_out;
+        ++pushes;
+      }
+      const StepResult step = inv.result->ValueOrDie();
+      if (step == StepResult::kDone) {
+        stage.done = true;
+        ++finished;
+        EmitStageEvent(
+            stage, "finish",
+            {{"invocations",
+              static_cast<double>(stage.stats.invocations)},
+             {"items_in", static_cast<double>(stage.stats.items_in)},
+             {"items_out", static_cast<double>(stage.stats.items_out)}});
+      } else if (inv.ctx.finalizing_) {
+        return Status::Internal("stage '" + stage.label +
+                                "' yielded after its inputs were "
+                                "exhausted");
+      }
+    }
+
+    if (pops == 0 && pushes == 0 && finished == 0) {
+      // Every invoked stage yielded without consuming or producing —
+      // nothing can change next wave, so this would spin forever.
+      std::string names;
+      for (const Invocation& inv : invocations) {
+        if (!names.empty()) names += ", ";
+        names += "'" + stages_[inv.stage].spec.name + "'";
+      }
+      return Status::Internal("pipeline '" + name_ +
+                              "' made no progress in a wave (stages " +
+                              names + " yielded without I/O)");
+    }
+    ++wave;
+  }
+  return Status::OK();
+}
+
+std::vector<std::any> Pipeline::Drain(const std::string& port) {
+  auto it = port_index_.find(port);
+  if (it == port_index_.end()) return {};
+  Port& p = ports_[it->second];
+  if (!p.consumers.empty() || p.queues.empty()) return {};
+  std::vector<std::any> out;
+  out.reserve(p.queues[0].items.size());
+  for (std::any& value : p.queues[0].items) {
+    out.push_back(std::move(value));
+  }
+  p.queues[0].items.clear();
+  return out;
+}
+
+Result<StageStats> Pipeline::stage_stats(const std::string& stage) const {
+  auto it = stage_index_.find(stage);
+  if (it == stage_index_.end()) {
+    return Status::NotFound("no stage '" + stage + "'");
+  }
+  return stages_[it->second].stats;
+}
+
+Result<PortStats> Pipeline::port_stats(const std::string& port) const {
+  auto it = port_index_.find(port);
+  if (it == port_index_.end()) {
+    return Status::NotFound("no port '" + port + "'");
+  }
+  const Port& p = ports_[it->second];
+  PortStats stats;
+  stats.capacity = p.capacity;
+  stats.pushed = p.pushed;
+  stats.popped = p.popped;
+  for (const Queue& queue : p.queues) {
+    stats.max_queued = std::max(stats.max_queued, queue.max_queued);
+  }
+  return stats;
+}
+
+}  // namespace pipeline
+}  // namespace fairgen

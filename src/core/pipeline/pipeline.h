@@ -1,0 +1,257 @@
+#ifndef FAIRGEN_CORE_PIPELINE_PIPELINE_H_
+#define FAIRGEN_CORE_PIPELINE_PIPELINE_H_
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace pipeline {
+
+/// \brief Deterministic dependency-graph executor over the shared thread
+/// pool (common/parallel).
+///
+/// Stages declare named input and output ports; a port connects the one
+/// stage that produces it to the stages that consume it (each consumer
+/// gets its own bounded FIFO queue; a port with no consumer accumulates
+/// into an unbounded sink drained after the run; a port with no producer
+/// is an external source filled by `Feed`). The scheduler validates the
+/// graph with Kahn's algorithm — a dependency cycle is a hard
+/// `InvalidArgument` — and keeps the flattened topological order as the
+/// canonical stage enumeration.
+///
+/// Execution is wave-based: each round the scheduler walks the topological
+/// order, collects every runnable stage (inputs available or exhausted,
+/// room in every output queue), pops their inputs, and runs the whole wave
+/// concurrently via `ThreadPool::Run`; outputs are applied to the queues
+/// in topological order after the wave joins. Stages in the same wave
+/// therefore overlap in wall time (walk sampling next to generator
+/// training), while the queue state seen by any stage is a pure function
+/// of the wave number — never of the thread count or OS scheduling. With
+/// per-stage `SplitRngs` streams (`RunOptions::rng`) the pipeline output
+/// is bitwise identical at 1, 2 and 4 threads.
+///
+/// Backpressure: a producer whose output queue is full is simply not
+/// runnable that wave; it resumes once the consumer drains the queue. If
+/// no stage is runnable while some are unfinished — or a wave completes
+/// without consuming, producing, or finishing anything — `Run` fails with
+/// `Internal` naming the blocked stages instead of spinning or
+/// deadlocking.
+///
+/// Observability: every invocation runs under a `trace::ScopedSpan` named
+/// `<pipeline>.<stage>` in the stage's declared `trace::Category`, and
+/// each stage journals `stage` start/finish events through
+/// `events::Journal` (so the watchdog's `stage_stall` progress signature
+/// keeps advancing while a DAG runs).
+
+/// What a stage invocation reports back to the scheduler.
+enum class StepResult {
+  kYield,  ///< more work remains; invoke again when inputs/space allow
+  kDone,   ///< stage finished; it will not be invoked again
+};
+
+/// \brief Per-invocation view a stage body receives: its popped inputs,
+/// its pending outputs, and the stage's private RNG stream.
+///
+/// Input contract: every input port that had an item available this wave
+/// was popped for you — check `Has(i)` and take the value with `Pop(i)`.
+/// When all producers of your inputs have finished and their queues are
+/// empty you get one final invocation with every `Has(i)` false; return
+/// `kDone` from it (returning `kYield` with exhausted inputs is an error).
+/// Output contract: at most one `Push` per output port per invocation —
+/// the scheduler reserved exactly one slot per queue.
+class StageContext {
+ public:
+  /// True iff input `i` (index into `StageSpec::inputs`) was popped.
+  bool Has(size_t i) const;
+
+  /// Takes the popped value of input `i`; aborts if `Has(i)` is false or
+  /// the value was already taken.
+  std::any Pop(size_t i);
+
+  /// Emits `value` on output `i` (index into `StageSpec::outputs`);
+  /// aborts on a second push to the same port in one invocation.
+  void Push(size_t i, std::any value);
+
+  /// The stage's private deterministic stream (requires `RunOptions::rng`;
+  /// aborts when the pipeline ran without one).
+  Rng& rng();
+
+  /// 0-based wave number of this invocation.
+  uint64_t wave() const { return wave_; }
+
+  /// 0-based invocation count for this stage.
+  uint64_t invocation() const { return invocation_; }
+
+  /// True on the final invocation issued after every input was exhausted.
+  bool finalizing() const { return finalizing_; }
+
+ private:
+  friend class Pipeline;
+
+  std::vector<std::optional<std::any>> inputs_;
+  std::vector<std::optional<std::any>> outputs_;
+  Rng* rng_ = nullptr;
+  uint64_t wave_ = 0;
+  uint64_t invocation_ = 0;
+  bool finalizing_ = false;
+};
+
+/// Stage body. Returning a non-OK status aborts the run and surfaces the
+/// error (prefixed with the stage name) from `Pipeline::Run`.
+using StageFn = std::function<Result<StepResult>(StageContext&)>;
+
+/// \brief Declaration of one stage: a name (unique within the pipeline),
+/// the trace category its spans carry, the ports it consumes/produces,
+/// and the body.
+struct StageSpec {
+  std::string name;
+  trace::Category category = trace::Category::kGeneral;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  StageFn fn;
+};
+
+/// Options for one `Pipeline::Run`.
+struct RunOptions {
+  /// Pool parallelism for each wave; 0 = process default (`--threads`).
+  uint32_t num_threads = 0;
+  /// Master generator: split once per run into one independent stream per
+  /// stage (in stage-insertion order), so stage draws are independent of
+  /// scheduling. May be null when no stage calls `StageContext::rng()`.
+  Rng* rng = nullptr;
+};
+
+/// Per-stage execution counters (for tests and reports).
+struct StageStats {
+  uint64_t invocations = 0;
+  uint64_t items_in = 0;
+  uint64_t items_out = 0;
+  /// Waves of the first/last invocation, -1 if never invoked. Two stages
+  /// sharing a `first_wave` started overlapped.
+  int64_t first_wave = -1;
+  int64_t last_wave = -1;
+};
+
+/// Per-port queue counters.
+struct PortStats {
+  size_t capacity = 0;
+  uint64_t pushed = 0;   ///< items enqueued (summed over consumer queues)
+  uint64_t popped = 0;   ///< items dequeued by consumers
+  size_t max_queued = 0; ///< high-water mark of any single queue
+};
+
+class Pipeline {
+ public:
+  /// Default bound of each consumer queue (see `SetPortCapacity`).
+  static constexpr size_t kDefaultCapacity = 2;
+
+  /// `name` prefixes span/event names: `<name>.<stage>`.
+  explicit Pipeline(std::string name);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Registers a stage. Fails on a duplicate stage name, an empty name,
+  /// a missing body, a duplicate port within the spec, or a second
+  /// producer for an output port.
+  Status AddStage(StageSpec spec);
+
+  /// Overrides the per-consumer queue bound of `port` (>= 1). Ports with
+  /// no consumers (sinks) and fed source ports are unbounded regardless.
+  Status SetPortCapacity(const std::string& port, size_t capacity);
+
+  /// Enqueues an external input on `port`, which must not be produced by
+  /// any stage. Call before `Run`; fed ports count as finished producers.
+  Status Feed(const std::string& port, std::any value);
+
+  /// Resolves ports and computes the flattened topological order.
+  /// Idempotent; `Run` calls it implicitly. Fails with `InvalidArgument`
+  /// on a dependency cycle (naming the stages on it) or on an input port
+  /// that has neither a producer stage nor fed values.
+  Status Prepare();
+
+  /// Stage names in flattened topological execution order (valid after a
+  /// successful `Prepare`).
+  const std::vector<std::string>& execution_order() const {
+    return execution_order_;
+  }
+
+  /// Executes the graph to completion. Returns the first stage error, or
+  /// `Internal` if the pipeline stalls (see class comment). A pipeline
+  /// can only run once; re-running a finished pipeline is an error.
+  Status Run(const RunOptions& options = {});
+
+  /// Removes and returns everything accumulated on sink port `port`
+  /// (a produced port with no consumers), in production order.
+  std::vector<std::any> Drain(const std::string& port);
+
+  Result<StageStats> stage_stats(const std::string& stage) const;
+  Result<PortStats> port_stats(const std::string& port) const;
+
+ private:
+  struct Queue {
+    std::deque<std::any> items;
+    size_t max_queued = 0;
+  };
+
+  struct Port {
+    std::string name;
+    int producer = -1;  ///< stage index, -1 = external (Feed)
+    std::vector<size_t> consumers;  ///< stage indices
+    size_t capacity = kDefaultCapacity;
+    bool capacity_set = false;
+    bool fed = false;  ///< received external values via Feed
+    /// One queue per consumer (broadcast); a single sink queue when
+    /// `consumers` is empty.
+    std::vector<Queue> queues;
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+  };
+
+  struct Stage {
+    StageSpec spec;
+    std::vector<size_t> input_ports;
+    std::vector<size_t> input_slots;  ///< consumer-queue index within port
+    std::vector<size_t> output_ports;
+    std::string label;  ///< interned "<pipeline>.<stage>" span/event name
+    StageStats stats;
+    bool done = false;
+    bool finalized = false;
+    bool started = false;
+  };
+
+  size_t InternPort(const std::string& name);
+  bool InputExhausted(const Stage& stage, size_t i) const;
+  /// Reason `stage` cannot run this wave, empty if runnable.
+  std::string BlockedReason(const Stage& stage) const;
+  void EmitStageEvent(const Stage& stage, std::string_view what,
+                      std::vector<std::pair<std::string, double>> fields);
+
+  std::string name_;
+  std::vector<Stage> stages_;
+  std::vector<Port> ports_;
+  std::unordered_map<std::string, size_t> stage_index_;
+  std::unordered_map<std::string, size_t> port_index_;
+  std::vector<size_t> topo_order_;  ///< stage indices
+  std::vector<std::string> execution_order_;
+  bool prepared_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace pipeline
+}  // namespace fairgen
+
+#endif  // FAIRGEN_CORE_PIPELINE_PIPELINE_H_

@@ -1,12 +1,14 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <any>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/events.h"
 #include "common/fileio.h"
@@ -14,6 +16,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/checkpoint.h"
+#include "core/pipeline/pipeline.h"
 #include "generators/walk_lm.h"
 #include "nn/serialize.h"
 #include "graph/subgraph.h"
@@ -377,35 +380,132 @@ Status FairGenTrainer::Fit(const Graph& graph, Rng& rng) {
     }
     FairGenLosses losses;
 
+    // Steps 4–11 as a per-cycle dependency DAG on the shared pool
+    // (core/pipeline): walk sampling for the next cycle (step 5) runs
+    // concurrently with the generator update (step 4), and the negative
+    // refresh (step 6) concurrently with the self-paced label update
+    // (steps 7–8). The port edges serialize every read/write pair on
+    // shared trainer state — the walk dataset (read by the generator
+    // update, mutated by dataset_update), the sampler's label vectors
+    // (read by sample_walks, mutated by self_paced), and the shared
+    // embedding table (read by negatives/self_paced, mutated by the
+    // discriminator step). Each stage draws from its own SplitRngs
+    // stream (derived from `rng` in stage-insertion order), so the
+    // trajectory is bitwise independent of the thread count, and `rng`
+    // advances a fixed number of draws per cycle, so FGCKPT2 resume
+    // re-derives identical streams at every cycle boundary.
+    const bool refresh = config_.refresh_negatives;
+    const bool spl = has_supervision() &&
+                     config_.variant != FairGenVariant::kNoSelfPaced;
+    pipeline::Pipeline cycle_dag("trainer");
+    // Step 5: new positives with the current self-paced vectors (the
+    // cycle's label update lands after this sample, exactly like the
+    // sequential ordering: sample first, then SetLabels).
+    FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+        {"sample_walks",
+         trace::Category::kWalk,
+         {},
+         {"positives", "sampler_idle"},
+         [&](pipeline::StageContext& ctx)
+             -> Result<pipeline::StepResult> {
+           ctx.Push(0, sampler_->SampleBatch(config_.num_walks, ctx.rng()));
+           ctx.Push(1, true);
+           return pipeline::StepResult::kDone;
+         }}));
     // Step 4: update g_θ from N+ and N−.
-    losses.j_g = TrainGenerator(rng);
-
-    // Step 5: new positives with the updated self-paced vectors.
-    dataset_.AddPositives(sampler_->SampleBatch(config_.num_walks, rng));
-    // Step 6: new negatives from the current generator (skipped by the
+    FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+        {"generator",
+         trace::Category::kTrain,
+         {},
+         {"generator_ready"},
+         [&](pipeline::StageContext& ctx)
+             -> Result<pipeline::StepResult> {
+           losses.j_g = TrainGenerator(ctx.rng());
+           ctx.Push(0, true);
+           return pipeline::StepResult::kDone;
+         }}));
+    // Step 6: new negatives from the updated generator (skipped by the
     // negative-refresh ablation, which keeps the static [32] negatives).
-    if (config_.refresh_negatives) {
-      dataset_.AddNegatives(SampleGeneratorWalks(config_.num_walks, rng));
-      refresh_counter.Increment();
+    if (refresh) {
+      FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+          {"negatives",
+           trace::Category::kWalk,
+           {"generator_ready"},
+           {"negative_walks", "negatives_done"},
+           [&](pipeline::StageContext& ctx)
+               -> Result<pipeline::StepResult> {
+             ctx.Push(0,
+                      SampleGeneratorWalks(config_.num_walks, ctx.rng()));
+             ctx.Push(1, true);
+             return pipeline::StepResult::kDone;
+           }}));
     }
-    dataset_.TrimTo(4 * config_.num_walks);
-
     // Steps 7–8: augment λ and refresh the self-paced vectors / pseudo
     // labels (skipped by the w/o-SPL ablation).
-    if (has_supervision() &&
-        config_.variant != FairGenVariant::kNoSelfPaced) {
-      scheduler.Augment();
-      SelfPacedUpdate update = scheduler.Update(
-          model_->fair_module().LogProbaAll(), ground_truth_, config_.beta);
-      labels_ = std::move(update.labels);
-      num_pseudo_labeled_ = update.num_pseudo_labeled;
-      losses.j_l = update.j_l / std::max<size_t>(1, labels_.size());
-      losses.j_s = update.j_s / std::max<size_t>(1, labels_.size());
-      FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(labels_));
+    if (spl) {
+      FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+          {"self_paced",
+           trace::Category::kTrain,
+           {"generator_ready", "sampler_idle"},
+           {"labels_ready"},
+           [&](pipeline::StageContext& ctx)
+               -> Result<pipeline::StepResult> {
+             scheduler.Augment();
+             SelfPacedUpdate update =
+                 scheduler.Update(model_->fair_module().LogProbaAll(),
+                                  ground_truth_, config_.beta);
+             labels_ = std::move(update.labels);
+             num_pseudo_labeled_ = update.num_pseudo_labeled;
+             losses.j_l = update.j_l / std::max<size_t>(1, labels_.size());
+             losses.j_s = update.j_s / std::max<size_t>(1, labels_.size());
+             FAIRGEN_RETURN_NOT_OK(sampler_->SetLabels(labels_));
+             ctx.Push(0, true);
+             return pipeline::StepResult::kDone;
+           }}));
     }
-
-    // Steps 9–11: discriminator updates (J_P + J_L + J_F).
-    TrainDiscriminator(losses, rng);
+    // Steps 5–6 commit: fold the freshly sampled pools into the dataset.
+    // Ordered after the generator update (which trains on the *previous*
+    // pools) via negative_walks / generator_ready.
+    FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+        {"dataset_update",
+         trace::Category::kGeneral,
+         refresh ? std::vector<std::string>{"positives", "negative_walks"}
+                 : std::vector<std::string>{"positives", "generator_ready"},
+         {},
+         [&](pipeline::StageContext& ctx)
+             -> Result<pipeline::StepResult> {
+           dataset_.AddPositives(
+               std::any_cast<std::vector<Walk>>(ctx.Pop(0)));
+           if (refresh) {
+             dataset_.AddNegatives(
+                 std::any_cast<std::vector<Walk>>(ctx.Pop(1)));
+             refresh_counter.Increment();
+           }
+           dataset_.TrimTo(4 * config_.num_walks);
+           return pipeline::StepResult::kDone;
+         }}));
+    // Steps 9–11: discriminator updates (J_P + J_L + J_F). Mutates the
+    // shared embedding table, so it is ordered after every reader of the
+    // current cycle (negatives, self_paced).
+    {
+      std::vector<std::string> disc_inputs;
+      disc_inputs.push_back(spl ? "labels_ready" : "generator_ready");
+      if (refresh) disc_inputs.push_back("negatives_done");
+      FAIRGEN_RETURN_NOT_OK(cycle_dag.AddStage(
+          {"discriminator",
+           trace::Category::kTrain,
+           std::move(disc_inputs),
+           {},
+           [&](pipeline::StageContext& ctx)
+               -> Result<pipeline::StepResult> {
+             TrainDiscriminator(losses, ctx.rng());
+             return pipeline::StepResult::kDone;
+           }}));
+    }
+    pipeline::RunOptions dag_options;
+    dag_options.num_threads = config_.num_threads;
+    dag_options.rng = &rng;
+    FAIRGEN_RETURN_NOT_OK(cycle_dag.Run(dag_options));
 
     loss_history_.push_back(losses);
 

@@ -163,13 +163,33 @@ TEST_F(BenchPipelineSmokeTest, DefaultRunCoversEveryScenario) {
   const json::Value* scenarios = doc->Find("scenarios");
   ASSERT_NE(scenarios, nullptr);
   ASSERT_TRUE(scenarios->is_array());
-  EXPECT_EQ(scenarios->AsArray().size(), 9u)
+  EXPECT_EQ(scenarios->AsArray().size(), 10u)
       << "a run without --scenarios must cover every scenario";
+  bool has_overlap = false;
+  for (const json::Value& s : scenarios->AsArray()) {
+    has_overlap |= s.GetString("scenario", "") == "pipeline_overlap";
+  }
+  EXPECT_TRUE(has_overlap)
+      << "the DAG-executor overlap scenario must run by default";
 }
 
 TEST_F(BenchPipelineSmokeTest, UnknownScenarioNameIsAnError) {
   EXPECT_EQ(RunCommand(BenchCommand("--out=" + TempPath("typo.json"),
                                     "walk_sampling,no_such_scenario")),
+            2);
+}
+
+// Malformed numeric flags must be exit-2 errors in both the harness's own
+// parser (--warmup/--repetitions) and the shared bench_util parser
+// (--seed/--threads/...) — the old null-endptr strtoul calls silently
+// parsed these to 0 or wrapped negatives to huge values.
+TEST_F(BenchPipelineSmokeTest, MalformedNumericFlagsAreErrors) {
+  EXPECT_EQ(RunCommand(BenchCommand("--out= --warmup=abc")), 2);
+  EXPECT_EQ(RunCommand(BenchCommand("--out= --repetitions=2x")), 2);
+  EXPECT_EQ(RunCommand(BenchCommand("--out= --seed=junk")), 2);
+  EXPECT_EQ(RunCommand(BenchCommand("--out= --threads=-2")), 2);
+  EXPECT_EQ(RunCommand(BenchCommand(
+                "--out= --seed=99999999999999999999999")),
             2);
 }
 

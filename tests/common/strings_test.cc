@@ -105,5 +105,58 @@ TEST(JsonEscapeTest, EscapesRemainingControlsAsUnicode) {
             "a\\u001fz");
 }
 
+TEST(ParseIntTest, ParsesPlainIntegers) {
+  EXPECT_EQ(ParseInt("0").ValueOrDie(), 0);
+  EXPECT_EQ(ParseInt("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt("9223372036854775807").ValueOrDie(), INT64_MAX);
+  EXPECT_EQ(ParseInt("-9223372036854775808").ValueOrDie(), INT64_MIN);
+}
+
+TEST(ParseIntTest, RejectsGarbageAndPartialParses) {
+  // Null-endptr strtol would have returned 0 / 12 here.
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("12 ").ok());
+  EXPECT_FALSE(ParseInt(" 12").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("-").ok());
+  EXPECT_FALSE(ParseInt("0x10").ok());
+  EXPECT_TRUE(ParseInt("abc").status().IsInvalidArgument());
+}
+
+TEST(ParseIntTest, RejectsOverflowAndOutOfRange) {
+  EXPECT_FALSE(ParseInt("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+  // Caller-supplied bounds (the CLI's 0..65535 port range).
+  EXPECT_EQ(ParseInt("65535", 0, 65535).ValueOrDie(), 65535);
+  EXPECT_FALSE(ParseInt("65536", 0, 65535).ok());
+  EXPECT_FALSE(ParseInt("-1", 0, 65535).ok());
+}
+
+TEST(ParseUintTest, ParsesPlainIntegers) {
+  EXPECT_EQ(ParseUint("0").ValueOrDie(), 0u);
+  EXPECT_EQ(ParseUint("42").ValueOrDie(), 42u);
+  EXPECT_EQ(ParseUint("18446744073709551615").ValueOrDie(), UINT64_MAX);
+}
+
+TEST(ParseUintTest, RejectsNegativeInsteadOfWrapping) {
+  // strtoul silently wraps "-3" to 18446744073709551613.
+  auto parsed = ParseUint("-3");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("negative"), std::string::npos);
+}
+
+TEST(ParseUintTest, RejectsGarbageOverflowAndRange) {
+  EXPECT_FALSE(ParseUint("abc").ok());
+  EXPECT_FALSE(ParseUint("12x").ok());
+  EXPECT_FALSE(ParseUint("").ok());
+  EXPECT_FALSE(ParseUint("18446744073709551616").ok());
+  EXPECT_EQ(ParseUint("255", 255).ValueOrDie(), 255u);
+  EXPECT_FALSE(ParseUint("256", 255).ok());
+}
+
 }  // namespace
 }  // namespace fairgen

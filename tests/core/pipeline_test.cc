@@ -1,0 +1,412 @@
+// Unit suite for the deterministic dependency-graph executor
+// (core/pipeline). Covers the graph contract (topological order on
+// diamond/fan shapes, cycle detection as a hard error, port validation),
+// the streaming contract (bounded-queue backpressure, FIFO hand-off,
+// broadcast ports, Feed/Drain), failure modes (stage errors, no-progress
+// stalls), the wave-overlap property the trainer relies on, and the
+// determinism pin: bitwise-identical pipeline outputs at 1, 2 and 4
+// threads from per-stage SplitRngs streams.
+
+#include "core/pipeline/pipeline.h"
+
+#include <algorithm>
+#include <any>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/events.h"
+#include "rng/rng.h"
+
+namespace fairgen {
+namespace pipeline {
+namespace {
+
+using ::testing::Test;
+
+size_t IndexOf(const std::vector<std::string>& order,
+               const std::string& name) {
+  auto it = std::find(order.begin(), order.end(), name);
+  EXPECT_NE(it, order.end()) << name << " missing from execution order";
+  return static_cast<size_t>(it - order.begin());
+}
+
+// Source stage pushing count consecutive ints on output 0.
+StageFn IntSource(int count) {
+  return [count](StageContext& ctx) -> Result<StepResult> {
+    int next = static_cast<int>(ctx.invocation());
+    ctx.Push(0, next);
+    return next + 1 >= count ? StepResult::kDone : StepResult::kYield;
+  };
+}
+
+// Transform stage: applies fn to each input item; kDone on exhaustion.
+template <typename Fn>
+StageFn IntMap(Fn fn) {
+  return [fn](StageContext& ctx) -> Result<StepResult> {
+    if (!ctx.Has(0)) return StepResult::kDone;  // finalize
+    ctx.Push(0, fn(std::any_cast<int>(ctx.Pop(0))));
+    return StepResult::kYield;
+  };
+}
+
+// Consumer stage appending everything to *out.
+StageFn IntCollect(std::vector<int>* out) {
+  return [out](StageContext& ctx) -> Result<StepResult> {
+    if (!ctx.Has(0)) return StepResult::kDone;
+    out->push_back(std::any_cast<int>(ctx.Pop(0)));
+    return StepResult::kYield;
+  };
+}
+
+TEST(PipelineGraphTest, DiamondTopologicalOrderAndValues) {
+  Pipeline pipe("test");
+  std::vector<int> sums;
+  ASSERT_TRUE(pipe.AddStage({"join",
+                             trace::Category::kGeneral,
+                             {"doubled", "shifted"},
+                             {},
+                             [&](StageContext& ctx) -> Result<StepResult> {
+                               if (!ctx.Has(0) && !ctx.Has(1)) {
+                                 return StepResult::kDone;
+                               }
+                               int sum = 0;
+                               if (ctx.Has(0)) {
+                                 sum += std::any_cast<int>(ctx.Pop(0));
+                               }
+                               if (ctx.Has(1)) {
+                                 sum += std::any_cast<int>(ctx.Pop(1));
+                               }
+                               sums.push_back(sum);
+                               return StepResult::kYield;
+                             }})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"double",
+                             trace::Category::kGeneral,
+                             {"numbers"},
+                             {"doubled"},
+                             IntMap([](int v) { return 2 * v; })})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"shift",
+                             trace::Category::kGeneral,
+                             {"numbers2"},
+                             {"shifted"},
+                             IntMap([](int v) { return v + 10; })})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"source",
+                             trace::Category::kGeneral,
+                             {},
+                             {"numbers", "numbers2"},
+                             [](StageContext& ctx) -> Result<StepResult> {
+                               int next = static_cast<int>(ctx.invocation());
+                               ctx.Push(0, next);
+                               ctx.Push(1, next);
+                               return next >= 2 ? StepResult::kDone
+                                                : StepResult::kYield;
+                             }})
+                  .ok());
+  ASSERT_TRUE(pipe.Prepare().ok());
+
+  // Flattened topo order: source strictly before both branches, both
+  // branches strictly before the join — regardless of insertion order.
+  const std::vector<std::string>& order = pipe.execution_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_LT(IndexOf(order, "source"), IndexOf(order, "double"));
+  EXPECT_LT(IndexOf(order, "source"), IndexOf(order, "shift"));
+  EXPECT_LT(IndexOf(order, "double"), IndexOf(order, "join"));
+  EXPECT_LT(IndexOf(order, "shift"), IndexOf(order, "join"));
+
+  ASSERT_TRUE(pipe.Run({.num_threads = 2}).ok());
+  EXPECT_EQ(sums, (std::vector<int>{10, 13, 16}));  // 2k + (k+10)
+
+  // The two middle branches of the diamond started in the same wave:
+  // that is the overlap the trainer uses for walk-vs-train.
+  auto d = pipe.stage_stats("double");
+  auto s = pipe.stage_stats("shift");
+  ASSERT_TRUE(d.ok() && s.ok());
+  EXPECT_EQ(d->first_wave, s->first_wave);
+}
+
+TEST(PipelineGraphTest, FanOutBroadcastDeliversToEveryConsumer) {
+  Pipeline pipe("test");
+  std::vector<int> left, right;
+  ASSERT_TRUE(pipe.AddStage({"source", trace::Category::kGeneral, {},
+                             {"fan"}, IntSource(4)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage(
+                      {"left", trace::Category::kGeneral, {"fan"}, {},
+                       IntCollect(&left)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage(
+                      {"right", trace::Category::kGeneral, {"fan"}, {},
+                       IntCollect(&right)})
+                  .ok());
+  ASSERT_TRUE(pipe.Run({.num_threads = 4}).ok());
+  EXPECT_EQ(left, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(right, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PipelineGraphTest, DependencyCycleIsHardError) {
+  Pipeline pipe("test");
+  auto echo = [](StageContext& ctx) -> Result<StepResult> {
+    if (ctx.Has(0)) ctx.Push(0, ctx.Pop(0));
+    return StepResult::kYield;
+  };
+  ASSERT_TRUE(pipe.AddStage({"a", trace::Category::kGeneral, {"x"}, {"y"},
+                             echo})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"b", trace::Category::kGeneral, {"y"}, {"x"},
+                             echo})
+                  .ok());
+  Status status = pipe.Prepare();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("cycle"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("'a'"), std::string::npos);
+  EXPECT_NE(status.message().find("'b'"), std::string::npos);
+}
+
+TEST(PipelineGraphTest, PortValidationErrors) {
+  {
+    Pipeline pipe("test");
+    ASSERT_TRUE(pipe.AddStage({"a", trace::Category::kGeneral, {},
+                               {"out"}, IntSource(1)})
+                    .ok());
+    Status dup = pipe.AddStage(
+        {"b", trace::Category::kGeneral, {}, {"out"}, IntSource(1)});
+    EXPECT_TRUE(dup.IsInvalidArgument()) << dup.ToString();
+  }
+  {
+    Pipeline pipe("test");
+    ASSERT_TRUE(pipe.AddStage({"a", trace::Category::kGeneral, {},
+                               {"out"}, IntSource(1)})
+                    .ok());
+    Status dup = pipe.AddStage(
+        {"a", trace::Category::kGeneral, {}, {"other"}, IntSource(1)});
+    EXPECT_TRUE(dup.IsInvalidArgument()) << dup.ToString();
+  }
+  {
+    // A consumed port with neither a producer stage nor Feed values.
+    Pipeline pipe("test");
+    std::vector<int> sink;
+    ASSERT_TRUE(pipe.AddStage({"c", trace::Category::kGeneral,
+                               {"nowhere"}, {}, IntCollect(&sink)})
+                    .ok());
+    Status status = pipe.Prepare();
+    EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  }
+}
+
+TEST(PipelineStreamTest, BackpressureBoundsQueueAndPreservesOrder) {
+  Pipeline pipe("test");
+  std::vector<int> got;
+  constexpr int kItems = 100;
+  ASSERT_TRUE(pipe.AddStage({"source", trace::Category::kGeneral, {},
+                             {"stream"}, IntSource(kItems)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"sink", trace::Category::kGeneral,
+                             {"stream"}, {}, IntCollect(&got)})
+                  .ok());
+  ASSERT_TRUE(pipe.SetPortCapacity("stream", 3).ok());
+  ASSERT_TRUE(pipe.Run({.num_threads = 2}).ok());
+
+  std::vector<int> want(kItems);
+  for (int i = 0; i < kItems; ++i) want[i] = i;
+  EXPECT_EQ(got, want);
+
+  auto stats = pipe.port_stats("stream");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->capacity, 3u);
+  EXPECT_EQ(stats->pushed, static_cast<uint64_t>(kItems));
+  EXPECT_EQ(stats->popped, static_cast<uint64_t>(kItems));
+  EXPECT_LE(stats->max_queued, 3u);  // the bound held
+  EXPECT_GE(stats->max_queued, 1u);
+}
+
+TEST(PipelineStreamTest, FeedAndDrainRoundTrip) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.AddStage({"double", trace::Category::kGeneral, {"in"},
+                             {"out"},
+                             IntMap([](int v) { return 2 * v; })})
+                  .ok());
+  for (int v : {7, 8, 9}) {
+    ASSERT_TRUE(pipe.Feed("in", v).ok());
+  }
+  ASSERT_TRUE(pipe.Run({}).ok());
+  std::vector<std::any> out = pipe.Drain("out");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(std::any_cast<int>(out[0]), 14);
+  EXPECT_EQ(std::any_cast<int>(out[1]), 16);
+  EXPECT_EQ(std::any_cast<int>(out[2]), 18);
+  EXPECT_TRUE(pipe.Drain("out").empty());  // drained
+}
+
+TEST(PipelineStreamTest, FedPortCannotAlsoBeProduced) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.Feed("x", 1).ok());
+  ASSERT_TRUE(pipe.AddStage({"p", trace::Category::kGeneral, {}, {"x"},
+                             IntSource(1)})
+                  .ok());
+  EXPECT_FALSE(pipe.Prepare().ok());
+}
+
+TEST(PipelineFailureTest, StageErrorPropagatesWithStageName) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.AddStage({"bomb", trace::Category::kGeneral, {}, {},
+                             [](StageContext&) -> Result<StepResult> {
+                               return Status::InvalidArgument("boom");
+                             }})
+                  .ok());
+  Status status = pipe.Run({});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("bomb"), std::string::npos);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(PipelineFailureTest, YieldingForeverWithoutIOIsAStallError) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.AddStage({"spinner", trace::Category::kGeneral, {}, {},
+                             [](StageContext&) -> Result<StepResult> {
+                               return StepResult::kYield;
+                             }})
+                  .ok());
+  Status status = pipe.Run({});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.message().find("no progress"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PipelineFailureTest, YieldAfterExhaustedInputsIsAnError) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.AddStage({"source", trace::Category::kGeneral, {},
+                             {"stream"}, IntSource(1)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"stubborn", trace::Category::kGeneral,
+                             {"stream"}, {},
+                             [](StageContext& ctx) -> Result<StepResult> {
+                               if (ctx.Has(0)) ctx.Pop(0);
+                               return StepResult::kYield;  // even on finalize
+                             }})
+                  .ok());
+  Status status = pipe.Run({});
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.message().find("exhausted"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(PipelineFailureTest, RunningTwiceIsAnError) {
+  Pipeline pipe("test");
+  ASSERT_TRUE(pipe.AddStage({"s", trace::Category::kGeneral, {}, {},
+                             [](StageContext&) -> Result<StepResult> {
+                               return StepResult::kDone;
+                             }})
+                  .ok());
+  ASSERT_TRUE(pipe.Run({}).ok());
+  EXPECT_TRUE(pipe.Run({}).IsFailedPrecondition());
+}
+
+// Runs a 4-source fan plus a deterministic combiner, every stage drawing
+// from its private SplitRngs stream, and returns the exact doubles that
+// reached the sink. Must be bitwise identical for every thread count.
+std::vector<double> RunRngPipeline(uint32_t threads, uint64_t* rng_after) {
+  Rng master(20240807);
+  Pipeline pipe("det");
+  for (int w = 0; w < 4; ++w) {
+    std::string port = "draws" + std::to_string(w);
+    pipe.AddStage({"worker" + std::to_string(w),
+                   trace::Category::kGeneral,
+                   {},
+                   {port},
+                   [](StageContext& ctx) -> Result<StepResult> {
+                     ctx.Push(0, ctx.rng().UniformDouble());
+                     return ctx.invocation() >= 4 ? StepResult::kDone
+                                                  : StepResult::kYield;
+                   }})
+        .CheckOK();
+  }
+  std::vector<double> out;
+  pipe.AddStage({"combine",
+                 trace::Category::kGeneral,
+                 {"draws0", "draws1", "draws2", "draws3"},
+                 {},
+                 [&](StageContext& ctx) -> Result<StepResult> {
+                   bool any = false;
+                   for (size_t i = 0; i < 4; ++i) {
+                     if (!ctx.Has(i)) continue;
+                     any = true;
+                     out.push_back(std::any_cast<double>(ctx.Pop(i)) +
+                                   ctx.rng().UniformDouble());
+                   }
+                   return any ? StepResult::kYield : StepResult::kDone;
+                 }})
+      .CheckOK();
+  pipe.Run({.num_threads = threads, .rng = &master}).CheckOK();
+  *rng_after = master.NextU64();  // master advanced identically everywhere
+  return out;
+}
+
+TEST(PipelineDeterminismTest, BitwiseIdenticalAcrossThreadCounts) {
+  uint64_t rng1 = 0, rng2 = 0, rng4 = 0;
+  std::vector<double> at1 = RunRngPipeline(1, &rng1);
+  std::vector<double> at2 = RunRngPipeline(2, &rng2);
+  std::vector<double> at4 = RunRngPipeline(4, &rng4);
+  ASSERT_EQ(at1.size(), 20u);
+  ASSERT_EQ(at1.size(), at2.size());
+  ASSERT_EQ(at1.size(), at4.size());
+  // Bitwise, not approximate: the scheduler must not leak thread count
+  // into values or ordering.
+  EXPECT_EQ(0, std::memcmp(at1.data(), at2.data(),
+                           at1.size() * sizeof(double)));
+  EXPECT_EQ(0, std::memcmp(at1.data(), at4.data(),
+                           at1.size() * sizeof(double)));
+  EXPECT_EQ(rng1, rng2);
+  EXPECT_EQ(rng1, rng4);
+}
+
+TEST(PipelineObservabilityTest, StageStartFinishEventsAreJournaled) {
+  events::Journal& journal = events::Journal::Global();
+  const uint64_t before = journal.TypeCount(events::Type::kStage);
+  Pipeline pipe("evt");
+  std::vector<int> sink;
+  ASSERT_TRUE(pipe.AddStage({"source", trace::Category::kWalk, {},
+                             {"stream"}, IntSource(3)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"sink", trace::Category::kTrain, {"stream"},
+                             {}, IntCollect(&sink)})
+                  .ok());
+  ASSERT_TRUE(pipe.Run({}).ok());
+  // One start and one finish record per stage: the watchdog's stage_stall
+  // progress signature advances while a DAG runs.
+  EXPECT_EQ(journal.TypeCount(events::Type::kStage), before + 4);
+}
+
+TEST(PipelineStatsTest, CountersMatchTraffic) {
+  Pipeline pipe("stats");
+  std::vector<int> sink;
+  ASSERT_TRUE(pipe.AddStage({"source", trace::Category::kGeneral, {},
+                             {"stream"}, IntSource(5)})
+                  .ok());
+  ASSERT_TRUE(pipe.AddStage({"sink", trace::Category::kGeneral,
+                             {"stream"}, {}, IntCollect(&sink)})
+                  .ok());
+  ASSERT_TRUE(pipe.Run({}).ok());
+  auto source = pipe.stage_stats("source");
+  auto drain = pipe.stage_stats("sink");
+  ASSERT_TRUE(source.ok() && drain.ok());
+  EXPECT_EQ(source->invocations, 5u);
+  EXPECT_EQ(source->items_out, 5u);
+  EXPECT_EQ(source->first_wave, 0);
+  EXPECT_EQ(drain->items_in, 5u);
+  EXPECT_TRUE(pipe.stage_stats("missing").status().IsNotFound());
+  EXPECT_TRUE(pipe.port_stats("missing").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace fairgen

@@ -18,12 +18,16 @@
 //   --cycles=<n>         self-paced cycles (default 4)
 //   --epochs=<n>         generator epochs per cycle (default 2)
 
+#include <any>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/logging.h"
@@ -34,6 +38,7 @@
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "common/watchdog.h"
+#include "core/pipeline/pipeline.h"
 #include "core/trainer.h"
 #include "generators/ba.h"
 #include "generators/er.h"
@@ -134,6 +139,24 @@ int Usage() {
   return 2;
 }
 
+// Strict numeric-flag parsing (common/strings ParseInt/ParseUint): the
+// whole value must be a base-10 integer in range. `--telemetry-port=abc`,
+// `--walks=12x`, or a negative value for an unsigned flag are flag errors
+// (exit code 2 via Usage), never a silent 0 or a wrapped huge unsigned —
+// which is what the old null-endptr strtol/strtoul calls produced.
+template <typename T>
+Status ParseUintFlag(std::string_view flag, std::string_view text, T* out,
+                     uint64_t max_value = std::numeric_limits<T>::max()) {
+  Result<uint64_t> parsed = ParseUint(text, max_value);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bad " + std::string(flag) + "='" +
+                                   std::string(text) + "': " +
+                                   parsed.status().message());
+  }
+  *out = static_cast<T>(*parsed);
+  return Status::OK();
+}
+
 Result<Options> Parse(int argc, char** argv) {
   if (argc < 3) return Status::InvalidArgument("missing command or input");
   Options opts;
@@ -155,15 +178,20 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (StrStartsWith(arg, "--out=")) {
       opts.out_path = value("--out=");
     } else if (StrStartsWith(arg, "--seed=")) {
-      opts.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(
+          ParseUintFlag("--seed", value("--seed="), &opts.seed));
     } else if (StrStartsWith(arg, "--walks=")) {
-      opts.walks = std::strtoul(value("--walks=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(
+          ParseUintFlag("--walks", value("--walks="), &opts.walks));
     } else if (StrStartsWith(arg, "--cycles=")) {
-      opts.cycles = std::strtoul(value("--cycles=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(
+          ParseUintFlag("--cycles", value("--cycles="), &opts.cycles));
     } else if (StrStartsWith(arg, "--epochs=")) {
-      opts.epochs = std::strtoul(value("--epochs=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(
+          ParseUintFlag("--epochs", value("--epochs="), &opts.epochs));
     } else if (StrStartsWith(arg, "--threads=")) {
-      opts.threads = std::strtoul(value("--threads=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(
+          ParseUintFlag("--threads", value("--threads="), &opts.threads));
     } else if (StrStartsWith(arg, "--save-model=")) {
       opts.save_model_path = value("--save-model=");
     } else if (StrStartsWith(arg, "--load-model=")) {
@@ -171,11 +199,13 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (StrStartsWith(arg, "--checkpoint-dir=")) {
       opts.checkpoint_dir = value("--checkpoint-dir=");
     } else if (StrStartsWith(arg, "--checkpoint-every=")) {
-      opts.checkpoint_every = std::strtoul(
-          value("--checkpoint-every=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag("--checkpoint-every",
+                                          value("--checkpoint-every="),
+                                          &opts.checkpoint_every));
     } else if (StrStartsWith(arg, "--checkpoint-retain=")) {
-      opts.checkpoint_retain = std::strtoul(
-          value("--checkpoint-retain=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag("--checkpoint-retain",
+                                          value("--checkpoint-retain="),
+                                          &opts.checkpoint_retain));
     } else if (arg == "--resume") {
       opts.resume = true;
     } else if (StrStartsWith(arg, "--metrics-out=")) {
@@ -185,32 +215,32 @@ Result<Options> Parse(int argc, char** argv) {
     } else if (StrStartsWith(arg, "--telemetry-dir=")) {
       opts.telemetry_dir = value("--telemetry-dir=");
     } else if (StrStartsWith(arg, "--telemetry-port=")) {
-      long port =
-          std::strtol(value("--telemetry-port=").c_str(), nullptr, 10);
-      if (port < 0 || port > 65535) {
-        return Status::InvalidArgument("bad --telemetry-port");
-      }
+      uint32_t port = 0;
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag("--telemetry-port",
+                                          value("--telemetry-port="), &port,
+                                          /*max_value=*/65535));
       opts.telemetry_port = static_cast<int32_t>(port);
     } else if (StrStartsWith(arg, "--telemetry-interval-ms=")) {
-      opts.telemetry_interval_ms = static_cast<uint32_t>(std::strtoul(
-          value("--telemetry-interval-ms=").c_str(), nullptr, 10));
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag("--telemetry-interval-ms",
+                                          value("--telemetry-interval-ms="),
+                                          &opts.telemetry_interval_ms));
     } else if (StrStartsWith(arg, "--profile-hz=")) {
-      opts.profile_hz = static_cast<uint32_t>(
-          std::strtoul(value("--profile-hz=").c_str(), nullptr, 10));
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag(
+          "--profile-hz", value("--profile-hz="), &opts.profile_hz));
       if (opts.profile_hz == 0 || opts.profile_hz > 10000) {
         return Status::InvalidArgument("bad --profile-hz (want 1..10000)");
       }
     } else if (arg == "--watchdog") {
       opts.watchdog = true;
     } else if (StrStartsWith(arg, "--rss-budget-mb=")) {
-      opts.rss_budget_mb =
-          std::strtoull(value("--rss-budget-mb=").c_str(), nullptr, 10);
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag(
+          "--rss-budget-mb", value("--rss-budget-mb="), &opts.rss_budget_mb));
       if (opts.rss_budget_mb == 0) {
         return Status::InvalidArgument("bad --rss-budget-mb (want >= 1)");
       }
     } else if (StrStartsWith(arg, "--probe-every=")) {
-      opts.probe_every = static_cast<uint32_t>(
-          std::strtoul(value("--probe-every=").c_str(), nullptr, 10));
+      FAIRGEN_RETURN_NOT_OK(ParseUintFlag(
+          "--probe-every", value("--probe-every="), &opts.probe_every));
     } else if (StrStartsWith(arg, "--log-level=")) {
       opts.log_level = value("--log-level=");
       LogLevel parsed;
@@ -245,13 +275,20 @@ Result<std::vector<int32_t>> LoadLabels(const std::string& path,
       return Status::IOError("malformed label at " + path + ":" +
                              std::to_string(line_no));
     }
-    uint64_t node = std::strtoull(fields[0].c_str(), nullptr, 10);
-    int64_t label = std::strtoll(fields[1].c_str(), nullptr, 10);
-    if (node >= num_nodes || label < 0) {
-      return Status::InvalidArgument("bad label entry at " + path + ":" +
-                                     std::to_string(line_no));
+    Result<uint64_t> node = ParseUint(fields[0]);
+    if (!node.ok() || *node >= num_nodes) {
+      return Status::InvalidArgument(
+          "bad node id '" + fields[0] + "' at " + path + ":" +
+          std::to_string(line_no) + ": " +
+          (node.ok() ? "node out of range" : node.status().message()));
     }
-    labels[node] = static_cast<int32_t>(label);
+    Result<int64_t> label = ParseInt(fields[1], 0, INT32_MAX);
+    if (!label.ok()) {
+      return Status::InvalidArgument("bad label '" + fields[1] + "' at " +
+                                     path + ":" + std::to_string(line_no) +
+                                     ": " + label.status().message());
+    }
+    labels[*node] = static_cast<int32_t>(*label);
   }
   return labels;
 }
@@ -265,15 +302,19 @@ Result<std::vector<NodeId>> LoadNodeSet(const std::string& path,
   }
   std::vector<NodeId> nodes;
   std::string line;
+  size_t line_no = 0;
   while (std::getline(file, line)) {
+    ++line_no;
     std::string_view trimmed = StrTrim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    uint64_t node = std::strtoull(std::string(trimmed).c_str(), nullptr, 10);
-    if (node >= num_nodes) {
-      return Status::InvalidArgument("node out of range: " +
-                                     std::string(trimmed));
+    Result<uint64_t> node = ParseUint(trimmed);
+    if (!node.ok() || *node >= num_nodes) {
+      return Status::InvalidArgument(
+          "bad node id '" + std::string(trimmed) + "' at " + path + ":" +
+          std::to_string(line_no) + ": " +
+          (node.ok() ? "node out of range" : node.status().message()));
     }
-    nodes.push_back(static_cast<NodeId>(node));
+    nodes.push_back(static_cast<NodeId>(*node));
   }
   return nodes;
 }
@@ -399,79 +440,210 @@ struct SignalTrainerScope {
   }
 };
 
+// The top-level generate command as a pipeline DAG. The master rng is
+// captured by the stages that consume it (fit before generate, enforced by
+// the port edges), not split per stage: the draw sequence — and therefore
+// the output graph for a given seed — is byte-identical to the old
+// sequential code. --save-model rides in its own stage so checkpoint
+// serialization overlaps graph generation.
 Status RunGenerate(const Options& opts) {
   if (opts.out_path.empty()) {
     return Status::InvalidArgument("generate requires --out=<file>");
   }
-  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
-  memprobe::Sample("load");
-  FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
+  std::optional<Graph> graph;
+  std::unique_ptr<GraphGenerator> model;
+  FairGenTrainer* fairgen_trainer = nullptr;
+  std::optional<SignalTrainerScope> signal_scope;
   Rng rng(opts.seed);
-  auto* fairgen_trainer = dynamic_cast<FairGenTrainer*>(model.get());
-  SignalTrainerScope signal_scope(fairgen_trainer);
-  if (!opts.load_model_path.empty()) {
-    if (fairgen_trainer == nullptr) {
-      return Status::InvalidArgument(
-          "--load-model is only supported for fairgen* models");
-    }
-    FAIRGEN_RETURN_NOT_OK(fairgen_trainer->Prepare(graph, rng));
-    FAIRGEN_RETURN_NOT_OK(
-        fairgen_trainer->LoadCheckpoint(opts.load_model_path));
-    std::fprintf(stderr, "restored checkpoint %s\n",
-                 opts.load_model_path.c_str());
-  } else {
-    std::fprintf(stderr, "fitting %s on n=%u m=%llu...\n",
-                 model->name().c_str(), graph.num_nodes(),
-                 static_cast<unsigned long long>(graph.num_edges()));
-    FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
-  }
-  memprobe::Sample("fit");
+  std::optional<Graph> generated;
+
+  pipeline::Pipeline dag("cli");
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"load_graph",
+       trace::Category::kGeneral,
+       {},
+       {"graph_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_ASSIGN_OR_RETURN(graph, LoadEdgeList(opts.edges_path));
+         memprobe::Sample("load");
+         FAIRGEN_ASSIGN_OR_RETURN(model, BuildModel(opts, *graph));
+         fairgen_trainer = dynamic_cast<FairGenTrainer*>(model.get());
+         signal_scope.emplace(fairgen_trainer);
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"fit_model",
+       trace::Category::kTrain,
+       {"graph_ready"},
+       {"model_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         if (!opts.load_model_path.empty()) {
+           if (fairgen_trainer == nullptr) {
+             return Status::InvalidArgument(
+                 "--load-model is only supported for fairgen* models");
+           }
+           FAIRGEN_RETURN_NOT_OK(fairgen_trainer->Prepare(*graph, rng));
+           FAIRGEN_RETURN_NOT_OK(
+               fairgen_trainer->LoadCheckpoint(opts.load_model_path));
+           std::fprintf(stderr, "restored checkpoint %s\n",
+                        opts.load_model_path.c_str());
+         } else {
+           std::fprintf(stderr, "fitting %s on n=%u m=%llu...\n",
+                        model->name().c_str(), graph->num_nodes(),
+                        static_cast<unsigned long long>(graph->num_edges()));
+           FAIRGEN_RETURN_NOT_OK(model->Fit(*graph, rng));
+         }
+         memprobe::Sample("fit");
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
   if (!opts.save_model_path.empty()) {
-    if (fairgen_trainer == nullptr) {
-      return Status::InvalidArgument(
-          "--save-model is only supported for fairgen* models");
-    }
-    FAIRGEN_RETURN_NOT_OK(
-        fairgen_trainer->SaveCheckpoint(opts.save_model_path));
-    std::fprintf(stderr, "saved checkpoint %s\n",
-                 opts.save_model_path.c_str());
+    FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+        {"save_model",
+         trace::Category::kGeneral,
+         {"model_ready"},
+         {},
+         [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+           (void)ctx;
+           if (fairgen_trainer == nullptr) {
+             return Status::InvalidArgument(
+                 "--save-model is only supported for fairgen* models");
+           }
+           FAIRGEN_RETURN_NOT_OK(
+               fairgen_trainer->SaveCheckpoint(opts.save_model_path));
+           std::fprintf(stderr, "saved checkpoint %s\n",
+                        opts.save_model_path.c_str());
+           return pipeline::StepResult::kDone;
+         }}));
   }
-  FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
-  memprobe::Sample("generate");
-  FAIRGEN_RETURN_NOT_OK(SaveEdgeList(generated, opts.out_path));
-  std::printf("wrote %llu edges to %s\n",
-              static_cast<unsigned long long>(generated.num_edges()),
-              opts.out_path.c_str());
-  return Status::OK();
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"generate_graph",
+       trace::Category::kGenerate,
+       {"model_ready"},
+       {"generated_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_ASSIGN_OR_RETURN(generated, model->Generate(rng));
+         memprobe::Sample("generate");
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"write_output",
+       trace::Category::kGeneral,
+       {"generated_ready"},
+       {},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         (void)ctx;
+         FAIRGEN_RETURN_NOT_OK(SaveEdgeList(*generated, opts.out_path));
+         std::printf("wrote %llu edges to %s\n",
+                     static_cast<unsigned long long>(generated->num_edges()),
+                     opts.out_path.c_str());
+         return pipeline::StepResult::kDone;
+       }}));
+
+  pipeline::RunOptions run;
+  run.num_threads = opts.threads;
+  return dag.Run(run);
 }
 
+// The evaluate command as a pipeline DAG: the overall and protected
+// discrepancy passes both read (graph, generated) immutably and draw no rng,
+// so they score in parallel once generation lands; the report stage joins
+// their rows in fixed order so the printed table is stable.
 Status RunEvaluate(const Options& opts) {
-  FAIRGEN_ASSIGN_OR_RETURN(Graph graph, LoadEdgeList(opts.edges_path));
-  FAIRGEN_ASSIGN_OR_RETURN(auto model, BuildModel(opts, graph));
+  std::optional<Graph> graph;
+  std::unique_ptr<GraphGenerator> model;
+  std::optional<SignalTrainerScope> signal_scope;
   Rng rng(opts.seed);
-  SignalTrainerScope signal_scope(
-      dynamic_cast<FairGenTrainer*>(model.get()));
-  FAIRGEN_RETURN_NOT_OK(model->Fit(graph, rng));
-  FAIRGEN_ASSIGN_OR_RETURN(Graph generated, model->Generate(rng));
+  std::optional<Graph> generated;
+  const bool has_protected = !opts.protected_path.empty();
 
-  FAIRGEN_ASSIGN_OR_RETURN(auto overall,
-                           OverallDiscrepancy(graph, generated));
-  std::vector<std::string> header{"scope"};
-  for (const auto& name : MetricNames()) header.push_back(name);
-  Table table(header);
-  table.AddRow("overall R",
-               std::vector<double>(overall.begin(), overall.end()));
-  if (!opts.protected_path.empty()) {
-    FAIRGEN_ASSIGN_OR_RETURN(
-        auto protected_set,
-        LoadNodeSet(opts.protected_path, graph.num_nodes()));
-    FAIRGEN_ASSIGN_OR_RETURN(
-        auto prot, ProtectedDiscrepancy(graph, generated, protected_set));
-    table.AddRow("protected R+",
-                 std::vector<double>(prot.begin(), prot.end()));
+  pipeline::Pipeline dag("cli");
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"load_graph",
+       trace::Category::kGeneral,
+       {},
+       {"graph_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_ASSIGN_OR_RETURN(graph, LoadEdgeList(opts.edges_path));
+         FAIRGEN_ASSIGN_OR_RETURN(model, BuildModel(opts, *graph));
+         signal_scope.emplace(dynamic_cast<FairGenTrainer*>(model.get()));
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"fit_model",
+       trace::Category::kTrain,
+       {"graph_ready"},
+       {"model_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_RETURN_NOT_OK(model->Fit(*graph, rng));
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"generate_graph",
+       trace::Category::kGenerate,
+       {"model_ready"},
+       {"generated_ready"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_ASSIGN_OR_RETURN(generated, model->Generate(rng));
+         ctx.Push(0, true);
+         return pipeline::StepResult::kDone;
+       }}));
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"eval_overall",
+       trace::Category::kEval,
+       {"generated_ready"},
+       {"overall_row"},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         FAIRGEN_ASSIGN_OR_RETURN(auto overall,
+                                  OverallDiscrepancy(*graph, *generated));
+         ctx.Push(0, std::vector<double>(overall.begin(), overall.end()));
+         return pipeline::StepResult::kDone;
+       }}));
+  if (has_protected) {
+    FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+        {"eval_protected",
+         trace::Category::kEval,
+         {"generated_ready"},
+         {"protected_row"},
+         [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+           FAIRGEN_ASSIGN_OR_RETURN(
+               auto protected_set,
+               LoadNodeSet(opts.protected_path, graph->num_nodes()));
+           FAIRGEN_ASSIGN_OR_RETURN(
+               auto prot,
+               ProtectedDiscrepancy(*graph, *generated, protected_set));
+           ctx.Push(0, std::vector<double>(prot.begin(), prot.end()));
+           return pipeline::StepResult::kDone;
+         }}));
   }
-  std::printf("%s\n", table.ToAscii().c_str());
-  return Status::OK();
+  std::vector<std::string> report_inputs{"overall_row"};
+  if (has_protected) report_inputs.push_back("protected_row");
+  FAIRGEN_RETURN_NOT_OK(dag.AddStage(
+      {"report",
+       trace::Category::kGeneral,
+       report_inputs,
+       {},
+       [&](pipeline::StageContext& ctx) -> Result<pipeline::StepResult> {
+         std::vector<std::string> header{"scope"};
+         for (const auto& name : MetricNames()) header.push_back(name);
+         Table table(header);
+         table.AddRow("overall R",
+                      std::any_cast<std::vector<double>>(ctx.Pop(0)));
+         if (has_protected) {
+           table.AddRow("protected R+",
+                        std::any_cast<std::vector<double>>(ctx.Pop(1)));
+         }
+         std::printf("%s\n", table.ToAscii().c_str());
+         return pipeline::StepResult::kDone;
+       }}));
+
+  pipeline::RunOptions run;
+  run.num_threads = opts.threads;
+  return dag.Run(run);
 }
 
 Status RunCore(const Options& opts) {
